@@ -1,0 +1,93 @@
+//! Ablation D: decomposing the sandbox overhead — pure interpretation
+//! slowdown (SHA-256 compiled to guest bytecode vs native, the analogue of
+//! the Wasm-vs-native study the paper cites [39]), the guest↔host boundary
+//! cost, and raw VM dispatch throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distrust_sandbox::guests::{
+    guest_sha256, hostcall_loop_module, sha256_module, CountingHost,
+};
+use distrust_sandbox::{Instance, Limits};
+
+fn bench_sandbox(c: &mut Criterion) {
+    // Interpretation slowdown: the same SHA-256 computation, native vs
+    // in-guest. The ratio brackets what "run the application in a
+    // software sandbox" costs at the interpreter end of the spectrum
+    // (Wasm JITs land near 1.5x; interpreters orders of magnitude higher).
+    let mut group = c.benchmark_group("sandbox_sha256");
+    group.sample_size(10);
+    for &len in &[64usize, 1024] {
+        let msg = vec![0x61u8; len];
+        group.bench_with_input(BenchmarkId::new("native", len), &msg, |b, msg| {
+            b.iter(|| std::hint::black_box(distrust_crypto::sha256(msg)))
+        });
+        group.bench_with_input(BenchmarkId::new("guest", len), &msg, |b, msg| {
+            let mut inst = Instance::new(sha256_module(), Limits::default()).unwrap();
+            b.iter(|| std::hint::black_box(guest_sha256(&mut inst, msg).unwrap()))
+        });
+    }
+    group.finish();
+
+    // Host-call boundary: price of one guest→host→guest crossing.
+    let mut group = c.benchmark_group("sandbox_boundary");
+    group.sample_size(10);
+    for &calls in &[100u64, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("hostcalls", calls),
+            &calls,
+            |b, &calls| {
+                let mut inst =
+                    Instance::new(hostcall_loop_module(), Limits::default()).unwrap();
+                b.iter(|| {
+                    let mut host = CountingHost { calls: 0 };
+                    inst.invoke("run", &[calls], &mut host).unwrap();
+                    std::hint::black_box(host.calls)
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Raw dispatch throughput: a tight arithmetic loop.
+    let mut group = c.benchmark_group("sandbox_dispatch");
+    group.sample_size(10);
+    {
+        use distrust_sandbox::{FuncBuilder, ModuleBuilder};
+        let mut mb = ModuleBuilder::new(1, 1);
+        let mut f = FuncBuilder::new(1, 1, 1);
+        // sum 1..n
+        f.constant(0)
+            .lset(1)
+            .label("loop")
+            .lget(0)
+            .jz("done")
+            .lget(1)
+            .lget(0)
+            .add()
+            .lset(1)
+            .lget(0)
+            .constant(1)
+            .sub()
+            .lset(0)
+            .jmp("loop")
+            .label("done")
+            .lget(1)
+            .ret();
+        let idx = mb.function(f.build().unwrap());
+        mb.export("sum", idx);
+        let module = mb.build();
+        group.bench_function("sum_loop_100k_iters", |b| {
+            let mut inst = Instance::new(module.clone(), Limits::default()).unwrap();
+            b.iter(|| {
+                std::hint::black_box(
+                    inst.invoke("sum", &[100_000], &mut distrust_sandbox::NoHost)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sandbox);
+criterion_main!(benches);

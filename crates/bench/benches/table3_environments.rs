@@ -1,0 +1,31 @@
+//! Criterion version of Table 3: BLS threshold signature share production
+//! under the three execution environments. The `table3` binary prints the
+//! paper-shaped table; this bench gives confidence intervals.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distrust_bench::{Environment, SigningBench};
+
+fn bench_environments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(20);
+    for env in [
+        Environment::Baseline,
+        Environment::Sandbox,
+        Environment::TeeSandbox,
+        Environment::TeeTomorrow,
+    ] {
+        let mut bench = SigningBench::start(env).expect("start environment");
+        let mut counter = 0u64;
+        group.bench_function(env.label(), |b| {
+            b.iter(|| {
+                counter += 1;
+                let message = format!("bench message {counter}");
+                std::hint::black_box(bench.sign(message.as_bytes()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_environments);
+criterion_main!(benches);

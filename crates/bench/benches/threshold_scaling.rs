@@ -1,0 +1,62 @@
+//! Ablation C: threshold-signing costs as the committee grows — partial
+//! signing, aggregation (Lagrange in the exponent), partial verification,
+//! and group verification for (t, n) from (2,3) to (9,13).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distrust_crypto::drbg::HmacDrbg;
+use distrust_crypto::threshold::{self, PartialSignature};
+
+fn bench_threshold(c: &mut Criterion) {
+    let configs = [(2usize, 3usize), (3, 5), (5, 8), (7, 10), (9, 13)];
+    let msg = b"scaling benchmark message";
+
+    let mut group = c.benchmark_group("threshold");
+    group.sample_size(10);
+    for &(t, n) in &configs {
+        let label = format!("t{t}_n{n}");
+        let mut rng = HmacDrbg::new(b"threshold bench", label.as_bytes());
+        let keys = threshold::generate(t, n, &mut rng).expect("keygen");
+        let partials: Vec<PartialSignature> = keys.shares[..t]
+            .iter()
+            .map(|s| threshold::partial_sign(s, msg))
+            .collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("partial_sign", &label),
+            &keys.shares[0],
+            |b, share| b.iter(|| std::hint::black_box(threshold::partial_sign(share, msg))),
+        );
+        group.bench_with_input(BenchmarkId::new("aggregate", &label), &t, |b, &t| {
+            b.iter(|| std::hint::black_box(threshold::aggregate(t, &partials).unwrap()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("verify_partial", &label),
+            &partials[0],
+            |b, p| {
+                b.iter(|| {
+                    std::hint::black_box(threshold::verify_partial(&keys.commitments, msg, p))
+                })
+            },
+        );
+        let sig = threshold::aggregate(t, &partials).unwrap();
+        group.bench_with_input(BenchmarkId::new("verify_group", &label), &sig, |b, sig| {
+            b.iter(|| std::hint::black_box(keys.public_key.verify(msg, sig)))
+        });
+    }
+    group.finish();
+
+    // Keygen scaling (dealer + Feldman commitments).
+    let mut group = c.benchmark_group("threshold_keygen");
+    group.sample_size(10);
+    for &(t, n) in &configs {
+        let label = format!("t{t}_n{n}");
+        group.bench_function(BenchmarkId::new("generate", &label), |b| {
+            let mut rng = HmacDrbg::new(b"keygen bench", label.as_bytes());
+            b.iter(|| std::hint::black_box(threshold::generate(t, n, &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threshold);
+criterion_main!(benches);

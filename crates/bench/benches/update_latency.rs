@@ -1,0 +1,138 @@
+//! Ablation E: signed-update latency — verify developer signature, append
+//! the digest to the log, record the notice, instantiate the sandbox —
+//! as a function of module size and log history length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distrust_core::abi::NoImports;
+use distrust_core::framework::{EnclaveFramework, FrameworkConfig};
+use distrust_core::manifest::SignedRelease;
+use distrust_crypto::schnorr::SigningKey;
+use distrust_sandbox::{FuncBuilder, Instr, Limits, Module, ModuleBuilder};
+
+/// Builds a module padded with `extra_funcs` dummy functions to vary the
+/// code size realistically (more code = more bytes to hash + validate).
+fn padded_module(version: u64, extra_funcs: usize) -> Module {
+    let mut mb = ModuleBuilder::new(1, 1);
+    let mut handle = FuncBuilder::new(3, 0, 1);
+    handle
+        .constant(distrust_core::abi::OUTBOX_ADDR)
+        .constant(version)
+        .store8(0)
+        .constant(1)
+        .ret();
+    let idx = mb.function(handle.build().unwrap());
+    mb.export(distrust_core::abi::HANDLE_EXPORT, idx);
+    for i in 0..extra_funcs {
+        let mut f = FuncBuilder::new(1, 1, 1);
+        for _ in 0..32 {
+            f.lget(0).constant(i as u64).add().lset(0);
+        }
+        f.lget(0).op(Instr::Dup).ret();
+        mb.function(f.build().unwrap());
+    }
+    mb.build()
+}
+
+fn fresh_framework(dev: &SigningKey) -> EnclaveFramework {
+    EnclaveFramework::new(
+        FrameworkConfig {
+            domain_index: 0,
+            app_name: "bench-app".into(),
+            developer_key: dev.verifying_key(),
+            log_id: [9; 32],
+            limits: Limits::default(),
+        },
+        None,
+        SigningKey::derive(b"update bench", b"checkpoint"),
+        Box::new(NoImports),
+    )
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let dev = SigningKey::derive(b"update bench", b"developer");
+
+    // Update latency vs. module size.
+    let mut group = c.benchmark_group("update_by_size");
+    group.sample_size(10);
+    for &extra in &[0usize, 32, 256] {
+        let module = padded_module(1, extra);
+        let size = distrust_wire::Encode::to_wire(&module).len();
+        group.bench_with_input(
+            BenchmarkId::new("bytes", size),
+            &module,
+            |b, module| {
+                b.iter_batched(
+                    || {
+                        let mut fw = fresh_framework(&dev);
+                        let r1 = SignedRelease::create(
+                            "bench-app",
+                            1,
+                            "",
+                            &padded_module(1, 0),
+                            &dev,
+                        );
+                        fw.apply_update(&r1).expect("v1");
+                        let r2 = SignedRelease::create("bench-app", 2, "", module, &dev);
+                        (fw, r2)
+                    },
+                    |(mut fw, r2)| std::hint::black_box(fw.apply_update(&r2).expect("v2")),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+
+    // Update latency vs. history length (log append cost growth).
+    let mut group = c.benchmark_group("update_by_history");
+    group.sample_size(10);
+    for &history in &[1u64, 64, 512] {
+        group.bench_with_input(
+            BenchmarkId::new("prior_updates", history),
+            &history,
+            |b, &history| {
+                b.iter_batched(
+                    || {
+                        let mut fw = fresh_framework(&dev);
+                        for v in 1..=history {
+                            let r = SignedRelease::create(
+                                "bench-app",
+                                v,
+                                "",
+                                &padded_module(v, 0),
+                                &dev,
+                            );
+                            fw.apply_update(&r).expect("prior");
+                        }
+                        let next = SignedRelease::create(
+                            "bench-app",
+                            history + 1,
+                            "",
+                            &padded_module(history + 1, 0),
+                            &dev,
+                        );
+                        (fw, next)
+                    },
+                    |(mut fw, next)| {
+                        std::hint::black_box(fw.apply_update(&next).expect("next"))
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+
+    // Signed-release verification alone (client-side cost).
+    let mut group = c.benchmark_group("release_verify");
+    group.sample_size(10);
+    let release = SignedRelease::create("bench-app", 1, "", &padded_module(1, 32), &dev);
+    let dev_pub = dev.verifying_key();
+    group.bench_function("verify", |b| {
+        b.iter(|| std::hint::black_box(release.verify(&dev_pub).expect("valid")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

@@ -1,0 +1,424 @@
+//! The client/auditor library — the paper's user-side guarantee (§3.3):
+//! "For each of the n trust domains, the client can obtain a digest of the
+//! code that is currently running and a history of digests corresponding
+//! to code that ran previously. The client can check that the digests
+//! match across all n trust domains."
+
+use crate::framework::framework_measurement;
+use crate::protocol::{AttestationBinding, DomainStatus, Request, Response, UpdateNotice};
+use distrust_crypto::schnorr::VerifyingKey;
+use distrust_crypto::sha256::Digest;
+use distrust_log::auditor::{AuditOutcome, Auditor, Misbehavior};
+use distrust_tee::host::EnclaveClient;
+use distrust_tee::vendor::{VendorKind, VendorRoots};
+use distrust_wire::codec::{Decode, Encode};
+use rand::RngCore;
+use std::net::SocketAddr;
+
+/// What a client needs to know about one trust domain.
+#[derive(Clone, Debug)]
+pub struct DomainInfo {
+    /// Domain index (0 = the developer's unattested domain).
+    pub index: u32,
+    /// Where to connect.
+    pub addr: SocketAddr,
+    /// Expected secure-hardware vendor; `None` for trust domain 0.
+    pub vendor: Option<VendorKind>,
+    /// Pinned checkpoint-signing key.
+    pub checkpoint_key: VerifyingKey,
+}
+
+/// Everything a client needs to audit and use a deployment. Distributed
+/// out of band (the paper's open-source publication channel).
+#[derive(Clone, Debug)]
+pub struct DeploymentDescriptor {
+    /// Application name.
+    pub app_name: String,
+    /// Developer's release-signing public key.
+    pub developer_key: VerifyingKey,
+    /// Pinned vendor attestation roots.
+    pub vendor_roots: VendorRoots,
+    /// The trust domains, index-ordered (0 first).
+    pub domains: Vec<DomainInfo>,
+}
+
+impl DeploymentDescriptor {
+    /// The framework measurement every TEE-backed domain must attest.
+    pub fn expected_measurement(&self) -> Digest {
+        framework_measurement(&self.developer_key, &self.app_name)
+    }
+}
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Could not decode the response.
+    Decode(distrust_wire::DecodeError),
+    /// The domain answered, but not with the expected variant.
+    Unexpected(String),
+    /// The domain reported an application error.
+    App(String),
+    /// The domain rejected an update.
+    UpdateRejected(String),
+    /// Unknown domain index.
+    NoSuchDomain(u32),
+}
+
+impl core::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Decode(e) => write!(f, "decode error: {e}"),
+            Self::Unexpected(what) => write!(f, "unexpected response: {what}"),
+            Self::App(e) => write!(f, "application error: {e}"),
+            Self::UpdateRejected(e) => write!(f, "update rejected: {e}"),
+            Self::NoSuchDomain(i) => write!(f, "no such domain {i}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Per-domain audit result.
+#[derive(Debug)]
+pub struct DomainAudit {
+    /// Domain index.
+    pub index: u32,
+    /// `true` when a TEE quote verified end-to-end; trust domain 0 is
+    /// always `false` (it has no hardware to verify).
+    pub attested: bool,
+    /// The (possibly attested) status snapshot.
+    pub status: Option<DomainStatus>,
+    /// Why the audit of this domain failed, if it did.
+    pub failure: Option<String>,
+}
+
+/// The outcome of one full audit round.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// Per-domain details, index-ordered.
+    pub domains: Vec<DomainAudit>,
+    /// All domains report the same running app digest.
+    pub digests_agree: bool,
+    /// Evidence of log misbehavior collected this round.
+    pub misbehavior: Vec<Misbehavior>,
+    /// The agreed app digest (when `digests_agree`).
+    pub app_digest: Option<Digest>,
+}
+
+impl AuditReport {
+    /// The paper's acceptance criterion: every domain passed its per-domain
+    /// checks, all digests agree, and no misbehavior evidence was found.
+    pub fn is_clean(&self) -> bool {
+        self.domains
+            .iter()
+            .all(|d| d.failure.is_none() && d.status.is_some())
+            && self.digests_agree
+            && self.misbehavior.is_empty()
+    }
+}
+
+/// A stateful client for one deployment: connects to all domains, audits,
+/// calls the application, and pushes updates (when it is the developer).
+pub struct DeploymentClient {
+    descriptor: DeploymentDescriptor,
+    connections: Vec<Option<EnclaveClient>>,
+    auditor: Auditor,
+    rng: Box<dyn RngCore + Send>,
+}
+
+impl DeploymentClient {
+    /// Creates a client; connections are opened lazily.
+    pub fn new(descriptor: DeploymentDescriptor, rng: Box<dyn RngCore + Send>) -> Self {
+        let auditor = Auditor::new(
+            descriptor
+                .domains
+                .iter()
+                .map(|d| d.checkpoint_key)
+                .collect(),
+        );
+        let n = descriptor.domains.len();
+        Self {
+            descriptor,
+            connections: (0..n).map(|_| None).collect(),
+            auditor,
+            rng,
+        }
+    }
+
+    /// The deployment descriptor.
+    pub fn descriptor(&self) -> &DeploymentDescriptor {
+        &self.descriptor
+    }
+
+    /// Sends one request to one domain.
+    pub fn exchange(&mut self, domain: u32, request: &Request) -> Result<Response, ClientError> {
+        let idx = domain as usize;
+        let info = self
+            .descriptor
+            .domains
+            .get(idx)
+            .ok_or(ClientError::NoSuchDomain(domain))?
+            .clone();
+        if self.connections[idx].is_none() {
+            self.connections[idx] = Some(EnclaveClient::connect(info.addr)?);
+        }
+        let conn = self.connections[idx].as_mut().expect("just connected");
+        let bytes = match conn.exchange(&request.to_wire()) {
+            Ok(b) => b,
+            Err(e) => {
+                // Drop the broken connection so the next call reconnects.
+                self.connections[idx] = None;
+                return Err(ClientError::Io(e));
+            }
+        };
+        Response::from_wire(&bytes).map_err(ClientError::Decode)
+    }
+
+    /// Calls the application on one domain.
+    pub fn call(&mut self, domain: u32, method: u64, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+        match self.exchange(
+            domain,
+            &Request::AppCall {
+                method,
+                payload: payload.to_vec(),
+            },
+        )? {
+            Response::AppResult { payload } => Ok(payload),
+            Response::AppError(e) => Err(ClientError::App(e)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Pushes a signed release to every domain (the developer's update
+    /// flow, Figure 2 left). Returns per-domain results.
+    pub fn push_update(
+        &mut self,
+        release: &crate::manifest::SignedRelease,
+    ) -> Vec<Result<(u64, Digest), ClientError>> {
+        (0..self.descriptor.domains.len() as u32)
+            .map(|d| {
+                match self.exchange(
+                    d,
+                    &Request::Update {
+                        release: release.clone(),
+                    },
+                )? {
+                    Response::UpdateAck { log_size, digest } => Ok((log_size, digest)),
+                    Response::UpdateRejected(e) => Err(ClientError::UpdateRejected(e)),
+                    other => Err(ClientError::Unexpected(format!("{other:?}"))),
+                }
+            })
+            .collect()
+    }
+
+    /// Fetches update notices from a domain.
+    pub fn notices(&mut self, domain: u32, since: u64) -> Result<Vec<UpdateNotice>, ClientError> {
+        match self.exchange(domain, &Request::GetNotices { since })? {
+            Response::Notices(n) => Ok(n),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches raw log leaves from a domain.
+    pub fn log_entries(&mut self, domain: u32, from: u64) -> Result<Vec<Vec<u8>>, ClientError> {
+        match self.exchange(domain, &Request::GetLogEntries { from })? {
+            Response::LogEntries(entries) => Ok(entries),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Exports this client's latest verified checkpoints for gossiping to
+    /// other clients (split-view detection, CT-style).
+    pub fn gossip_payload(&self) -> Vec<(u32, distrust_log::SignedCheckpoint)> {
+        self.auditor.gossip_payload()
+    }
+
+    /// Ingests checkpoints relayed by another client. Returns any
+    /// misbehavior evidence discovered — in particular, an
+    /// [`distrust_log::Misbehavior::Equivocation`] when a domain showed
+    /// this client and the peer conflicting histories.
+    pub fn ingest_gossip(
+        &mut self,
+        payload: &[(u32, distrust_log::SignedCheckpoint)],
+    ) -> Vec<Misbehavior> {
+        let mut found = Vec::new();
+        for (domain, cp) in payload {
+            if let AuditOutcome::Misbehavior(m) = self.auditor.ingest_gossip(*domain, cp.clone())
+            {
+                found.push(*m);
+            }
+        }
+        found
+    }
+
+    /// Performs a full audit round across all domains:
+    ///
+    /// 1. challenge each domain with a fresh nonce; verify TEE quotes
+    ///    end-to-end (cert chain → vendor root, evidence, measurement,
+    ///    nonce echo);
+    /// 2. fetch a signed checkpoint from each domain and require it to
+    ///    match the attested log head, plus a consistency proof against
+    ///    the previously verified checkpoint;
+    /// 3. cross-check digest histories across all domains.
+    ///
+    /// `expected_app` pins the digest of the published code, when the
+    /// client has computed it from source (§3.3's "the developer
+    /// open-sources her code").
+    pub fn audit(&mut self, expected_app: Option<&Digest>) -> AuditReport {
+        let expected_measurement = self.descriptor.expected_measurement();
+        let n = self.descriptor.domains.len() as u32;
+        let mut domains = Vec::with_capacity(n as usize);
+        let mut misbehavior = Vec::new();
+
+        for d in 0..n {
+            let info = self.descriptor.domains[d as usize].clone();
+            let mut audit = DomainAudit {
+                index: d,
+                attested: false,
+                status: None,
+                failure: None,
+            };
+            let mut nonce = [0u8; 32];
+            self.rng.fill_bytes(&mut nonce);
+
+            // Step 1: attestation challenge.
+            match self.exchange(d, &Request::Attest { nonce }) {
+                Ok(Response::Quote(quote)) => {
+                    if info.vendor.is_none() {
+                        audit.failure =
+                            Some("domain 0 unexpectedly returned a quote".to_string());
+                    } else if info.vendor != Some(quote.document.vendor) {
+                        audit.failure = Some(format!(
+                            "vendor mismatch: pinned {:?}, quoted {:?}",
+                            info.vendor, quote.document.vendor
+                        ));
+                    } else if let Err(e) = quote.verify(
+                        &self.descriptor.vendor_roots,
+                        Some(&expected_measurement),
+                        None,
+                    ) {
+                        audit.failure = Some(format!("quote verification failed: {e}"));
+                    } else {
+                        match AttestationBinding::from_wire(&quote.document.user_data) {
+                            Ok(binding) if binding.nonce == nonce => {
+                                audit.attested = true;
+                                audit.status = Some(binding.status);
+                            }
+                            Ok(_) => {
+                                audit.failure =
+                                    Some("stale quote: nonce mismatch".to_string());
+                            }
+                            Err(e) => {
+                                audit.failure =
+                                    Some(format!("malformed attestation binding: {e}"));
+                            }
+                        }
+                    }
+                }
+                Ok(Response::Unattested(status)) => {
+                    if info.vendor.is_some() {
+                        audit.failure = Some(
+                            "TEE-backed domain refused to attest".to_string(),
+                        );
+                    } else {
+                        audit.status = Some(status);
+                    }
+                }
+                Ok(other) => {
+                    audit.failure = Some(format!("unexpected attest response: {other:?}"));
+                }
+                Err(e) => {
+                    audit.failure = Some(format!("attest failed: {e}"));
+                }
+            }
+
+            // Step 2: checkpoint + consistency.
+            if let Some(status) = audit.status.clone() {
+                match self.exchange(d, &Request::GetCheckpoint) {
+                    Ok(Response::Checkpoint(cp)) => {
+                        // Feed the auditor first: a correctly signed
+                        // checkpoint is evidence regardless of whether it
+                        // matches the claimed status — this is what turns
+                        // equivocation into a transferable proof.
+                        let prior = self.auditor.latest(d).cloned();
+                        let proof = match prior {
+                            Some(p) if p.body.size < cp.body.size => {
+                                match self.exchange(
+                                    d,
+                                    &Request::GetConsistency {
+                                        old_size: p.body.size,
+                                    },
+                                ) {
+                                    Ok(Response::Consistency(proof)) => Some(proof),
+                                    _ => None,
+                                }
+                            }
+                            _ => None,
+                        };
+                        let matches_status = cp.body.size == status.log_size
+                            && cp.body.head == status.log_head;
+                        match self.auditor.observe(d, cp, proof.as_ref()) {
+                            AuditOutcome::Consistent => {
+                                if !matches_status {
+                                    audit.failure = Some(
+                                        "checkpoint disagrees with attested status"
+                                            .to_string(),
+                                    );
+                                }
+                            }
+                            AuditOutcome::Misbehavior(m) => {
+                                audit.failure = Some(format!("log misbehavior: {m:?}"));
+                                misbehavior.push(*m);
+                            }
+                        }
+                    }
+                    Ok(other) => {
+                        audit.failure =
+                            Some(format!("unexpected checkpoint response: {other:?}"));
+                    }
+                    Err(e) => {
+                        audit.failure = Some(format!("checkpoint fetch failed: {e}"));
+                    }
+                }
+            }
+            domains.push(audit);
+        }
+
+        // Step 3: cross-domain digest comparison.
+        if let AuditOutcome::Misbehavior(m) = self.auditor.cross_check() {
+            misbehavior.push(*m);
+        }
+        let digests: Vec<Digest> = domains
+            .iter()
+            .filter_map(|d| d.status.as_ref().map(|s| s.app_digest))
+            .collect();
+        let mut digests_agree =
+            digests.len() == domains.len() && distrust_log::digests_match(&digests);
+        if let (true, Some(expected)) = (digests_agree, expected_app) {
+            if digests.first() != Some(expected) {
+                digests_agree = false;
+            }
+        }
+        let app_digest = if digests_agree {
+            digests.first().copied()
+        } else {
+            None
+        };
+
+        AuditReport {
+            domains,
+            digests_agree,
+            misbehavior,
+            app_digest,
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! The application-independent enclave framework — the paper's core design
+//! (§4.1).
+//!
+//! "Instead of sealing the developer's code directly on to the enclave, we
+//! instead seal an application-independent framework on to the TEE. This
+//! application-independent framework accepts application code as input and
+//! executes it."
+//!
+//! Responsibilities, in the order the paper derives them:
+//!
+//! 1. **Run application code in a sandbox** so updates cannot escape and
+//!    tamper with the framework ([`crate::abi`], `distrust-sandbox`).
+//! 2. **Accept only developer-signed updates**, verified against the
+//!    public key sealed at initialization ([`crate::manifest`]).
+//! 3. **Record every activated code digest in an append-only log** and
+//!    make update notices available *before* the new code serves its
+//!    first request (`distrust-log`).
+//! 4. **Attest**: answer client challenges with a quote binding the
+//!    client's nonce, the current log head, and the running app digest.
+
+use crate::abi::{app_call, import_names, AppHost};
+use crate::manifest::{ReleaseError, ReleaseManifest, SignedRelease};
+use crate::protocol::{AttestationBinding, DomainStatus, Request, Response, UpdateNotice};
+use distrust_crypto::schnorr::{SigningKey, VerifyingKey};
+use distrust_crypto::sha256::Digest;
+use distrust_log::checkpoint::{CheckpointBody, SignedCheckpoint};
+use distrust_log::merkle::MerkleLog;
+use distrust_sandbox::{Instance, Limits};
+use distrust_tee::enclave::Enclave;
+use distrust_wire::codec::{Decode, Encode};
+
+/// Computes the framework measurement: the value a TEE attests when it
+/// loads this framework sealed with a particular developer key. Everything
+/// that defines the trusted framework identity goes in here.
+pub fn framework_measurement(developer_key: &VerifyingKey, app_name: &str) -> Digest {
+    distrust_crypto::sha256_many(&[
+        b"distrust/framework-measurement/v2",
+        &developer_key.to_bytes(),
+        app_name.as_bytes(),
+    ])
+}
+
+/// Static configuration sealed into the framework at initialization.
+pub struct FrameworkConfig {
+    /// This domain's index in the deployment.
+    pub domain_index: u32,
+    /// The application this deployment is pinned to.
+    pub app_name: String,
+    /// The developer's update-signing public key (§4.1: sealed alongside
+    /// the framework).
+    pub developer_key: VerifyingKey,
+    /// Log identifier for checkpoints.
+    pub log_id: [u8; 32],
+    /// Sandbox execution limits applied to every application instance.
+    pub limits: Limits,
+}
+
+struct RunningApp {
+    instance: Instance,
+    import_names: Vec<String>,
+    manifest: ReleaseManifest,
+}
+
+/// One trust domain's framework state.
+pub struct EnclaveFramework {
+    config: FrameworkConfig,
+    /// `Some` on TEE-backed domains, `None` on trust domain 0 (Figure 2:
+    /// the developer's own domain runs without secure hardware).
+    enclave: Option<Enclave>,
+    /// Key signing log checkpoints. On TEE domains this is derived inside
+    /// the enclave from the sealing secret; on domain 0 it is a plain host
+    /// key. Clients pin the corresponding public keys at deployment.
+    checkpoint_key: SigningKey,
+    /// The code-digest log (Merkle, so growth is provable in O(log n)).
+    log: MerkleLog,
+    /// Update notices, one per activated release.
+    notices: Vec<UpdateNotice>,
+    app: Option<RunningApp>,
+    app_host: Box<dyn AppHost>,
+    logical_time: u64,
+    /// §3.3 lockdown: set when a release with `locks_updates` activates;
+    /// permanently rejects further updates.
+    locked: bool,
+}
+
+impl EnclaveFramework {
+    /// Initializes a framework. `enclave` is `None` for trust domain 0.
+    pub fn new(
+        config: FrameworkConfig,
+        enclave: Option<Enclave>,
+        checkpoint_key: SigningKey,
+        app_host: Box<dyn AppHost>,
+    ) -> Self {
+        Self {
+            config,
+            enclave,
+            checkpoint_key,
+            log: MerkleLog::new(),
+            notices: Vec::new(),
+            app: None,
+            app_host,
+            logical_time: 0,
+            locked: false,
+        }
+    }
+
+    /// True once a final release has locked this deployment.
+    pub fn is_locked(&self) -> bool {
+        self.locked
+    }
+
+    /// Whether this domain has secure hardware.
+    pub fn is_attested(&self) -> bool {
+        self.enclave.is_some()
+    }
+
+    /// Current domain status snapshot.
+    pub fn status(&self) -> DomainStatus {
+        let (app_digest, app_version) = match &self.app {
+            Some(app) => (app.manifest.code_digest, app.manifest.version),
+            None => ([0u8; 32], 0),
+        };
+        DomainStatus {
+            domain_index: self.config.domain_index,
+            app_digest,
+            app_version,
+            log_size: self.log.len() as u64,
+            log_head: self.log.root(),
+            framework_measurement: framework_measurement(
+                &self.config.developer_key,
+                &self.config.app_name,
+            ),
+        }
+    }
+
+    /// Applies a signed release following the §4.1 ordering: verify the
+    /// developer signature, append the digest to the append-only log,
+    /// record the client-visible update notice, and only then activate the
+    /// new code.
+    pub fn apply_update(&mut self, release: &SignedRelease) -> Result<DomainStatus, ReleaseError> {
+        if self.locked {
+            return Err(ReleaseError::DeploymentLocked);
+        }
+        let module = release.verify(&self.config.developer_key)?;
+        if release.manifest.app_name != self.config.app_name {
+            return Err(ReleaseError::WrongApp {
+                expected: self.config.app_name.clone(),
+                got: release.manifest.app_name.clone(),
+            });
+        }
+        let current = self.app.as_ref().map(|a| a.manifest.version).unwrap_or(0);
+        if release.manifest.version <= current {
+            return Err(ReleaseError::StaleVersion {
+                current,
+                offered: release.manifest.version,
+            });
+        }
+        // Instantiate first: a module that cannot even instantiate is
+        // rejected without touching the log.
+        let instance = Instance::new(module.clone(), self.config.limits)
+            .map_err(|t| ReleaseError::InvalidModule(t.to_string()))?;
+        // 1. Log the digest (the permanent record).
+        let log_index = self.log.append(&release.manifest.log_leaf()) as u64;
+        // 2. Record the notice — visible to clients before the new code
+        //    serves any request (we hold the domain lock throughout).
+        self.logical_time += 1;
+        self.notices.push(UpdateNotice {
+            manifest: release.manifest.clone(),
+            log_index,
+            logical_time: self.logical_time,
+        });
+        // 3. Activate (and lock, if this is a final release).
+        self.app = Some(RunningApp {
+            import_names: import_names(&module),
+            instance,
+            manifest: release.manifest.clone(),
+        });
+        if release.manifest.locks_updates {
+            self.locked = true;
+        }
+        Ok(self.status())
+    }
+
+    /// Signs a checkpoint of the current log.
+    pub fn checkpoint(&mut self) -> SignedCheckpoint {
+        self.logical_time += 1;
+        SignedCheckpoint::sign(
+            CheckpointBody {
+                log_id: self.config.log_id,
+                size: self.log.len() as u64,
+                head: self.log.root(),
+                logical_time: self.logical_time,
+            },
+            &self.checkpoint_key,
+        )
+    }
+
+    /// Handles one protocol request.
+    pub fn handle(&mut self, request: Request) -> Response {
+        match request {
+            Request::Attest { nonce } => {
+                let binding = AttestationBinding {
+                    nonce,
+                    status: self.status(),
+                };
+                match &self.enclave {
+                    Some(enclave) => Response::Quote(Box::new(enclave.quote(&binding.to_wire()))),
+                    None => Response::Unattested(binding.status),
+                }
+            }
+            Request::GetStatus => Response::Status(self.status()),
+            Request::AppCall { method, payload } => match &mut self.app {
+                None => Response::AppError("no application installed".into()),
+                Some(app) => match app_call(
+                    &mut app.instance,
+                    &app.import_names,
+                    self.app_host.as_mut(),
+                    method,
+                    &payload,
+                ) {
+                    Ok(payload) => Response::AppResult { payload },
+                    Err(e) => Response::AppError(e.to_string()),
+                },
+            },
+            Request::Update { release } => match self.apply_update(&release) {
+                Ok(status) => Response::UpdateAck {
+                    log_size: status.log_size,
+                    digest: status.app_digest,
+                },
+                Err(e) => Response::UpdateRejected(e.to_string()),
+            },
+            Request::GetCheckpoint => Response::Checkpoint(self.checkpoint()),
+            Request::GetConsistency { old_size } => {
+                match self
+                    .log
+                    .prove_consistency(old_size as usize, self.log.len())
+                {
+                    Some(proof) => Response::Consistency(proof),
+                    None => Response::Error(format!(
+                        "no consistency proof from {old_size} to {}",
+                        self.log.len()
+                    )),
+                }
+            }
+            Request::GetLogEntries { from } => {
+                let from = from as usize;
+                if from > self.log.len() {
+                    return Response::Error("log range out of bounds".into());
+                }
+                let leaves = (from..self.log.len())
+                    .map(|i| self.log.leaf(i).expect("in range").to_vec())
+                    .collect();
+                Response::LogEntries(leaves)
+            }
+            Request::GetNotices { since } => Response::Notices(
+                self.notices
+                    .iter()
+                    .filter(|n| n.log_index >= since)
+                    .cloned()
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// Adapts the framework to the byte-in/byte-out service interface used by
+/// both hosting modes (TEE proxy and direct).
+pub struct FrameworkService {
+    framework: EnclaveFramework,
+}
+
+impl FrameworkService {
+    /// Wraps a framework.
+    pub fn new(framework: EnclaveFramework) -> Self {
+        Self { framework }
+    }
+
+    /// Access to the wrapped framework (tests, in-process deployments).
+    pub fn framework_mut(&mut self) -> &mut EnclaveFramework {
+        &mut self.framework
+    }
+}
+
+impl distrust_tee::host::EnclaveService for FrameworkService {
+    fn handle(&mut self, request: Vec<u8>) -> Vec<u8> {
+        let response = match Request::from_wire(&request) {
+            Ok(req) => self.framework.handle(req),
+            Err(e) => Response::Error(format!("malformed request: {e}")),
+        };
+        response.to_wire()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abi::NoImports;
+    use distrust_sandbox::guests::{counter_module, hostile_module};
+
+    fn dev() -> SigningKey {
+        SigningKey::derive(b"framework tests", b"developer")
+    }
+
+    fn fresh_framework() -> EnclaveFramework {
+        let developer = dev();
+        EnclaveFramework::new(
+            FrameworkConfig {
+                domain_index: 0,
+                app_name: "counter".into(),
+                developer_key: developer.verifying_key(),
+                log_id: [7; 32],
+                limits: Limits::default(),
+            },
+            None,
+            SigningKey::derive(b"framework tests", b"checkpoint"),
+            Box::new(NoImports),
+        )
+    }
+
+    fn release(version: u64) -> SignedRelease {
+        SignedRelease::create(
+            "counter",
+            version,
+            "notes",
+            &counter_module(version),
+            &dev(),
+        )
+    }
+
+    #[test]
+    fn install_and_call() {
+        let mut fw = fresh_framework();
+        let status = fw.apply_update(&release(1)).unwrap();
+        assert_eq!(status.app_version, 1);
+        assert_eq!(status.log_size, 1);
+        // The counter app speaks raw exports, not the ABI `handle`; an
+        // ABI call must fail gracefully, not crash the framework.
+        let resp = fw.handle(Request::AppCall {
+            method: 0,
+            payload: vec![],
+        });
+        assert!(matches!(resp, Response::AppError(_)));
+        // Framework is still alive.
+        assert!(matches!(fw.handle(Request::GetStatus), Response::Status(_)));
+    }
+
+    #[test]
+    fn update_ordering_log_then_notice_then_activate() {
+        let mut fw = fresh_framework();
+        fw.apply_update(&release(1)).unwrap();
+        fw.apply_update(&release(2)).unwrap();
+        let status = fw.status();
+        assert_eq!(status.app_version, 2);
+        assert_eq!(status.log_size, 2);
+        // Notices exist for both versions and reference the right leaves.
+        match fw.handle(Request::GetNotices { since: 0 }) {
+            Response::Notices(n) => {
+                assert_eq!(n.len(), 2);
+                assert_eq!(n[0].manifest.version, 1);
+                assert_eq!(n[0].log_index, 0);
+                assert_eq!(n[1].manifest.version, 2);
+                assert_eq!(n[1].log_index, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsigned_update_rejected_and_not_logged() {
+        let mut fw = fresh_framework();
+        fw.apply_update(&release(1)).unwrap();
+        let mallory = SigningKey::derive(b"framework tests", b"mallory");
+        let evil = SignedRelease::create("counter", 2, "evil", &counter_module(2), &mallory);
+        let resp = fw.handle(Request::Update { release: evil });
+        assert!(matches!(resp, Response::UpdateRejected(_)));
+        // The log did not grow — rejected updates leave no trace of
+        // activation (nothing ran).
+        assert_eq!(fw.status().log_size, 1);
+        assert_eq!(fw.status().app_version, 1);
+    }
+
+    #[test]
+    fn stale_and_replayed_versions_rejected() {
+        let mut fw = fresh_framework();
+        fw.apply_update(&release(1)).unwrap();
+        fw.apply_update(&release(2)).unwrap();
+        assert!(matches!(
+            fw.apply_update(&release(2)),
+            Err(ReleaseError::StaleVersion { .. })
+        ));
+        assert!(matches!(
+            fw.apply_update(&release(1)),
+            Err(ReleaseError::StaleVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_app_name_rejected() {
+        let mut fw = fresh_framework();
+        let other = SignedRelease::create("other-app", 1, "", &counter_module(1), &dev());
+        assert!(matches!(
+            fw.apply_update(&other),
+            Err(ReleaseError::WrongApp { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_update_is_activated_but_contained() {
+        // A signed-but-malicious module DOES get activated (the framework
+        // cannot judge semantics — §3.3 non-goals) but cannot escape the
+        // sandbox: its traps surface as AppErrors and the framework state
+        // (including the log) stays intact.
+        let mut fw = fresh_framework();
+        fw.apply_update(&release(1)).unwrap();
+        let evil = SignedRelease::create("counter", 2, "totally benign", &hostile_module(), &dev());
+        fw.apply_update(&evil).unwrap();
+        let resp = fw.handle(Request::AppCall {
+            method: 0,
+            payload: vec![],
+        });
+        assert!(matches!(resp, Response::AppError(_)));
+        // The evidence trail survives: both digests in the log.
+        assert_eq!(fw.status().log_size, 2);
+        match fw.handle(Request::GetLogEntries { from: 0 }) {
+            Response::LogEntries(leaves) => assert_eq!(leaves.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoints_sign_current_log() {
+        let mut fw = fresh_framework();
+        fw.apply_update(&release(1)).unwrap();
+        let cp = fw.checkpoint();
+        assert_eq!(cp.body.size, 1);
+        assert_eq!(cp.body.head, fw.status().log_head);
+        let key = SigningKey::derive(b"framework tests", b"checkpoint").verifying_key();
+        assert!(cp.verify(&key));
+        // Logical time advances.
+        let cp2 = fw.checkpoint();
+        assert!(cp2.body.logical_time > cp.body.logical_time);
+    }
+
+    #[test]
+    fn consistency_proofs_served() {
+        let mut fw = fresh_framework();
+        fw.apply_update(&release(1)).unwrap();
+        let head1 = fw.status().log_head;
+        fw.apply_update(&release(2)).unwrap();
+        let head2 = fw.status().log_head;
+        match fw.handle(Request::GetConsistency { old_size: 1 }) {
+            Response::Consistency(p) => assert!(p.verify(&head1, &head2)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            fw.handle(Request::GetConsistency { old_size: 5 }),
+            Response::Error(_)
+        ));
+    }
+
+    #[test]
+    fn attest_binds_nonce_and_status_unattested_domain() {
+        let mut fw = fresh_framework();
+        fw.apply_update(&release(1)).unwrap();
+        match fw.handle(Request::Attest { nonce: [9; 32] }) {
+            Response::Unattested(status) => {
+                assert_eq!(status.app_version, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn app_state_reset_on_update_is_documented_behaviour() {
+        // Current TEEs cannot migrate state across code changes (§4.1);
+        // our framework matches: each release starts a fresh instance.
+        let mut fw = fresh_framework();
+        fw.apply_update(&release(1)).unwrap();
+        fw.apply_update(&release(2)).unwrap();
+        let status = fw.status();
+        assert_eq!(status.app_version, 2);
+    }
+
+    #[test]
+    fn service_round_trips_bytes() {
+        use distrust_tee::host::EnclaveService;
+        let mut svc = FrameworkService::new(fresh_framework());
+        let resp_bytes = svc.handle(Request::GetStatus.to_wire());
+        assert!(matches!(
+            Response::from_wire(&resp_bytes),
+            Ok(Response::Status(_))
+        ));
+        // Garbage in, error frame out.
+        let resp_bytes = svc.handle(vec![0xff, 0xfe]);
+        assert!(matches!(
+            Response::from_wire(&resp_bytes),
+            Ok(Response::Error(_))
+        ));
+    }
+}

@@ -1,0 +1,408 @@
+//! The client ↔ trust-domain wire protocol.
+//!
+//! Every interaction in Figure 2 — audits, application calls, update
+//! pushes, log queries — is one of these explicit message types, encoded
+//! with the deterministic codec (hashes and signatures must be reproducible
+//! on both ends).
+
+use crate::manifest::{ReleaseManifest, SignedRelease};
+use distrust_log::checkpoint::SignedCheckpoint;
+use distrust_log::merkle::ConsistencyProof;
+use distrust_tee::attest::Quote;
+use distrust_wire::codec::{decode_seq, encode_seq, Decode, DecodeError, Encode};
+use distrust_wire::wire_struct;
+
+/// A request to a trust domain.
+///
+/// `Update` dwarfs the other variants (it carries whole module bytes);
+/// requests are built once and serialized immediately, so boxing would
+/// only add indirection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(clippy::large_enum_variant)]
+pub enum Request {
+    /// Request an attestation quote binding `nonce` (freshness) together
+    /// with the domain's current log head and app digest.
+    Attest {
+        /// Client-chosen freshness nonce.
+        nonce: [u8; 32],
+    },
+    /// Request the domain's unauthenticated status snapshot.
+    GetStatus,
+    /// Invoke the application.
+    AppCall {
+        /// Method selector passed to the guest's `handle` export.
+        method: u64,
+        /// Opaque payload copied into the guest inbox.
+        payload: Vec<u8>,
+    },
+    /// Push a developer-signed code update (Figure 2, left).
+    Update {
+        /// The signed release.
+        release: SignedRelease,
+    },
+    /// Request a signed checkpoint of the code-digest log.
+    GetCheckpoint,
+    /// Request a consistency proof from `old_size` to the current log.
+    GetConsistency {
+        /// Size the client last verified.
+        old_size: u64,
+    },
+    /// Fetch log leaves `[from, current)` for replay/inspection.
+    GetLogEntries {
+        /// First index to return.
+        from: u64,
+    },
+    /// Fetch update notices issued at or after `since` (log index).
+    GetNotices {
+        /// First notice index of interest.
+        since: u64,
+    },
+}
+
+impl Encode for Request {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Attest { nonce } => {
+                0u8.encode(out);
+                nonce.encode(out);
+            }
+            Request::GetStatus => 1u8.encode(out),
+            Request::AppCall { method, payload } => {
+                2u8.encode(out);
+                method.encode(out);
+                payload.encode(out);
+            }
+            Request::Update { release } => {
+                3u8.encode(out);
+                release.encode(out);
+            }
+            Request::GetCheckpoint => 4u8.encode(out),
+            Request::GetConsistency { old_size } => {
+                5u8.encode(out);
+                old_size.encode(out);
+            }
+            Request::GetLogEntries { from } => {
+                6u8.encode(out);
+                from.encode(out);
+            }
+            Request::GetNotices { since } => {
+                7u8.encode(out);
+                since.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for Request {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(input)? {
+            0 => Request::Attest {
+                nonce: Decode::decode(input)?,
+            },
+            1 => Request::GetStatus,
+            2 => Request::AppCall {
+                method: Decode::decode(input)?,
+                payload: Decode::decode(input)?,
+            },
+            3 => Request::Update {
+                release: Decode::decode(input)?,
+            },
+            4 => Request::GetCheckpoint,
+            5 => Request::GetConsistency {
+                old_size: Decode::decode(input)?,
+            },
+            6 => Request::GetLogEntries {
+                from: Decode::decode(input)?,
+            },
+            7 => Request::GetNotices {
+                since: Decode::decode(input)?,
+            },
+            other => return Err(DecodeError::InvalidTag(other)),
+        })
+    }
+}
+
+/// A domain's status snapshot (authenticated only when carried inside
+/// attestation `user_data`; the plain response is advisory).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DomainStatus {
+    /// Index of this domain within the deployment.
+    pub domain_index: u32,
+    /// Digest of the currently running application module.
+    pub app_digest: [u8; 32],
+    /// Version of the currently running application.
+    pub app_version: u64,
+    /// Number of entries in the code-digest log.
+    pub log_size: u64,
+    /// Merkle root of the code-digest log.
+    pub log_head: [u8; 32],
+    /// Measurement of the framework itself (what the TEE attests).
+    pub framework_measurement: [u8; 32],
+}
+
+wire_struct!(DomainStatus {
+    domain_index: u32,
+    app_digest: [u8; 32],
+    app_version: u64,
+    log_size: u64,
+    log_head: [u8; 32],
+    framework_measurement: [u8; 32],
+});
+
+/// The attestation binding: what the framework packs into quote
+/// `user_data` so the client can tie nonce + status together.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttestationBinding {
+    /// Echo of the client's nonce.
+    pub nonce: [u8; 32],
+    /// The status snapshot being attested.
+    pub status: DomainStatus,
+}
+
+wire_struct!(AttestationBinding {
+    nonce: [u8; 32],
+    status: DomainStatus,
+});
+
+/// A notice that an update was applied (issued *before* the new code
+/// serves its first request, per §4.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpdateNotice {
+    /// Manifest of the release that was activated.
+    pub manifest: ReleaseManifest,
+    /// Index of the release's leaf in the code-digest log.
+    pub log_index: u64,
+    /// Domain-local logical time of activation.
+    pub logical_time: u64,
+}
+
+wire_struct!(UpdateNotice {
+    manifest: ReleaseManifest,
+    log_index: u64,
+    logical_time: u64,
+});
+
+/// A response from a trust domain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Attestation quote (TEE-backed domains).
+    Quote(Box<Quote>),
+    /// Status signed by nothing — returned by trust domain 0, which has no
+    /// secure hardware (Figure 2). Clients treat it as advisory.
+    Unattested(DomainStatus),
+    /// Status snapshot.
+    Status(DomainStatus),
+    /// Application call result.
+    AppResult {
+        /// Bytes the guest wrote to its outbox.
+        payload: Vec<u8>,
+    },
+    /// Application call failed (trap, oversized payload, …).
+    AppError(String),
+    /// Update accepted and activated.
+    UpdateAck {
+        /// New log size after appending the release.
+        log_size: u64,
+        /// Digest of the now-running code.
+        digest: [u8; 32],
+    },
+    /// Update rejected (bad signature, stale version, …).
+    UpdateRejected(String),
+    /// Signed log checkpoint.
+    Checkpoint(SignedCheckpoint),
+    /// Consistency proof.
+    Consistency(ConsistencyProof),
+    /// Raw log leaves.
+    LogEntries(Vec<Vec<u8>>),
+    /// Update notices.
+    Notices(Vec<UpdateNotice>),
+    /// Generic error.
+    Error(String),
+}
+
+impl Encode for Response {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Response::Quote(q) => {
+                0u8.encode(out);
+                q.encode(out);
+            }
+            Response::Unattested(s) => {
+                1u8.encode(out);
+                s.encode(out);
+            }
+            Response::Status(s) => {
+                2u8.encode(out);
+                s.encode(out);
+            }
+            Response::AppResult { payload } => {
+                3u8.encode(out);
+                payload.encode(out);
+            }
+            Response::AppError(e) => {
+                4u8.encode(out);
+                e.encode(out);
+            }
+            Response::UpdateAck { log_size, digest } => {
+                5u8.encode(out);
+                log_size.encode(out);
+                digest.encode(out);
+            }
+            Response::UpdateRejected(e) => {
+                6u8.encode(out);
+                e.encode(out);
+            }
+            Response::Checkpoint(c) => {
+                7u8.encode(out);
+                c.encode(out);
+            }
+            Response::Consistency(p) => {
+                8u8.encode(out);
+                p.old_size.encode(out);
+                p.new_size.encode(out);
+                encode_seq(&p.path, out);
+            }
+            Response::LogEntries(entries) => {
+                9u8.encode(out);
+                encode_seq(entries, out);
+            }
+            Response::Notices(notices) => {
+                10u8.encode(out);
+                encode_seq(notices, out);
+            }
+            Response::Error(e) => {
+                11u8.encode(out);
+                e.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for Response {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(input)? {
+            0 => Response::Quote(Box::new(Decode::decode(input)?)),
+            1 => Response::Unattested(Decode::decode(input)?),
+            2 => Response::Status(Decode::decode(input)?),
+            3 => Response::AppResult {
+                payload: Decode::decode(input)?,
+            },
+            4 => Response::AppError(Decode::decode(input)?),
+            5 => Response::UpdateAck {
+                log_size: Decode::decode(input)?,
+                digest: Decode::decode(input)?,
+            },
+            6 => Response::UpdateRejected(Decode::decode(input)?),
+            7 => Response::Checkpoint(Decode::decode(input)?),
+            8 => Response::Consistency(ConsistencyProof {
+                old_size: Decode::decode(input)?,
+                new_size: Decode::decode(input)?,
+                path: decode_seq(input)?,
+            }),
+            9 => Response::LogEntries(decode_seq(input)?),
+            10 => Response::Notices(decode_seq(input)?),
+            11 => Response::Error(Decode::decode(input)?),
+            other => return Err(DecodeError::InvalidTag(other)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distrust_crypto::schnorr::SigningKey;
+    use distrust_sandbox::guests::counter_module;
+
+    fn status() -> DomainStatus {
+        DomainStatus {
+            domain_index: 2,
+            app_digest: [1; 32],
+            app_version: 3,
+            log_size: 4,
+            log_head: [5; 32],
+            framework_measurement: [6; 32],
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let dev = SigningKey::derive(b"proto", b"dev");
+        let release =
+            crate::manifest::SignedRelease::create("app", 1, "", &counter_module(1), &dev);
+        let requests = vec![
+            Request::Attest { nonce: [9; 32] },
+            Request::GetStatus,
+            Request::AppCall {
+                method: 7,
+                payload: b"payload".to_vec(),
+            },
+            Request::Update { release },
+            Request::GetCheckpoint,
+            Request::GetConsistency { old_size: 3 },
+            Request::GetLogEntries { from: 1 },
+            Request::GetNotices { since: 2 },
+        ];
+        for req in requests {
+            let wire = req.to_wire();
+            assert_eq!(Request::from_wire(&wire), Ok(req));
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = vec![
+            Response::Unattested(status()),
+            Response::Status(status()),
+            Response::AppResult {
+                payload: vec![1, 2, 3],
+            },
+            Response::AppError("trap".into()),
+            Response::UpdateAck {
+                log_size: 2,
+                digest: [3; 32],
+            },
+            Response::UpdateRejected("stale".into()),
+            Response::Consistency(ConsistencyProof {
+                old_size: 1,
+                new_size: 2,
+                path: vec![[7; 32]],
+            }),
+            Response::LogEntries(vec![b"leaf".to_vec()]),
+            Response::Notices(vec![UpdateNotice {
+                manifest: ReleaseManifest {
+                    app_name: "app".into(),
+                    version: 2,
+                    code_digest: [8; 32],
+                    notes: "notes".into(),
+                    locks_updates: false,
+                },
+                log_index: 1,
+                logical_time: 10,
+            }]),
+            Response::Error("nope".into()),
+        ];
+        for resp in responses {
+            let wire = resp.to_wire();
+            assert_eq!(Response::from_wire(&wire), Ok(resp));
+        }
+    }
+
+    #[test]
+    fn binding_round_trip() {
+        let binding = AttestationBinding {
+            nonce: [0xaa; 32],
+            status: status(),
+        };
+        assert_eq!(
+            AttestationBinding::from_wire(&binding.to_wire()),
+            Ok(binding)
+        );
+    }
+
+    #[test]
+    fn malformed_input_rejected() {
+        assert!(Request::from_wire(&[99]).is_err());
+        assert!(Response::from_wire(&[99]).is_err());
+        assert!(Request::from_wire(&[]).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Direct (non-TEE) service hosting for trust domain 0.
+//!
+//! Figure 2: "Trust domain 0 is run by the application owner without any
+//! secure hardware." It runs the same framework code, but clients reach it
+//! over a single socket — no enclave proxy hop — and its attestation
+//! response is [`crate::protocol::Response::Unattested`].
+
+use distrust_tee::host::EnclaveService;
+use distrust_wire::frame::{read_frame, write_frame};
+use parking_lot::Mutex;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running single-socket service host.
+pub struct DirectHost {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl DirectHost {
+    /// Spawns the service on an ephemeral loopback port.
+    pub fn spawn<S: EnclaveService>(service: S) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let service = Arc::new(Mutex::new(service));
+        let stop_a = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("direct-host-{addr}"))
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_a.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(mut conn) = conn else { break };
+                    let _ = conn.set_nodelay(true);
+                    let service = Arc::clone(&service);
+                    let stop_c = Arc::clone(&stop_a);
+                    let _ = std::thread::Builder::new()
+                        .name("direct-host-conn".to_string())
+                        .spawn(move || loop {
+                            if stop_c.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let Ok(request) = read_frame(&mut conn) else {
+                                break;
+                            };
+                            let response = service.lock().handle(request);
+                            if write_frame(&mut conn, &response).is_err() {
+                                break;
+                            }
+                        });
+                }
+            })?;
+        Ok(Self {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept loop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Ok(mut s) = TcpStream::connect(self.addr) {
+            let _ = s.write_all(&[0]);
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for DirectHost {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distrust_tee::host::EnclaveClient;
+
+    #[test]
+    fn single_socket_round_trip() {
+        let mut host = DirectHost::spawn(|req: Vec<u8>| {
+            let mut r = req;
+            r.push(0xaa);
+            r
+        })
+        .unwrap();
+        let mut client = EnclaveClient::connect(host.addr()).unwrap();
+        assert_eq!(client.exchange(b"hi").unwrap(), vec![b'h', b'i', 0xaa]);
+        host.shutdown();
+    }
+
+    #[test]
+    fn sequential_state() {
+        let mut n = 0u8;
+        let mut host = DirectHost::spawn(move |_req: Vec<u8>| {
+            n = n.wrapping_add(1);
+            vec![n]
+        })
+        .unwrap();
+        let mut client = EnclaveClient::connect(host.addr()).unwrap();
+        assert_eq!(client.exchange(b"").unwrap(), vec![1]);
+        assert_eq!(client.exchange(b"").unwrap(), vec![2]);
+        host.shutdown();
+    }
+}

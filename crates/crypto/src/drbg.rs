@@ -1,0 +1,179 @@
+//! HMAC-DRBG (NIST SP 800-90A) over SHA-256.
+//!
+//! Provides deterministic randomness for reproducible tests, deterministic
+//! Schnorr nonces (RFC 6979 style), and the simulated TEE's internal entropy
+//! source. Implements [`rand::RngCore`] so it can be plugged into any API in
+//! the workspace that takes an RNG.
+
+use crate::hmac::HmacSha256;
+use rand::{CryptoRng, RngCore};
+
+/// Deterministic random bit generator seeded from arbitrary entropy.
+pub struct HmacDrbg {
+    key: [u8; 32],
+    value: [u8; 32],
+    /// Number of `generate` calls since instantiation/reseed.
+    reseed_counter: u64,
+}
+
+impl HmacDrbg {
+    /// Instantiates the DRBG from seed material and an optional
+    /// personalization string (domain separation between consumers).
+    pub fn new(entropy: &[u8], personalization: &[u8]) -> Self {
+        let mut drbg = Self {
+            key: [0u8; 32],
+            value: [1u8; 32],
+            reseed_counter: 1,
+        };
+        drbg.update(Some(&[entropy, personalization]));
+        drbg
+    }
+
+    /// Mixes additional entropy into the state.
+    pub fn reseed(&mut self, entropy: &[u8]) {
+        self.update(Some(&[entropy]));
+        self.reseed_counter = 1;
+    }
+
+    /// Fills `out` with pseudorandom bytes.
+    pub fn generate(&mut self, out: &mut [u8]) {
+        let mut filled = 0;
+        while filled < out.len() {
+            let mut mac = HmacSha256::new(&self.key);
+            mac.update(&self.value);
+            self.value = mac.finalize();
+            let take = (out.len() - filled).min(32);
+            out[filled..filled + take].copy_from_slice(&self.value[..take]);
+            filled += take;
+        }
+        self.update(None);
+        self.reseed_counter += 1;
+    }
+
+    /// The HMAC-DRBG update function.
+    fn update(&mut self, provided: Option<&[&[u8]]>) {
+        let mut mac = HmacSha256::new(&self.key);
+        mac.update(&self.value);
+        mac.update(&[0x00]);
+        if let Some(parts) = provided {
+            for p in parts {
+                mac.update(p);
+            }
+        }
+        self.key = mac.finalize();
+        let mut mac = HmacSha256::new(&self.key);
+        mac.update(&self.value);
+        self.value = mac.finalize();
+
+        if let Some(parts) = provided {
+            let mut mac = HmacSha256::new(&self.key);
+            mac.update(&self.value);
+            mac.update(&[0x01]);
+            for p in parts {
+                mac.update(p);
+            }
+            self.key = mac.finalize();
+            let mut mac = HmacSha256::new(&self.key);
+            mac.update(&self.value);
+            self.value = mac.finalize();
+        }
+    }
+}
+
+impl RngCore for HmacDrbg {
+    fn next_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.generate(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.generate(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.generate(dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.generate(dest);
+        Ok(())
+    }
+}
+
+// The DRBG is a cryptographically secure PRG given a high-entropy seed.
+impl CryptoRng for HmacDrbg {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = HmacDrbg::new(b"seed material", b"test");
+        let mut b = HmacDrbg::new(b"seed material", b"test");
+        let mut out_a = [0u8; 100];
+        let mut out_b = [0u8; 100];
+        a.generate(&mut out_a);
+        b.generate(&mut out_b);
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn personalization_separates_streams() {
+        let mut a = HmacDrbg::new(b"seed", b"domain-a");
+        let mut b = HmacDrbg::new(b"seed", b"domain-b");
+        let mut out_a = [0u8; 32];
+        let mut out_b = [0u8; 32];
+        a.generate(&mut out_a);
+        b.generate(&mut out_b);
+        assert_ne!(out_a, out_b);
+    }
+
+    #[test]
+    fn successive_outputs_differ() {
+        let mut drbg = HmacDrbg::new(b"seed", b"");
+        let mut first = [0u8; 32];
+        let mut second = [0u8; 32];
+        drbg.generate(&mut first);
+        drbg.generate(&mut second);
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn reseed_changes_stream() {
+        let mut a = HmacDrbg::new(b"seed", b"");
+        let mut b = HmacDrbg::new(b"seed", b"");
+        b.reseed(b"extra entropy");
+        let mut out_a = [0u8; 32];
+        let mut out_b = [0u8; 32];
+        a.generate(&mut out_a);
+        b.generate(&mut out_b);
+        assert_ne!(out_a, out_b);
+    }
+
+    #[test]
+    fn rng_core_interface() {
+        let mut drbg = HmacDrbg::new(b"seed", b"rngcore");
+        let x = drbg.next_u64();
+        let y = drbg.next_u64();
+        assert_ne!(x, y, "consecutive u64 draws should differ");
+        let mut buf = [0u8; 7];
+        drbg.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 7]);
+    }
+
+    #[test]
+    fn odd_length_requests() {
+        let mut drbg = HmacDrbg::new(b"seed", b"");
+        let mut buf = vec![0u8; 33];
+        drbg.generate(&mut buf);
+        // 33 bytes spans two HMAC blocks; both halves must be filled.
+        assert!(buf[..32].iter().any(|&b| b != 0));
+        // The last byte comes from the second block — statistically nonzero,
+        // but assert only on structure: request length honoured.
+        assert_eq!(buf.len(), 33);
+    }
+}

@@ -1,0 +1,239 @@
+//! Schnorr signatures over BLS12-381 G1.
+//!
+//! These are the workhorse signatures of the framework substrate — cheaper
+//! than BLS (no pairing at verification) and used wherever the paper needs a
+//! plain signature rather than a threshold one:
+//!
+//! * the **developer update key** sealed into each TEE (§4.1: "each
+//!   subsequent update needs to be accompanied by a signature that verifies
+//!   under the original public key"),
+//! * **vendor attestation roots** and device certificates in the simulated
+//!   secure hardware,
+//! * **signed log checkpoints** from each trust domain.
+//!
+//! Nonces are deterministic (RFC 6979 flavour, via HMAC-DRBG keyed on the
+//! secret key and message), so signing never consumes ambient randomness.
+
+use crate::drbg::HmacDrbg;
+use crate::fr::Fr;
+use crate::g1::{G1Affine, G1Projective};
+use crate::sha256::Sha256;
+
+/// Domain tag bound into every challenge hash.
+const CHALLENGE_DST: &[u8] = b"distrust/schnorr/v1";
+
+/// A Schnorr secret key.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SigningKey(Fr);
+
+/// A Schnorr public key (`sk·g₁`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VerifyingKey(pub G1Affine);
+
+/// A Schnorr signature `(R, s)` with `s = k + e·sk`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SchnorrSignature {
+    /// Commitment point `R = k·g₁`.
+    pub r: G1Affine,
+    /// Response scalar.
+    pub s: Fr,
+}
+
+impl core::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("SigningKey(<redacted>)")
+    }
+}
+
+impl SigningKey {
+    /// Generates a fresh key.
+    pub fn generate<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
+        Self(Fr::random_nonzero(rng))
+    }
+
+    /// Deterministically derives a key from seed material.
+    pub fn derive(seed: &[u8], context: &[u8]) -> Self {
+        let mut drbg = HmacDrbg::new(seed, context);
+        Self(Fr::random_nonzero(&mut drbg))
+    }
+
+    /// Builds a key from a raw scalar (share-based identities).
+    pub fn from_scalar(s: Fr) -> Option<Self> {
+        if s.is_zero() {
+            None
+        } else {
+            Some(Self(s))
+        }
+    }
+
+    /// The corresponding public key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        VerifyingKey(G1Projective::generator().mul_scalar(&self.0).to_affine())
+    }
+
+    /// Signs `message` deterministically.
+    pub fn sign(&self, message: &[u8]) -> SchnorrSignature {
+        // Deterministic nonce: DRBG keyed on (sk, message).
+        let sk_bytes = self.0.to_bytes_be();
+        let mut drbg = HmacDrbg::new(&sk_bytes, b"distrust/schnorr/nonce");
+        drbg.reseed(message);
+        let k = Fr::random_nonzero(&mut drbg);
+        let r = G1Projective::generator().mul_scalar(&k).to_affine();
+        let e = challenge(&r, &self.verifying_key(), message);
+        let s = k.add(&e.mul(&self.0));
+        SchnorrSignature { r, s }
+    }
+}
+
+impl VerifyingKey {
+    /// Verifies `sig` over `message`: `s·g₁ == R + e·pk`.
+    pub fn verify(&self, message: &[u8], sig: &SchnorrSignature) -> bool {
+        if self.0.infinity || sig.r.infinity {
+            return false;
+        }
+        if !sig.r.is_on_curve() || !self.0.is_on_curve() {
+            return false;
+        }
+        let e = challenge(&sig.r, self, message);
+        let lhs = G1Projective::generator().mul_scalar(&sig.s);
+        let rhs = G1Projective::from(sig.r).add(&G1Projective::from(self.0).mul_scalar(&e));
+        lhs == rhs
+    }
+
+    /// Compressed encoding (48 bytes).
+    pub fn to_bytes(&self) -> [u8; 48] {
+        self.0.to_compressed()
+    }
+
+    /// Decoding with validation.
+    pub fn from_bytes(bytes: &[u8; 48]) -> Option<Self> {
+        G1Affine::from_compressed(bytes).map(VerifyingKey)
+    }
+}
+
+impl SchnorrSignature {
+    /// Wire encoding: compressed `R` (48 bytes) || `s` (32 bytes).
+    pub fn to_bytes(&self) -> [u8; 80] {
+        let mut out = [0u8; 80];
+        out[..48].copy_from_slice(&self.r.to_compressed());
+        out[48..].copy_from_slice(&self.s.to_bytes_be());
+        out
+    }
+
+    /// Decoding with validation.
+    pub fn from_bytes(bytes: &[u8; 80]) -> Option<Self> {
+        let mut rb = [0u8; 48];
+        rb.copy_from_slice(&bytes[..48]);
+        let mut sb = [0u8; 32];
+        sb.copy_from_slice(&bytes[48..]);
+        Some(Self {
+            r: G1Affine::from_compressed(&rb)?,
+            s: Fr::from_bytes_be(&sb)?,
+        })
+    }
+}
+
+/// Fiat–Shamir challenge `e = H(dst || R || pk || m)` mapped into Fr.
+fn challenge(r: &G1Affine, pk: &VerifyingKey, message: &[u8]) -> Fr {
+    let mut h1 = Sha256::new();
+    h1.update(CHALLENGE_DST);
+    h1.update(&[0x01]);
+    h1.update(&r.to_compressed());
+    h1.update(&pk.to_bytes());
+    h1.update(message);
+    let d1 = h1.finalize();
+    let mut h2 = Sha256::new();
+    h2.update(CHALLENGE_DST);
+    h2.update(&[0x02]);
+    h2.update(&r.to_compressed());
+    h2.update(&pk.to_bytes());
+    h2.update(message);
+    let d2 = h2.finalize();
+    let mut wide = [0u8; 64];
+    wide[..32].copy_from_slice(&d1);
+    wide[32..].copy_from_slice(&d2);
+    Fr::from_hash_wide(&wide)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keypair(tag: &[u8]) -> (SigningKey, VerifyingKey) {
+        let sk = SigningKey::derive(b"schnorr test seed", tag);
+        let vk = sk.verifying_key();
+        (sk, vk)
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let (sk, vk) = keypair(b"a");
+        let sig = sk.sign(b"update manifest v2");
+        assert!(vk.verify(b"update manifest v2", &sig));
+    }
+
+    #[test]
+    fn deterministic_signing() {
+        let (sk, _) = keypair(b"det");
+        assert_eq!(sk.sign(b"same message"), sk.sign(b"same message"));
+        assert_ne!(sk.sign(b"message a"), sk.sign(b"message b"));
+    }
+
+    #[test]
+    fn wrong_message_or_key_rejected() {
+        let (sk, vk) = keypair(b"a");
+        let (_, vk2) = keypair(b"b");
+        let sig = sk.sign(b"genuine");
+        assert!(!vk.verify(b"forged", &sig));
+        assert!(!vk2.verify(b"genuine", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let (sk, vk) = keypair(b"t");
+        let mut sig = sk.sign(b"msg");
+        sig.s = sig.s.add(&Fr::ONE);
+        assert!(!vk.verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn signature_bytes_round_trip() {
+        let (sk, vk) = keypair(b"ser");
+        let sig = sk.sign(b"wire format");
+        let bytes = sig.to_bytes();
+        let back = SchnorrSignature::from_bytes(&bytes).unwrap();
+        assert_eq!(back, sig);
+        assert!(vk.verify(b"wire format", &back));
+    }
+
+    #[test]
+    fn key_bytes_round_trip() {
+        let (_, vk) = keypair(b"kb");
+        assert_eq!(VerifyingKey::from_bytes(&vk.to_bytes()), Some(vk));
+    }
+
+    #[test]
+    fn malformed_signature_bytes_rejected() {
+        assert!(SchnorrSignature::from_bytes(&[0u8; 80]).is_none());
+        let (sk, _) = keypair(b"mal");
+        let mut bytes = sk.sign(b"x").to_bytes();
+        bytes[79] = 0xff; // push s out of canonical range likelihood
+        bytes[48] = 0xff;
+        assert!(SchnorrSignature::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn signature_does_not_transfer_between_messages() {
+        // Replaying (R, s) for a different message fails because the
+        // challenge binds the message.
+        let (sk, vk) = keypair(b"bind");
+        let sig = sk.sign(b"pay alice 1 token");
+        assert!(!vk.verify(b"pay mallory 1000 tokens", &sig));
+    }
+
+    #[test]
+    fn from_scalar_rejects_zero() {
+        assert!(SigningKey::from_scalar(Fr::ZERO).is_none());
+        assert!(SigningKey::from_scalar(Fr::ONE).is_some());
+    }
+}

@@ -1,0 +1,641 @@
+//! Client/third-party auditing across trust domains.
+//!
+//! §3.3: "the client can check that the digests match across all n trust
+//! domains, ensuring that if at least one trust domain is honest … the
+//! client will receive a digest of the correct code."
+//!
+//! The auditor tracks the latest verified checkpoint per domain, verifies
+//! that each new checkpoint extends the previous one (consistency), verifies
+//! signatures, and cross-checks digest histories across domains. Outcomes
+//! are explicit: [`AuditOutcome::Consistent`], or a [`Misbehavior`] value
+//! carrying the strongest available evidence.
+
+use crate::checkpoint::{EquivocationProof, SignedCheckpoint};
+use crate::merkle::ConsistencyProof;
+use distrust_crypto::schnorr::VerifyingKey;
+use distrust_crypto::sha256::Digest;
+use std::collections::HashMap;
+
+/// Evidence of misbehavior discovered during an audit.
+#[derive(Clone, Debug)]
+pub enum Misbehavior {
+    /// A domain signed two conflicting views of the same log prefix —
+    /// transferable cryptographic proof against that domain.
+    Equivocation {
+        /// Index of the offending domain.
+        domain: u32,
+        /// The proof object third parties can verify.
+        proof: EquivocationProof,
+    },
+    /// A checkpoint carried an invalid signature.
+    BadSignature {
+        /// Index of the offending domain.
+        domain: u32,
+        /// The rejected checkpoint.
+        checkpoint: SignedCheckpoint,
+    },
+    /// A new checkpoint failed the consistency proof against the trusted
+    /// prior checkpoint (history rewrite or truncation).
+    InconsistentGrowth {
+        /// Index of the offending domain.
+        domain: u32,
+        /// The previously trusted checkpoint.
+        trusted: SignedCheckpoint,
+        /// The checkpoint that failed to extend it.
+        offered: SignedCheckpoint,
+    },
+    /// A checkpoint went backwards (smaller size than already verified).
+    Rollback {
+        /// Index of the offending domain.
+        domain: u32,
+        /// Previously verified size.
+        trusted_size: u64,
+        /// Offered (smaller) size.
+        offered_size: u64,
+    },
+    /// Domains disagree about the digest history. Not attributable to a
+    /// single domain without more evidence, but proves at least one of the
+    /// quoted domains is lying (the paper's detection guarantee).
+    CrossDomainDivergence {
+        /// The conflicting signed checkpoints, by domain index.
+        views: Vec<(u32, SignedCheckpoint)>,
+    },
+}
+
+/// Result of feeding an audit round.
+#[derive(Clone, Debug)]
+pub enum AuditOutcome {
+    /// Everything verified and all domains agree.
+    Consistent,
+    /// Evidence of misbehavior (strongest form available).
+    Misbehavior(Box<Misbehavior>),
+}
+
+impl AuditOutcome {
+    /// True when the audit found no problems.
+    pub fn is_consistent(&self) -> bool {
+        matches!(self, AuditOutcome::Consistent)
+    }
+}
+
+/// Per-domain audit state: the log public key and the latest verified
+/// checkpoint with all checkpoints ever accepted (for equivocation hunting).
+struct DomainState {
+    key: VerifyingKey,
+    latest: Option<SignedCheckpoint>,
+    /// All correctly signed checkpoints seen, by size — equivocation is
+    /// detected by finding two different heads at one size.
+    seen: HashMap<u64, SignedCheckpoint>,
+}
+
+/// A stateful cross-domain log auditor.
+pub struct Auditor {
+    domains: Vec<DomainState>,
+}
+
+impl Auditor {
+    /// Creates an auditor for `keys[i]` = domain `i`'s log key.
+    pub fn new(keys: Vec<VerifyingKey>) -> Self {
+        Self {
+            domains: keys
+                .into_iter()
+                .map(|key| DomainState {
+                    key,
+                    latest: None,
+                    seen: HashMap::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of domains tracked.
+    pub fn domain_count(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// The latest verified checkpoint for a domain.
+    pub fn latest(&self, domain: u32) -> Option<&SignedCheckpoint> {
+        self.domains.get(domain as usize)?.latest.as_ref()
+    }
+
+    /// Ingests one signed checkpoint from `domain`, with a consistency
+    /// proof against the previously verified checkpoint when one exists
+    /// (`proof` may be `None` for a first observation).
+    pub fn observe(
+        &mut self,
+        domain: u32,
+        checkpoint: SignedCheckpoint,
+        proof: Option<&ConsistencyProof>,
+    ) -> AuditOutcome {
+        let Some(state) = self.domains.get_mut(domain as usize) else {
+            return AuditOutcome::Misbehavior(Box::new(Misbehavior::BadSignature {
+                domain,
+                checkpoint,
+            }));
+        };
+        if !checkpoint.verify(&state.key) {
+            return AuditOutcome::Misbehavior(Box::new(Misbehavior::BadSignature {
+                domain,
+                checkpoint,
+            }));
+        }
+        // Equivocation hunt: same size, different head, both signed.
+        if let Some(prior) = state.seen.get(&checkpoint.body.size) {
+            if prior.body.head != checkpoint.body.head
+                && prior.body.log_id == checkpoint.body.log_id
+            {
+                let proof = EquivocationProof {
+                    a: prior.clone(),
+                    b: checkpoint.clone(),
+                };
+                return AuditOutcome::Misbehavior(Box::new(Misbehavior::Equivocation {
+                    domain,
+                    proof,
+                }));
+            }
+        }
+        if let Some(trusted) = &state.latest {
+            if checkpoint.body.size < trusted.body.size {
+                return AuditOutcome::Misbehavior(Box::new(Misbehavior::Rollback {
+                    domain,
+                    trusted_size: trusted.body.size,
+                    offered_size: checkpoint.body.size,
+                }));
+            }
+            if checkpoint.body.size == trusted.body.size {
+                // Same size: heads must match (the equivocation check above
+                // already caught the conflicting case for stored sizes).
+                if checkpoint.body.head != trusted.body.head {
+                    let proof = EquivocationProof {
+                        a: trusted.clone(),
+                        b: checkpoint.clone(),
+                    };
+                    return AuditOutcome::Misbehavior(Box::new(Misbehavior::Equivocation {
+                        domain,
+                        proof,
+                    }));
+                }
+            } else {
+                // Growth requires a valid consistency proof.
+                let ok = match proof {
+                    Some(p) => {
+                        p.old_size == trusted.body.size
+                            && p.new_size == checkpoint.body.size
+                            && p.verify(&trusted.body.head, &checkpoint.body.head)
+                    }
+                    None => false,
+                };
+                if !ok {
+                    return AuditOutcome::Misbehavior(Box::new(
+                        Misbehavior::InconsistentGrowth {
+                            domain,
+                            trusted: trusted.clone(),
+                            offered: checkpoint.clone(),
+                        },
+                    ));
+                }
+            }
+        }
+        state.seen.insert(checkpoint.body.size, checkpoint.clone());
+        state.latest = Some(checkpoint);
+        AuditOutcome::Consistent
+    }
+
+    /// Ingests a checkpoint relayed by *another client* (gossip).
+    ///
+    /// A malicious domain can mount a split-view attack: show client A one
+    /// history and client B another, each internally consistent. Neither
+    /// client alone can detect it — but the two signed checkpoints
+    /// together are an equivocation proof. Exchanging checkpoints
+    /// out-of-band (exactly how Certificate Transparency closes the same
+    /// gap) and feeding them here turns the split view into transferable
+    /// evidence.
+    ///
+    /// Unlike [`Auditor::observe`], gossip makes no freshness or growth
+    /// demands: the relaying client may legitimately be behind, so only
+    /// signature validity and same-size-different-head conflicts matter.
+    pub fn ingest_gossip(&mut self, domain: u32, checkpoint: SignedCheckpoint) -> AuditOutcome {
+        let Some(state) = self.domains.get_mut(domain as usize) else {
+            return AuditOutcome::Misbehavior(Box::new(Misbehavior::BadSignature {
+                domain,
+                checkpoint,
+            }));
+        };
+        if !checkpoint.verify(&state.key) {
+            return AuditOutcome::Misbehavior(Box::new(Misbehavior::BadSignature {
+                domain,
+                checkpoint,
+            }));
+        }
+        if let Some(prior) = state.seen.get(&checkpoint.body.size) {
+            if prior.body.head != checkpoint.body.head
+                && prior.body.log_id == checkpoint.body.log_id
+            {
+                let proof = EquivocationProof {
+                    a: prior.clone(),
+                    b: checkpoint,
+                };
+                return AuditOutcome::Misbehavior(Box::new(Misbehavior::Equivocation {
+                    domain,
+                    proof,
+                }));
+            }
+        } else {
+            state.seen.insert(checkpoint.body.size, checkpoint);
+        }
+        AuditOutcome::Consistent
+    }
+
+    /// Exports the latest verified checkpoints for gossiping to peers.
+    pub fn gossip_payload(&self) -> Vec<(u32, SignedCheckpoint)> {
+        self.domains
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.latest.clone().map(|cp| (i as u32, cp)))
+            .collect()
+    }
+
+    /// Cross-checks the latest verified heads across all domains. The paper
+    /// requires all `n` domains to report the *same* digest history; any
+    /// divergence is flagged.
+    ///
+    /// `align_sizes` restricts the comparison to domains whose latest
+    /// checkpoints share the maximum common size — domains lagging behind
+    /// (but consistent) are not flagged.
+    pub fn cross_check(&self) -> AuditOutcome {
+        let mut views: Vec<(u32, &SignedCheckpoint)> = Vec::new();
+        for (i, d) in self.domains.iter().enumerate() {
+            if let Some(cp) = &d.latest {
+                views.push((i as u32, cp));
+            }
+        }
+        if views.len() < 2 {
+            return AuditOutcome::Consistent;
+        }
+        // Compare at the minimum common size using each domain's stored
+        // checkpoint for that size when available; otherwise compare heads
+        // only between same-size domains.
+        let mut by_size: HashMap<u64, Vec<(u32, &SignedCheckpoint)>> = HashMap::new();
+        for (i, d) in self.domains.iter().enumerate() {
+            for cp in d.seen.values() {
+                by_size.entry(cp.body.size).or_default().push((i as u32, cp));
+            }
+        }
+        for (_, group) in by_size {
+            if group.len() < 2 {
+                continue;
+            }
+            let head0 = group[0].1.body.head;
+            if group.iter().any(|(_, cp)| cp.body.head != head0) {
+                return AuditOutcome::Misbehavior(Box::new(
+                    Misbehavior::CrossDomainDivergence {
+                        views: group
+                            .into_iter()
+                            .map(|(i, cp)| (i, cp.clone()))
+                            .collect(),
+                    },
+                ));
+            }
+        }
+        AuditOutcome::Consistent
+    }
+}
+
+/// Convenience: checks that all domains report exactly the same digest for
+/// the current code — the simple "do all the attested measurements match"
+/// check from §4.1 (deployment without updates).
+pub fn digests_match(digests: &[Digest]) -> bool {
+    match digests.split_first() {
+        None => true,
+        Some((first, rest)) => rest.iter().all(|d| d == first),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::{log_id, CheckpointBody};
+    use crate::merkle::MerkleLog;
+    use distrust_crypto::schnorr::SigningKey;
+
+    struct Domain {
+        sk: SigningKey,
+        log: MerkleLog,
+        lid: [u8; 32],
+        time: u64,
+    }
+
+    impl Domain {
+        fn new(i: u32) -> Self {
+            Self {
+                sk: SigningKey::derive(b"auditor tests", &i.to_le_bytes()),
+                log: MerkleLog::new(),
+                lid: log_id(b"dep", i),
+                time: 0,
+            }
+        }
+
+        fn checkpoint(&mut self) -> SignedCheckpoint {
+            self.time += 1;
+            SignedCheckpoint::sign(
+                CheckpointBody {
+                    log_id: self.lid,
+                    size: self.log.len() as u64,
+                    head: self.log.root(),
+                    logical_time: self.time,
+                },
+                &self.sk,
+            )
+        }
+    }
+
+    fn auditor_for(domains: &[Domain]) -> Auditor {
+        Auditor::new(domains.iter().map(|d| d.sk.verifying_key()).collect())
+    }
+
+    #[test]
+    fn honest_growth_is_consistent() {
+        let mut d = Domain::new(0);
+        let mut auditor = auditor_for(std::slice::from_ref(&d));
+        d.log.append(b"v1");
+        let cp1 = d.checkpoint();
+        assert!(auditor.observe(0, cp1, None).is_consistent());
+        d.log.append(b"v2");
+        let cp2 = d.checkpoint();
+        let proof = d.log.prove_consistency(1, 2).unwrap();
+        assert!(auditor.observe(0, cp2, Some(&proof)).is_consistent());
+    }
+
+    #[test]
+    fn growth_without_proof_flagged() {
+        let mut d = Domain::new(0);
+        let mut auditor = auditor_for(std::slice::from_ref(&d));
+        d.log.append(b"v1");
+        let cp1 = d.checkpoint();
+        auditor.observe(0, cp1, None);
+        d.log.append(b"v2");
+        let cp2 = d.checkpoint();
+        match auditor.observe(0, cp2, None) {
+            AuditOutcome::Misbehavior(m) => {
+                assert!(matches!(*m, Misbehavior::InconsistentGrowth { .. }))
+            }
+            other => panic!("expected misbehavior, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn history_rewrite_flagged() {
+        let mut d = Domain::new(0);
+        let mut auditor = auditor_for(std::slice::from_ref(&d));
+        d.log.append(b"v1");
+        d.log.append(b"v2");
+        let cp = d.checkpoint();
+        let _ = auditor.observe(0, cp, None);
+        // Rebuild the log with a different history of the same length + 1.
+        let mut forged = MerkleLog::new();
+        forged.append(b"evil-1");
+        forged.append(b"evil-2");
+        forged.append(b"evil-3");
+        let forged_cp = SignedCheckpoint::sign(
+            CheckpointBody {
+                log_id: d.lid,
+                size: 3,
+                head: forged.root(),
+                logical_time: 99,
+            },
+            &d.sk,
+        );
+        let bogus_proof = forged.prove_consistency(2, 3).unwrap();
+        match auditor.observe(0, forged_cp, Some(&bogus_proof)) {
+            AuditOutcome::Misbehavior(m) => {
+                assert!(matches!(*m, Misbehavior::InconsistentGrowth { .. }))
+            }
+            other => panic!("expected misbehavior, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rollback_flagged() {
+        let mut d = Domain::new(0);
+        let mut auditor = auditor_for(std::slice::from_ref(&d));
+        d.log.append(b"v1");
+        d.log.append(b"v2");
+        let cp2 = d.checkpoint();
+        auditor.observe(0, cp2, None);
+        // Offer a checkpoint for size 1.
+        let old = SignedCheckpoint::sign(
+            CheckpointBody {
+                log_id: d.lid,
+                size: 1,
+                head: d.log.root_of_prefix(1),
+                logical_time: 100,
+            },
+            &d.sk,
+        );
+        match auditor.observe(0, old, None) {
+            AuditOutcome::Misbehavior(m) => {
+                assert!(matches!(*m, Misbehavior::Rollback { .. }))
+            }
+            other => panic!("expected rollback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equivocation_yields_transferable_proof() {
+        let mut d = Domain::new(0);
+        let mut auditor = auditor_for(std::slice::from_ref(&d));
+        d.log.append(b"v1");
+        let cp_honest = d.checkpoint();
+        auditor.observe(0, cp_honest, None);
+        // The domain signs a different head for the same size.
+        let cp_fork = SignedCheckpoint::sign(
+            CheckpointBody {
+                log_id: d.lid,
+                size: 1,
+                head: [0xee; 32],
+                logical_time: 50,
+            },
+            &d.sk,
+        );
+        match auditor.observe(0, cp_fork, None) {
+            AuditOutcome::Misbehavior(m) => match *m {
+                Misbehavior::Equivocation { domain, proof } => {
+                    assert_eq!(domain, 0);
+                    assert!(proof.verify(&d.sk.verifying_key()));
+                }
+                other => panic!("expected equivocation, got {other:?}"),
+            },
+            other => panic!("expected misbehavior, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_signature_flagged() {
+        let d = Domain::new(0);
+        let stranger = SigningKey::derive(b"stranger", b"");
+        let mut auditor = auditor_for(std::slice::from_ref(&d));
+        let cp = SignedCheckpoint::sign(
+            CheckpointBody {
+                log_id: d.lid,
+                size: 1,
+                head: [1; 32],
+                logical_time: 1,
+            },
+            &stranger,
+        );
+        match auditor.observe(0, cp, None) {
+            AuditOutcome::Misbehavior(m) => {
+                assert!(matches!(*m, Misbehavior::BadSignature { .. }))
+            }
+            other => panic!("expected bad signature, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_domain_divergence_detected() {
+        let mut d0 = Domain::new(0);
+        let mut d1 = Domain::new(1);
+        let mut auditor = Auditor::new(vec![
+            d0.sk.verifying_key(),
+            d1.sk.verifying_key(),
+        ]);
+        d0.log.append(b"v1");
+        d1.log.append(b"v1-evil");
+        let cp0 = d0.checkpoint();
+        let cp1 = d1.checkpoint();
+        assert!(auditor.observe(0, cp0, None).is_consistent());
+        assert!(auditor.observe(1, cp1, None).is_consistent());
+        match auditor.cross_check() {
+            AuditOutcome::Misbehavior(m) => match *m {
+                Misbehavior::CrossDomainDivergence { views } => {
+                    assert_eq!(views.len(), 2);
+                }
+                other => panic!("expected divergence, got {other:?}"),
+            },
+            other => panic!("expected misbehavior, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn agreeing_domains_cross_check_clean() {
+        let mut d0 = Domain::new(0);
+        let mut d1 = Domain::new(1);
+        let mut auditor = Auditor::new(vec![
+            d0.sk.verifying_key(),
+            d1.sk.verifying_key(),
+        ]);
+        for leaf in [b"v1".as_slice(), b"v2"] {
+            d0.log.append(leaf);
+            d1.log.append(leaf);
+        }
+        let cp0 = d0.checkpoint();
+        let cp1 = d1.checkpoint();
+        auditor.observe(0, cp0, None);
+        auditor.observe(1, cp1, None);
+        assert!(auditor.cross_check().is_consistent());
+    }
+
+    #[test]
+    fn lagging_domain_not_flagged() {
+        // Domain 1 has seen fewer updates but agrees on the shared prefix.
+        let mut d0 = Domain::new(0);
+        let mut d1 = Domain::new(1);
+        let mut auditor = Auditor::new(vec![
+            d0.sk.verifying_key(),
+            d1.sk.verifying_key(),
+        ]);
+        d0.log.append(b"v1");
+        d0.log.append(b"v2");
+        d1.log.append(b"v1");
+        let cp0 = d0.checkpoint();
+        let cp1 = d1.checkpoint();
+        auditor.observe(0, cp0, None);
+        auditor.observe(1, cp1, None);
+        // Sizes differ (2 vs 1) so no same-size comparison exists; clean.
+        assert!(auditor.cross_check().is_consistent());
+    }
+
+    #[test]
+    fn gossip_detects_split_view() {
+        // A domain shows client A history "0xaa" and client B history
+        // "0xbb" at the same size. Each client alone is satisfied; gossip
+        // between them exposes the equivocation.
+        let d = Domain::new(0);
+        let make_cp = |head: [u8; 32]| {
+            SignedCheckpoint::sign(
+                CheckpointBody {
+                    log_id: d.lid,
+                    size: 3,
+                    head,
+                    logical_time: 3,
+                },
+                &d.sk,
+            )
+        };
+        let mut auditor_a = auditor_for(std::slice::from_ref(&d));
+        let mut auditor_b = auditor_for(std::slice::from_ref(&d));
+        assert!(auditor_a.observe(0, make_cp([0xaa; 32]), None).is_consistent());
+        assert!(auditor_b.observe(0, make_cp([0xbb; 32]), None).is_consistent());
+        // Client B relays its view to client A.
+        let payload = auditor_b.gossip_payload();
+        assert_eq!(payload.len(), 1);
+        match auditor_a.ingest_gossip(0, payload[0].1.clone()) {
+            AuditOutcome::Misbehavior(m) => match *m {
+                Misbehavior::Equivocation { proof, .. } => {
+                    assert!(proof.verify(&d.sk.verifying_key()));
+                }
+                other => panic!("expected equivocation, got {other:?}"),
+            },
+            other => panic!("expected misbehavior, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gossip_tolerates_lagging_peers() {
+        // An older-but-consistent checkpoint from a peer is NOT flagged.
+        let mut d = Domain::new(0);
+        let mut auditor = auditor_for(std::slice::from_ref(&d));
+        d.log.append(b"v1");
+        let old_cp = d.checkpoint();
+        d.log.append(b"v2");
+        let new_cp = d.checkpoint();
+        let proof = d.log.prove_consistency(1, 2).unwrap();
+        assert!(auditor.observe(0, old_cp.clone(), None).is_consistent());
+        assert!(auditor.observe(0, new_cp, Some(&proof)).is_consistent());
+        // Peer is still at size 1 with the same head: fine.
+        assert!(auditor.ingest_gossip(0, old_cp).is_consistent());
+    }
+
+    #[test]
+    fn gossip_rejects_forged_checkpoints() {
+        let d = Domain::new(0);
+        let stranger = SigningKey::derive(b"stranger", b"");
+        let mut auditor = auditor_for(std::slice::from_ref(&d));
+        let forged = SignedCheckpoint::sign(
+            CheckpointBody {
+                log_id: d.lid,
+                size: 1,
+                head: [9; 32],
+                logical_time: 1,
+            },
+            &stranger,
+        );
+        match auditor.ingest_gossip(0, forged) {
+            AuditOutcome::Misbehavior(m) => {
+                assert!(matches!(*m, Misbehavior::BadSignature { .. }))
+            }
+            other => panic!("expected bad signature, got {other:?}"),
+        }
+        // A forged checkpoint must not frame the domain: no equivocation
+        // state was recorded.
+        assert!(auditor.cross_check().is_consistent());
+    }
+
+    #[test]
+    fn digest_match_helper() {
+        assert!(digests_match(&[]));
+        assert!(digests_match(&[[1; 32]]));
+        assert!(digests_match(&[[1; 32], [1; 32], [1; 32]]));
+        assert!(!digests_match(&[[1; 32], [2; 32]]));
+    }
+}

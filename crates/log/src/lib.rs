@@ -1,0 +1,29 @@
+//! # distrust-log
+//!
+//! Append-only log substrate for the `distrust` workspace — the second of
+//! the paper's two application-independent building blocks (§3.1): "The
+//! append-only log should provide integrity: once an entry is added, it
+//! cannot be altered or deleted."
+//!
+//! Two interchangeable log structures are provided:
+//!
+//! * [`hashchain::HashChain`] — the paper's §4.1 design (each TEE keeps a
+//!   hash chain of code digests); O(1) append, O(n) audit.
+//! * [`merkle::MerkleLog`] — an RFC 6962-style Merkle log with O(log n)
+//!   inclusion and consistency proofs, the Certificate-Transparency-grade
+//!   infrastructure §4.2 points to.
+//!
+//! On top of either, [`checkpoint`] provides signed tree heads and
+//! transferable equivocation proofs, and [`auditor`] implements the client
+//! logic: verify each domain's log growth and cross-check digest histories
+//! across all `n` domains.
+
+pub mod auditor;
+pub mod checkpoint;
+pub mod hashchain;
+pub mod merkle;
+
+pub use auditor::{digests_match, AuditOutcome, Auditor, Misbehavior};
+pub use checkpoint::{log_id, CheckpointBody, EquivocationProof, SignedCheckpoint};
+pub use hashchain::HashChain;
+pub use merkle::{ConsistencyProof, InclusionProof, MerkleLog};

@@ -1,0 +1,468 @@
+//! A small textual assembler for sandbox modules.
+//!
+//! This is the "developer-facing" format of the reproduction: example
+//! applications ship guest code as assembly text, the developer "compiles"
+//! it with [`assemble`], and the resulting module bytes are what gets
+//! signed, measured, and deployed — the moral equivalent of the paper's
+//! C++ → Emscripten → Wasm pipeline at a vastly smaller scale.
+//!
+//! ## Syntax
+//!
+//! ```text
+//! ; comments run to end of line
+//! memory 1 4                      ; initial pages, max pages
+//! import env.g1_double 1 1        ; name, params, returns
+//! data 16 deadbeef                ; offset, hex bytes
+//!
+//! func main params=1 locals=2 returns=1
+//!   const 10
+//!   local.get 0
+//!   add
+//!   jnz @skip
+//! @skip:
+//!   return
+//! end
+//!
+//! export main main                ; exported-name, function-name
+//! ```
+
+use crate::isa::Instr;
+use crate::module::{DataSegment, Export, Function, ImportSig, Module};
+use std::collections::HashMap;
+
+/// Assembly errors with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl core::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a number, accepting decimal or `0x...` hex.
+fn parse_num(s: &str, line: usize) -> Result<u64, AsmError> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse::<u64>()
+    };
+    parsed.map_err(|_| err(line, format!("invalid number {s:?}")))
+}
+
+fn parse_hex_bytes(s: &str, line: usize) -> Result<Vec<u8>, AsmError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(err(line, "odd-length hex string"));
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&s[i..i + 2], 16)
+                .map_err(|_| err(line, format!("invalid hex {:?}", &s[i..i + 2])))
+        })
+        .collect()
+}
+
+struct PendingFunc {
+    name: String,
+    params: u16,
+    locals: u16,
+    returns: u16,
+    /// (line, mnemonic parts) — resolved after labels are collected.
+    body: Vec<(usize, Vec<String>)>,
+    labels: HashMap<String, u32>,
+}
+
+/// Assembles source text into a validated [`Module`].
+pub fn assemble(source: &str) -> Result<Module, AsmError> {
+    let mut memory = (1u32, 1u32);
+    let mut imports: Vec<ImportSig> = Vec::new();
+    let mut data: Vec<DataSegment> = Vec::new();
+    let mut funcs: Vec<PendingFunc> = Vec::new();
+    let mut exports: Vec<(usize, String, String)> = Vec::new(); // (line, export name, func name)
+    let mut current: Option<PendingFunc> = None;
+
+    for (lineno0, raw) in source.lines().enumerate() {
+        let line = lineno0 + 1;
+        let text = raw.split(';').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let parts: Vec<String> = text.split_whitespace().map(str::to_string).collect();
+        let head = parts[0].as_str();
+
+        if let Some(func) = current.as_mut() {
+            match head {
+                "end" => {
+                    funcs.push(current.take().expect("inside func"));
+                }
+                label if label.starts_with('@') && label.ends_with(':') => {
+                    let name = label[..label.len() - 1].to_string();
+                    let pos = func.body.len() as u32;
+                    if func.labels.insert(name.clone(), pos).is_some() {
+                        return Err(err(line, format!("duplicate label {name}")));
+                    }
+                }
+                _ => func.body.push((line, parts)),
+            }
+            continue;
+        }
+
+        match head {
+            "memory" => {
+                if parts.len() != 3 {
+                    return Err(err(line, "usage: memory <initial> <max>"));
+                }
+                memory = (
+                    parse_num(&parts[1], line)? as u32,
+                    parse_num(&parts[2], line)? as u32,
+                );
+            }
+            "import" => {
+                if parts.len() != 4 {
+                    return Err(err(line, "usage: import <name> <params> <returns>"));
+                }
+                imports.push(ImportSig {
+                    name: parts[1].clone(),
+                    params: parse_num(&parts[2], line)? as u16,
+                    returns: parse_num(&parts[3], line)? as u16,
+                });
+            }
+            "data" => {
+                if parts.len() != 3 {
+                    return Err(err(line, "usage: data <offset> <hexbytes>"));
+                }
+                data.push(DataSegment {
+                    offset: parse_num(&parts[1], line)? as u32,
+                    bytes: parse_hex_bytes(&parts[2], line)?,
+                });
+            }
+            "func" => {
+                if parts.len() < 2 {
+                    return Err(err(line, "usage: func <name> [params=N] [locals=N] [returns=N]"));
+                }
+                let mut f = PendingFunc {
+                    name: parts[1].clone(),
+                    params: 0,
+                    locals: 0,
+                    returns: 0,
+                    body: Vec::new(),
+                    labels: HashMap::new(),
+                };
+                for opt in &parts[2..] {
+                    let Some((key, value)) = opt.split_once('=') else {
+                        return Err(err(line, format!("bad option {opt:?}")));
+                    };
+                    let v = parse_num(value, line)? as u16;
+                    match key {
+                        "params" => f.params = v,
+                        "locals" => f.locals = v,
+                        "returns" => f.returns = v,
+                        _ => return Err(err(line, format!("unknown option {key:?}"))),
+                    }
+                }
+                current = Some(f);
+            }
+            "export" => {
+                if parts.len() != 3 {
+                    return Err(err(line, "usage: export <exported-name> <func-name>"));
+                }
+                exports.push((line, parts[1].clone(), parts[2].clone()));
+            }
+            other => return Err(err(line, format!("unknown directive {other:?}"))),
+        }
+    }
+    if current.is_some() {
+        return Err(err(source.lines().count(), "unterminated func (missing 'end')"));
+    }
+
+    let func_index: HashMap<&str, u16> = funcs
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), i as u16))
+        .collect();
+    let import_index: HashMap<&str, u16> = imports
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.name.as_str(), i as u16))
+        .collect();
+
+    let mut functions = Vec::with_capacity(funcs.len());
+    for f in &funcs {
+        let mut code = Vec::with_capacity(f.body.len());
+        for (line, parts) in &f.body {
+            let line = *line;
+            let mnemonic = parts[0].as_str();
+            let operand = parts.get(1).map(|s| s.as_str());
+            let need = |what: &str| err(line, format!("{mnemonic} needs {what}"));
+            let resolve_label = |s: Option<&str>| -> Result<u32, AsmError> {
+                let name = s.ok_or_else(|| need("a label"))?;
+                f.labels
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| err(line, format!("unknown label {name}")))
+            };
+            let num = |s: Option<&str>| -> Result<u64, AsmError> {
+                parse_num(s.ok_or_else(|| need("a numeric operand"))?, line)
+            };
+            let instr = match mnemonic {
+                "const" => Instr::Const(num(operand)?),
+                "local.get" => Instr::LocalGet(num(operand)? as u16),
+                "local.set" => Instr::LocalSet(num(operand)? as u16),
+                "add" => Instr::Add,
+                "sub" => Instr::Sub,
+                "mul" => Instr::Mul,
+                "div_u" => Instr::DivU,
+                "rem_u" => Instr::RemU,
+                "and" => Instr::And,
+                "or" => Instr::Or,
+                "xor" => Instr::Xor,
+                "shl" => Instr::Shl,
+                "shr_u" => Instr::ShrU,
+                "rotr" => Instr::Rotr,
+                "eq" => Instr::Eq,
+                "ne" => Instr::Ne,
+                "lt_u" => Instr::LtU,
+                "gt_u" => Instr::GtU,
+                "le_u" => Instr::LeU,
+                "ge_u" => Instr::GeU,
+                "jz" => Instr::JumpIfZero(resolve_label(operand)?),
+                "jnz" => Instr::JumpIfNonZero(resolve_label(operand)?),
+                "jmp" => Instr::Jump(resolve_label(operand)?),
+                "call" => {
+                    let name = operand.ok_or_else(|| need("a function name"))?;
+                    let idx = func_index
+                        .get(name)
+                        .copied()
+                        .ok_or_else(|| err(line, format!("unknown function {name:?}")))?;
+                    Instr::Call(idx)
+                }
+                "host" => {
+                    let name = operand.ok_or_else(|| need("an import name"))?;
+                    let idx = import_index
+                        .get(name)
+                        .copied()
+                        .ok_or_else(|| err(line, format!("unknown import {name:?}")))?;
+                    Instr::HostCall(idx)
+                }
+                "return" => Instr::Return,
+                "load8" => Instr::Load8(num(operand)? as u32),
+                "load64" => Instr::Load64(num(operand)? as u32),
+                "store8" => Instr::Store8(num(operand)? as u32),
+                "store64" => Instr::Store64(num(operand)? as u32),
+                "mem.size" => Instr::MemSize,
+                "mem.grow" => Instr::MemGrow,
+                "drop" => Instr::Drop,
+                "dup" => Instr::Dup,
+                "swap" => Instr::Swap,
+                "select" => Instr::Select,
+                "trap" => Instr::Trap,
+                other => return Err(err(line, format!("unknown mnemonic {other:?}"))),
+            };
+            code.push(instr);
+        }
+        functions.push(Function {
+            params: f.params,
+            locals: f.locals,
+            returns: f.returns,
+            code,
+        });
+    }
+
+    let mut module_exports = Vec::with_capacity(exports.len());
+    for (line, export_name, func_name) in exports {
+        let idx = func_index
+            .get(func_name.as_str())
+            .copied()
+            .ok_or_else(|| err(line, format!("export of unknown function {func_name:?}")))?;
+        module_exports.push(Export {
+            name: export_name,
+            function: idx as u32,
+        });
+    }
+
+    let module = Module {
+        imports,
+        functions,
+        exports: module_exports,
+        data,
+        initial_pages: memory.0,
+        max_pages: memory.1,
+    };
+    module
+        .validate()
+        .map_err(|e| err(0, format!("validation failed: {e}")))?;
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::{Instance, Limits, NoHost};
+
+    #[test]
+    fn assembles_and_runs_add() {
+        let src = r#"
+            ; doubles its argument then adds 1
+            memory 1 1
+            func main params=1 returns=1
+              local.get 0
+              const 2
+              mul
+              const 1
+              add
+              return
+            end
+            export main main
+        "#;
+        let module = assemble(src).unwrap();
+        let mut inst = Instance::new(module, Limits::default()).unwrap();
+        assert_eq!(inst.invoke("main", &[20], &mut NoHost), Ok(Some(41)));
+    }
+
+    #[test]
+    fn labels_and_loops() {
+        let src = r#"
+            memory 1 1
+            func sum params=1 locals=2 returns=1
+              const 0
+              local.set 1
+            @loop:
+              local.get 0
+              jz @done
+              local.get 1
+              local.get 0
+              add
+              local.set 1
+              local.get 0
+              const 1
+              sub
+              local.set 0
+              jmp @loop
+            @done:
+              local.get 1
+              return
+            end
+            export sum sum
+        "#;
+        let module = assemble(src).unwrap();
+        let mut inst = Instance::new(module, Limits::default()).unwrap();
+        assert_eq!(inst.invoke("sum", &[100], &mut NoHost), Ok(Some(5050)));
+    }
+
+    #[test]
+    fn cross_function_calls_by_name() {
+        let src = r#"
+            memory 1 1
+            func inc params=1 returns=1
+              local.get 0
+              const 1
+              add
+              return
+            end
+            func main params=1 returns=1
+              local.get 0
+              call inc
+              call inc
+              return
+            end
+            export main main
+        "#;
+        let module = assemble(src).unwrap();
+        let mut inst = Instance::new(module, Limits::default()).unwrap();
+        assert_eq!(inst.invoke("main", &[5], &mut NoHost), Ok(Some(7)));
+    }
+
+    #[test]
+    fn data_segments_parse() {
+        let src = r#"
+            memory 1 1
+            data 8 cafef00d
+            func peek params=0 returns=1
+              const 8
+              load8 3
+              return
+            end
+            export peek peek
+        "#;
+        let module = assemble(src).unwrap();
+        assert_eq!(module.data[0].bytes, vec![0xca, 0xfe, 0xf0, 0x0d]);
+        let mut inst = Instance::new(module, Limits::default()).unwrap();
+        assert_eq!(inst.invoke("peek", &[], &mut NoHost), Ok(Some(0x0d)));
+    }
+
+    #[test]
+    fn imports_resolve_by_name() {
+        let src = r#"
+            memory 1 1
+            import env.magic 0 1
+            func main params=0 returns=1
+              host env.magic
+              return
+            end
+            export main main
+        "#;
+        let module = assemble(src).unwrap();
+        assert_eq!(module.imports.len(), 1);
+        struct Magic;
+        impl crate::vm::Host for Magic {
+            fn call(
+                &mut self,
+                _: u16,
+                _: &[u64],
+                _: &mut crate::vm::Memory,
+            ) -> Result<Vec<u64>, String> {
+                Ok(vec![777])
+            }
+        }
+        let mut inst = Instance::new(module, Limits::default()).unwrap();
+        assert_eq!(inst.invoke("main", &[], &mut Magic), Ok(Some(777)));
+    }
+
+    #[test]
+    fn error_reporting() {
+        // Unknown mnemonic with correct line number.
+        let src = "memory 1 1\nfunc f params=0 returns=0\n  frobnicate\nend\nexport f f";
+        let e = assemble(src).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("frobnicate"));
+        // Unknown label.
+        let src = "memory 1 1\nfunc f params=0 returns=0\n  jmp @nope\n  return\nend\nexport f f";
+        assert!(assemble(src).is_err());
+        // Unterminated function.
+        let src = "memory 1 1\nfunc f params=0 returns=0\n  return";
+        assert!(assemble(src).unwrap_err().message.contains("unterminated"));
+        // Duplicate label.
+        let src = "memory 1 1\nfunc f params=0 returns=0\n@a:\n@a:\n  return\nend\nexport f f";
+        assert!(assemble(src).unwrap_err().message.contains("duplicate"));
+    }
+
+    #[test]
+    fn hex_numbers_accepted() {
+        let src = r#"
+            memory 1 1
+            func main params=0 returns=1
+              const 0xff
+              return
+            end
+            export main main
+        "#;
+        let module = assemble(src).unwrap();
+        let mut inst = Instance::new(module, Limits::default()).unwrap();
+        assert_eq!(inst.invoke("main", &[], &mut NoHost), Ok(Some(255)));
+    }
+}

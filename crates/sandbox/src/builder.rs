@@ -1,0 +1,353 @@
+//! Programmatic construction of sandbox functions and modules, with
+//! symbolic labels resolved at build time.
+//!
+//! Guest programs in this workspace (the SHA-256 kernel, the BLS signing
+//! ladder) are emitted through this builder rather than hand-written
+//! instruction vectors — jump targets as names instead of indices is the
+//! difference between maintainable guest code and write-only guest code.
+
+use crate::isa::Instr;
+use crate::module::{DataSegment, Export, Function, ImportSig, Module};
+use std::collections::HashMap;
+
+/// Errors detected while building.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A jump referenced a label never defined.
+    UndefinedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+}
+
+impl core::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::UndefinedLabel(l) => write!(f, "undefined label {l:?}"),
+            Self::DuplicateLabel(l) => write!(f, "duplicate label {l:?}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+enum Pending {
+    Resolved(Instr),
+    Jump(String),
+    JumpIfZero(String),
+    JumpIfNonZero(String),
+}
+
+/// Builds one function.
+pub struct FuncBuilder {
+    params: u16,
+    locals: u16,
+    returns: u16,
+    code: Vec<Pending>,
+    labels: HashMap<String, u32>,
+}
+
+impl FuncBuilder {
+    /// Starts a function with the given signature.
+    pub fn new(params: u16, locals: u16, returns: u16) -> Self {
+        Self {
+            params,
+            locals,
+            returns,
+            code: Vec::new(),
+            labels: HashMap::new(),
+        }
+    }
+
+    /// Emits a raw instruction.
+    pub fn op(&mut self, instr: Instr) -> &mut Self {
+        self.code.push(Pending::Resolved(instr));
+        self
+    }
+
+    /// Defines a label at the current position.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        let pos = self.code.len() as u32;
+        if self.labels.insert(name.to_string(), pos).is_some() {
+            // Store a sentinel so build() reports the duplicate.
+            self.labels.insert(format!("__dup__{name}"), pos);
+        }
+        self
+    }
+
+    /// Unconditional jump to a label.
+    pub fn jmp(&mut self, label: &str) -> &mut Self {
+        self.code.push(Pending::Jump(label.to_string()));
+        self
+    }
+
+    /// Jump when the popped value is zero.
+    pub fn jz(&mut self, label: &str) -> &mut Self {
+        self.code.push(Pending::JumpIfZero(label.to_string()));
+        self
+    }
+
+    /// Jump when the popped value is nonzero.
+    pub fn jnz(&mut self, label: &str) -> &mut Self {
+        self.code.push(Pending::JumpIfNonZero(label.to_string()));
+        self
+    }
+
+    // Ergonomic shorthands for the common instructions.
+
+    /// Push constant.
+    pub fn constant(&mut self, v: u64) -> &mut Self {
+        self.op(Instr::Const(v))
+    }
+    /// Read local.
+    pub fn lget(&mut self, i: u16) -> &mut Self {
+        self.op(Instr::LocalGet(i))
+    }
+    /// Write local.
+    pub fn lset(&mut self, i: u16) -> &mut Self {
+        self.op(Instr::LocalSet(i))
+    }
+    /// Wrapping add.
+    pub fn add(&mut self) -> &mut Self {
+        self.op(Instr::Add)
+    }
+    /// Wrapping sub.
+    pub fn sub(&mut self) -> &mut Self {
+        self.op(Instr::Sub)
+    }
+    /// Bitwise and.
+    pub fn and(&mut self) -> &mut Self {
+        self.op(Instr::And)
+    }
+    /// Bitwise or.
+    pub fn or(&mut self) -> &mut Self {
+        self.op(Instr::Or)
+    }
+    /// Bitwise xor.
+    pub fn xor(&mut self) -> &mut Self {
+        self.op(Instr::Xor)
+    }
+    /// Shift left.
+    pub fn shl(&mut self) -> &mut Self {
+        self.op(Instr::Shl)
+    }
+    /// Logical shift right.
+    pub fn shr(&mut self) -> &mut Self {
+        self.op(Instr::ShrU)
+    }
+    /// Load u64 with static offset.
+    pub fn load64(&mut self, off: u32) -> &mut Self {
+        self.op(Instr::Load64(off))
+    }
+    /// Store u64 with static offset.
+    pub fn store64(&mut self, off: u32) -> &mut Self {
+        self.op(Instr::Store64(off))
+    }
+    /// Load byte with static offset.
+    pub fn load8(&mut self, off: u32) -> &mut Self {
+        self.op(Instr::Load8(off))
+    }
+    /// Store byte with static offset.
+    pub fn store8(&mut self, off: u32) -> &mut Self {
+        self.op(Instr::Store8(off))
+    }
+    /// Call module function.
+    pub fn call(&mut self, f: u16) -> &mut Self {
+        self.op(Instr::Call(f))
+    }
+    /// Call host import.
+    pub fn host(&mut self, i: u16) -> &mut Self {
+        self.op(Instr::HostCall(i))
+    }
+    /// Return.
+    pub fn ret(&mut self) -> &mut Self {
+        self.op(Instr::Return)
+    }
+
+    /// Resolves labels and produces the function.
+    pub fn build(self) -> Result<Function, BuildError> {
+        for key in self.labels.keys() {
+            if let Some(orig) = key.strip_prefix("__dup__") {
+                return Err(BuildError::DuplicateLabel(orig.to_string()));
+            }
+        }
+        let resolve = |name: &str| -> Result<u32, BuildError> {
+            self.labels
+                .get(name)
+                .copied()
+                .ok_or_else(|| BuildError::UndefinedLabel(name.to_string()))
+        };
+        let mut code = Vec::with_capacity(self.code.len());
+        for p in &self.code {
+            code.push(match p {
+                Pending::Resolved(i) => *i,
+                Pending::Jump(l) => Instr::Jump(resolve(l)?),
+                Pending::JumpIfZero(l) => Instr::JumpIfZero(resolve(l)?),
+                Pending::JumpIfNonZero(l) => Instr::JumpIfNonZero(resolve(l)?),
+            });
+        }
+        Ok(Function {
+            params: self.params,
+            locals: self.locals,
+            returns: self.returns,
+            code,
+        })
+    }
+}
+
+/// Builds a module from named functions.
+#[derive(Default)]
+pub struct ModuleBuilder {
+    imports: Vec<ImportSig>,
+    functions: Vec<Function>,
+    exports: Vec<Export>,
+    data: Vec<DataSegment>,
+    initial_pages: u32,
+    max_pages: u32,
+}
+
+impl ModuleBuilder {
+    /// Starts a module with the given memory limits (pages).
+    pub fn new(initial_pages: u32, max_pages: u32) -> Self {
+        Self {
+            initial_pages,
+            max_pages,
+            ..Default::default()
+        }
+    }
+
+    /// Declares a host import; returns its index for `HostCall`.
+    pub fn import(&mut self, name: &str, params: u16, returns: u16) -> u16 {
+        self.imports.push(ImportSig {
+            name: name.to_string(),
+            params,
+            returns,
+        });
+        (self.imports.len() - 1) as u16
+    }
+
+    /// Adds a function; returns its index for `Call`.
+    pub fn function(&mut self, f: Function) -> u16 {
+        self.functions.push(f);
+        (self.functions.len() - 1) as u16
+    }
+
+    /// Exports function `index` under `name`.
+    pub fn export(&mut self, name: &str, index: u16) -> &mut Self {
+        self.exports.push(Export {
+            name: name.to_string(),
+            function: index as u32,
+        });
+        self
+    }
+
+    /// Adds initial memory contents.
+    pub fn data(&mut self, offset: u32, bytes: Vec<u8>) -> &mut Self {
+        self.data.push(DataSegment { offset, bytes });
+        self
+    }
+
+    /// Produces the module.
+    pub fn build(self) -> Module {
+        Module {
+            imports: self.imports,
+            functions: self.functions,
+            exports: self.exports,
+            data: self.data,
+            initial_pages: self.initial_pages,
+            max_pages: self.max_pages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::{Instance, Limits, NoHost};
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        // max(a, b) via a conditional jump.
+        let mut f = FuncBuilder::new(2, 0, 1);
+        f.lget(0)
+            .lget(1)
+            .op(Instr::GtU)
+            .jnz("ret_a")
+            .lget(1)
+            .ret()
+            .label("ret_a")
+            .lget(0)
+            .ret();
+        let func = f.build().unwrap();
+        let mut mb = ModuleBuilder::new(1, 1);
+        let idx = mb.function(func);
+        mb.export("max", idx);
+        let mut inst = Instance::new(mb.build(), Limits::default()).unwrap();
+        assert_eq!(inst.invoke("max", &[3, 9], &mut NoHost), Ok(Some(9)));
+        assert_eq!(inst.invoke("max", &[10, 2], &mut NoHost), Ok(Some(10)));
+    }
+
+    #[test]
+    fn loop_with_builder() {
+        // factorial(n), locals: 2=acc
+        let mut f = FuncBuilder::new(1, 1, 1);
+        f.constant(1)
+            .lset(1)
+            .label("loop")
+            .lget(0)
+            .constant(1)
+            .op(Instr::LeU)
+            .jnz("done")
+            .lget(1)
+            .lget(0)
+            .op(Instr::Mul)
+            .lset(1)
+            .lget(0)
+            .constant(1)
+            .sub()
+            .lset(0)
+            .jmp("loop")
+            .label("done")
+            .lget(1)
+            .ret();
+        let mut mb = ModuleBuilder::new(1, 1);
+        let idx = mb.function(f.build().unwrap());
+        mb.export("fact", idx);
+        let mut inst = Instance::new(mb.build(), Limits::default()).unwrap();
+        assert_eq!(inst.invoke("fact", &[5], &mut NoHost), Ok(Some(120)));
+        assert_eq!(inst.invoke("fact", &[1], &mut NoHost), Ok(Some(1)));
+        assert_eq!(inst.invoke("fact", &[10], &mut NoHost), Ok(Some(3_628_800)));
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let mut f = FuncBuilder::new(0, 0, 0);
+        f.jmp("nowhere").ret();
+        assert_eq!(
+            f.build().unwrap_err(),
+            BuildError::UndefinedLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let mut f = FuncBuilder::new(0, 0, 0);
+        f.label("x").constant(1).op(Instr::Drop).label("x").ret();
+        assert_eq!(f.build().unwrap_err(), BuildError::DuplicateLabel("x".into()));
+    }
+
+    #[test]
+    fn module_builder_wires_imports_and_data() {
+        let mut mb = ModuleBuilder::new(1, 2);
+        let imp = mb.import("env.noop", 0, 0);
+        assert_eq!(imp, 0);
+        mb.data(10, vec![1, 2, 3]);
+        let mut f = FuncBuilder::new(0, 0, 1);
+        f.constant(10).load8(2).ret();
+        let idx = mb.function(f.build().unwrap());
+        mb.export("peek", idx);
+        let module = mb.build();
+        assert_eq!(module.imports.len(), 1);
+        let mut inst = Instance::new(module, Limits::default()).unwrap();
+        assert_eq!(inst.invoke("peek", &[], &mut NoHost), Ok(Some(3)));
+    }
+}

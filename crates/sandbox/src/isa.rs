@@ -1,0 +1,334 @@
+//! The sandbox instruction set: a small stack machine over `u64` values.
+//!
+//! The design deliberately mirrors WebAssembly's shape (stack machine,
+//! linear memory, explicit host imports, validated modules) at a fraction of
+//! the complexity — this crate is the reproduction's stand-in for the Wasm
+//! sandbox of the paper's prototype (§5). Control flow uses validated
+//! absolute jump targets instead of Wasm's structured blocks; everything
+//! else (bounds-checked memory, fuel, host boundary) carries over.
+
+use distrust_wire::codec::{Decode, DecodeError, Encode};
+
+/// One instruction. Operands are immediate; dynamic inputs come from the
+/// value stack (documented per variant as `[inputs] -> [outputs]`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Instr {
+    /// `[] -> [imm]` — push an immediate.
+    Const(u64),
+    /// `[] -> [local]` — read local/parameter slot.
+    LocalGet(u16),
+    /// `[v] -> []` — write local/parameter slot.
+    LocalSet(u16),
+    /// `[a b] -> [a+b]` (wrapping).
+    Add,
+    /// `[a b] -> [a-b]` (wrapping).
+    Sub,
+    /// `[a b] -> [a*b]` (wrapping).
+    Mul,
+    /// `[a b] -> [a/b]`; traps on `b == 0`.
+    DivU,
+    /// `[a b] -> [a%b]`; traps on `b == 0`.
+    RemU,
+    /// `[a b] -> [a&b]`.
+    And,
+    /// `[a b] -> [a|b]`.
+    Or,
+    /// `[a b] -> [a^b]`.
+    Xor,
+    /// `[a b] -> [a << (b&63)]`.
+    Shl,
+    /// `[a b] -> [a >> (b&63)]` (logical).
+    ShrU,
+    /// `[a b] -> [rotr64(a, b&63)]` — hash kernels want this.
+    Rotr,
+    /// `[a b] -> [a==b ? 1 : 0]`.
+    Eq,
+    /// `[a b] -> [a!=b ? 1 : 0]`.
+    Ne,
+    /// `[a b] -> [a<b ? 1 : 0]` (unsigned).
+    LtU,
+    /// `[a b] -> [a>b ? 1 : 0]`.
+    GtU,
+    /// `[a b] -> [a<=b ? 1 : 0]`.
+    LeU,
+    /// `[a b] -> [a>=b ? 1 : 0]`.
+    GeU,
+    /// `[c] -> []` + jump to target when `c == 0`.
+    JumpIfZero(u32),
+    /// `[c] -> []` + jump to target when `c != 0`.
+    JumpIfNonZero(u32),
+    /// `[] -> []` + unconditional jump.
+    Jump(u32),
+    /// `[args..] -> [ret?]` — call module function by index.
+    Call(u16),
+    /// `[args..] -> [rets..]` — call imported host function by index.
+    HostCall(u16),
+    /// Return from the current function (top of stack is the return value
+    /// when the function declares one).
+    Return,
+    /// `[addr] -> [byte]` — load one byte at `addr + offset`.
+    Load8(u32),
+    /// `[addr] -> [word]` — load little-endian u64 at `addr + offset`.
+    Load64(u32),
+    /// `[addr v] -> []` — store low byte of `v` at `addr + offset`.
+    Store8(u32),
+    /// `[addr v] -> []` — store little-endian u64 at `addr + offset`.
+    Store64(u32),
+    /// `[] -> [pages]` — current memory size in 64 KiB pages.
+    MemSize,
+    /// `[delta] -> [old_pages or u64::MAX]` — grow memory.
+    MemGrow,
+    /// `[v] -> []`.
+    Drop,
+    /// `[v] -> [v v]`.
+    Dup,
+    /// `[a b] -> [b a]`.
+    Swap,
+    /// `[c a b] -> [c != 0 ? a : b]`.
+    Select,
+    /// Abort execution with an explicit trap.
+    Trap,
+}
+
+impl Instr {
+    const OP_CONST: u8 = 0x01;
+    const OP_LOCAL_GET: u8 = 0x02;
+    const OP_LOCAL_SET: u8 = 0x03;
+    const OP_ADD: u8 = 0x10;
+    const OP_SUB: u8 = 0x11;
+    const OP_MUL: u8 = 0x12;
+    const OP_DIVU: u8 = 0x13;
+    const OP_REMU: u8 = 0x14;
+    const OP_AND: u8 = 0x15;
+    const OP_OR: u8 = 0x16;
+    const OP_XOR: u8 = 0x17;
+    const OP_SHL: u8 = 0x18;
+    const OP_SHRU: u8 = 0x19;
+    const OP_ROTR: u8 = 0x1a;
+    const OP_EQ: u8 = 0x20;
+    const OP_NE: u8 = 0x21;
+    const OP_LTU: u8 = 0x22;
+    const OP_GTU: u8 = 0x23;
+    const OP_LEU: u8 = 0x24;
+    const OP_GEU: u8 = 0x25;
+    const OP_JZ: u8 = 0x30;
+    const OP_JNZ: u8 = 0x31;
+    const OP_JMP: u8 = 0x32;
+    const OP_CALL: u8 = 0x33;
+    const OP_HOST: u8 = 0x34;
+    const OP_RET: u8 = 0x35;
+    const OP_LOAD8: u8 = 0x40;
+    const OP_LOAD64: u8 = 0x41;
+    const OP_STORE8: u8 = 0x42;
+    const OP_STORE64: u8 = 0x43;
+    const OP_MEMSIZE: u8 = 0x44;
+    const OP_MEMGROW: u8 = 0x45;
+    const OP_DROP: u8 = 0x50;
+    const OP_DUP: u8 = 0x51;
+    const OP_SWAP: u8 = 0x52;
+    const OP_SELECT: u8 = 0x53;
+    const OP_TRAP: u8 = 0x5f;
+}
+
+impl Encode for Instr {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Instr::Const(v) => {
+                out.push(Self::OP_CONST);
+                v.encode(out);
+            }
+            Instr::LocalGet(i) => {
+                out.push(Self::OP_LOCAL_GET);
+                i.encode(out);
+            }
+            Instr::LocalSet(i) => {
+                out.push(Self::OP_LOCAL_SET);
+                i.encode(out);
+            }
+            Instr::Add => out.push(Self::OP_ADD),
+            Instr::Sub => out.push(Self::OP_SUB),
+            Instr::Mul => out.push(Self::OP_MUL),
+            Instr::DivU => out.push(Self::OP_DIVU),
+            Instr::RemU => out.push(Self::OP_REMU),
+            Instr::And => out.push(Self::OP_AND),
+            Instr::Or => out.push(Self::OP_OR),
+            Instr::Xor => out.push(Self::OP_XOR),
+            Instr::Shl => out.push(Self::OP_SHL),
+            Instr::ShrU => out.push(Self::OP_SHRU),
+            Instr::Rotr => out.push(Self::OP_ROTR),
+            Instr::Eq => out.push(Self::OP_EQ),
+            Instr::Ne => out.push(Self::OP_NE),
+            Instr::LtU => out.push(Self::OP_LTU),
+            Instr::GtU => out.push(Self::OP_GTU),
+            Instr::LeU => out.push(Self::OP_LEU),
+            Instr::GeU => out.push(Self::OP_GEU),
+            Instr::JumpIfZero(t) => {
+                out.push(Self::OP_JZ);
+                t.encode(out);
+            }
+            Instr::JumpIfNonZero(t) => {
+                out.push(Self::OP_JNZ);
+                t.encode(out);
+            }
+            Instr::Jump(t) => {
+                out.push(Self::OP_JMP);
+                t.encode(out);
+            }
+            Instr::Call(f) => {
+                out.push(Self::OP_CALL);
+                f.encode(out);
+            }
+            Instr::HostCall(f) => {
+                out.push(Self::OP_HOST);
+                f.encode(out);
+            }
+            Instr::Return => out.push(Self::OP_RET),
+            Instr::Load8(o) => {
+                out.push(Self::OP_LOAD8);
+                o.encode(out);
+            }
+            Instr::Load64(o) => {
+                out.push(Self::OP_LOAD64);
+                o.encode(out);
+            }
+            Instr::Store8(o) => {
+                out.push(Self::OP_STORE8);
+                o.encode(out);
+            }
+            Instr::Store64(o) => {
+                out.push(Self::OP_STORE64);
+                o.encode(out);
+            }
+            Instr::MemSize => out.push(Self::OP_MEMSIZE),
+            Instr::MemGrow => out.push(Self::OP_MEMGROW),
+            Instr::Drop => out.push(Self::OP_DROP),
+            Instr::Dup => out.push(Self::OP_DUP),
+            Instr::Swap => out.push(Self::OP_SWAP),
+            Instr::Select => out.push(Self::OP_SELECT),
+            Instr::Trap => out.push(Self::OP_TRAP),
+        }
+    }
+}
+
+impl Decode for Instr {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let op = u8::decode(input)?;
+        Ok(match op {
+            Self::OP_CONST => Instr::Const(u64::decode(input)?),
+            Self::OP_LOCAL_GET => Instr::LocalGet(u16::decode(input)?),
+            Self::OP_LOCAL_SET => Instr::LocalSet(u16::decode(input)?),
+            Self::OP_ADD => Instr::Add,
+            Self::OP_SUB => Instr::Sub,
+            Self::OP_MUL => Instr::Mul,
+            Self::OP_DIVU => Instr::DivU,
+            Self::OP_REMU => Instr::RemU,
+            Self::OP_AND => Instr::And,
+            Self::OP_OR => Instr::Or,
+            Self::OP_XOR => Instr::Xor,
+            Self::OP_SHL => Instr::Shl,
+            Self::OP_SHRU => Instr::ShrU,
+            Self::OP_ROTR => Instr::Rotr,
+            Self::OP_EQ => Instr::Eq,
+            Self::OP_NE => Instr::Ne,
+            Self::OP_LTU => Instr::LtU,
+            Self::OP_GTU => Instr::GtU,
+            Self::OP_LEU => Instr::LeU,
+            Self::OP_GEU => Instr::GeU,
+            Self::OP_JZ => Instr::JumpIfZero(u32::decode(input)?),
+            Self::OP_JNZ => Instr::JumpIfNonZero(u32::decode(input)?),
+            Self::OP_JMP => Instr::Jump(u32::decode(input)?),
+            Self::OP_CALL => Instr::Call(u16::decode(input)?),
+            Self::OP_HOST => Instr::HostCall(u16::decode(input)?),
+            Self::OP_RET => Instr::Return,
+            Self::OP_LOAD8 => Instr::Load8(u32::decode(input)?),
+            Self::OP_LOAD64 => Instr::Load64(u32::decode(input)?),
+            Self::OP_STORE8 => Instr::Store8(u32::decode(input)?),
+            Self::OP_STORE64 => Instr::Store64(u32::decode(input)?),
+            Self::OP_MEMSIZE => Instr::MemSize,
+            Self::OP_MEMGROW => Instr::MemGrow,
+            Self::OP_DROP => Instr::Drop,
+            Self::OP_DUP => Instr::Dup,
+            Self::OP_SWAP => Instr::Swap,
+            Self::OP_SELECT => Instr::Select,
+            Self::OP_TRAP => Instr::Trap,
+            other => return Err(DecodeError::InvalidTag(other)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<Instr> {
+        vec![
+            Instr::Const(u64::MAX),
+            Instr::LocalGet(7),
+            Instr::LocalSet(0),
+            Instr::Add,
+            Instr::Sub,
+            Instr::Mul,
+            Instr::DivU,
+            Instr::RemU,
+            Instr::And,
+            Instr::Or,
+            Instr::Xor,
+            Instr::Shl,
+            Instr::ShrU,
+            Instr::Rotr,
+            Instr::Eq,
+            Instr::Ne,
+            Instr::LtU,
+            Instr::GtU,
+            Instr::LeU,
+            Instr::GeU,
+            Instr::JumpIfZero(3),
+            Instr::JumpIfNonZero(4),
+            Instr::Jump(5),
+            Instr::Call(1),
+            Instr::HostCall(2),
+            Instr::Return,
+            Instr::Load8(16),
+            Instr::Load64(24),
+            Instr::Store8(0),
+            Instr::Store64(8),
+            Instr::MemSize,
+            Instr::MemGrow,
+            Instr::Drop,
+            Instr::Dup,
+            Instr::Swap,
+            Instr::Select,
+            Instr::Trap,
+        ]
+    }
+
+    #[test]
+    fn every_instruction_round_trips() {
+        for instr in all_variants() {
+            let wire = instr.to_wire();
+            assert_eq!(Instr::from_wire(&wire), Ok(instr), "{instr:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert!(Instr::from_wire(&[0xff]).is_err());
+        assert!(Instr::from_wire(&[0x00]).is_err());
+    }
+
+    #[test]
+    fn truncated_operand_rejected() {
+        let mut wire = Instr::Const(42).to_wire();
+        wire.truncate(4);
+        assert!(Instr::from_wire(&wire).is_err());
+    }
+
+    #[test]
+    fn opcodes_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for instr in all_variants() {
+            let op = instr.to_wire()[0];
+            assert!(seen.insert(op), "duplicate opcode 0x{op:02x} for {instr:?}");
+        }
+    }
+}

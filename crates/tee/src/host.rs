@@ -1,0 +1,254 @@
+//! Enclave hosting with the socket topology of the paper's prototype.
+//!
+//! §5 attributes the TEE overhead of Table 3 to "two additional sockets:
+//! one to forward request traffic from the client to our framework, and one
+//! inside the TEE to communicate between our framework and the sandboxed
+//! application." [`EnclaveHost`] reproduces that topology with real
+//! loopback TCP sockets:
+//!
+//! ```text
+//! client ──TCP──▶ host proxy ──TCP──▶ enclave service thread
+//!                 (socket 1)          (socket 2, "vsock")
+//! ```
+//!
+//! The proxy is dumb byte forwarding, exactly like the Nitro parent
+//! instance's vsock proxy. For the bench baseline, services can also be
+//! invoked in-process (no sockets) via [`EnclaveService::handle`] directly.
+
+use distrust_wire::frame::{read_frame, write_frame};
+use parking_lot::Mutex;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A request/response service running "inside" the enclave.
+pub trait EnclaveService: Send + 'static {
+    /// Handles one request message, producing one response message.
+    fn handle(&mut self, request: Vec<u8>) -> Vec<u8>;
+}
+
+impl<F> EnclaveService for F
+where
+    F: FnMut(Vec<u8>) -> Vec<u8> + Send + 'static,
+{
+    fn handle(&mut self, request: Vec<u8>) -> Vec<u8> {
+        self(request)
+    }
+}
+
+/// A running enclave host: external proxy listener + internal service
+/// listener, with threads reaped on shutdown.
+pub struct EnclaveHost {
+    external_addr: SocketAddr,
+    internal_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl EnclaveHost {
+    /// Spawns the service behind the two-socket proxy topology.
+    pub fn spawn<S: EnclaveService>(service: S) -> std::io::Result<Self> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let service = Arc::new(Mutex::new(service));
+
+        // Socket 2: the "vsock" between host proxy and enclave interior.
+        let internal_listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let internal_addr = internal_listener.local_addr()?;
+        let stop_i = Arc::clone(&stop);
+        let service_i = Arc::clone(&service);
+        let internal_thread = std::thread::Builder::new()
+            .name("enclave-interior".to_string())
+            .spawn(move || {
+                for conn in internal_listener.incoming() {
+                    if stop_i.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(mut conn) = conn else { break };
+                    let _ = conn.set_nodelay(true);
+                    let service = Arc::clone(&service_i);
+                    let stop_c = Arc::clone(&stop_i);
+                    let _ = std::thread::Builder::new()
+                        .name("enclave-conn".to_string())
+                        .spawn(move || loop {
+                            if stop_c.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let Ok(request) = read_frame(&mut conn) else {
+                                break;
+                            };
+                            let response = service.lock().handle(request);
+                            if write_frame(&mut conn, &response).is_err() {
+                                break;
+                            }
+                        });
+                }
+            })?;
+
+        // Socket 1: the external proxy clients connect to.
+        let external_listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let external_addr = external_listener.local_addr()?;
+        let stop_e = Arc::clone(&stop);
+        let proxy_thread = std::thread::Builder::new()
+            .name("enclave-proxy".to_string())
+            .spawn(move || {
+                for conn in external_listener.incoming() {
+                    if stop_e.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(mut client) = conn else { break };
+                    let _ = client.set_nodelay(true);
+                    let stop_c = Arc::clone(&stop_e);
+                    let _ = std::thread::Builder::new()
+                        .name("enclave-proxy-conn".to_string())
+                        .spawn(move || {
+                            // One upstream connection per client connection.
+                            let Ok(mut upstream) = TcpStream::connect(internal_addr) else {
+                                return;
+                            };
+                            let _ = upstream.set_nodelay(true);
+                            loop {
+                                if stop_c.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                                // Forward request bytes, then response bytes.
+                                let Ok(request) = read_frame(&mut client) else {
+                                    break;
+                                };
+                                if write_frame(&mut upstream, &request).is_err() {
+                                    break;
+                                }
+                                let Ok(response) = read_frame(&mut upstream) else {
+                                    break;
+                                };
+                                if write_frame(&mut client, &response).is_err() {
+                                    break;
+                                }
+                            }
+                        });
+                }
+            })?;
+
+        Ok(Self {
+            external_addr,
+            internal_addr,
+            stop,
+            threads: vec![internal_thread, proxy_thread],
+        })
+    }
+
+    /// Address clients connect to (through the proxy — the only way in).
+    pub fn addr(&self) -> SocketAddr {
+        self.external_addr
+    }
+
+    /// Stops accepting and joins the listener threads.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke both accept loops awake.
+        for addr in [self.external_addr, self.internal_addr] {
+            if let Ok(mut s) = TcpStream::connect(addr) {
+                let _ = s.write_all(&[0]);
+            }
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for EnclaveHost {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A blocking client for an [`EnclaveHost`] (frame-per-request).
+pub struct EnclaveClient {
+    stream: TcpStream,
+}
+
+impl EnclaveClient {
+    /// Connects to a host's external address.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// One request/response exchange.
+    pub fn exchange(&mut self, request: &[u8]) -> std::io::Result<Vec<u8>> {
+        write_frame(&mut self.stream, request)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        read_frame(&mut self.stream).map_err(|e| std::io::Error::other(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_both_sockets() {
+        let mut host = EnclaveHost::spawn(|req: Vec<u8>| {
+            let mut resp = req;
+            resp.reverse();
+            resp
+        })
+        .unwrap();
+        let mut client = EnclaveClient::connect(host.addr()).unwrap();
+        assert_eq!(client.exchange(b"abc").unwrap(), b"cba");
+        assert_eq!(client.exchange(b"12345").unwrap(), b"54321");
+        host.shutdown();
+    }
+
+    #[test]
+    fn service_state_persists_across_requests() {
+        let mut counter = 0u64;
+        let mut host = EnclaveHost::spawn(move |_req: Vec<u8>| {
+            counter += 1;
+            counter.to_le_bytes().to_vec()
+        })
+        .unwrap();
+        let mut client = EnclaveClient::connect(host.addr()).unwrap();
+        assert_eq!(client.exchange(b"x").unwrap(), 1u64.to_le_bytes());
+        assert_eq!(client.exchange(b"x").unwrap(), 2u64.to_le_bytes());
+        host.shutdown();
+    }
+
+    #[test]
+    fn multiple_clients() {
+        let mut host = EnclaveHost::spawn(|req: Vec<u8>| req).unwrap();
+        let addr = host.addr();
+        let handles: Vec<_> = (0..4u8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut c = EnclaveClient::connect(addr).unwrap();
+                    let msg = vec![i; 8];
+                    assert_eq!(c.exchange(&msg).unwrap(), msg);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        host.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let mut host = EnclaveHost::spawn(|req: Vec<u8>| req).unwrap();
+        host.shutdown();
+        host.shutdown();
+    }
+
+    #[test]
+    fn large_payload_through_proxy() {
+        let mut host = EnclaveHost::spawn(|req: Vec<u8>| req).unwrap();
+        let mut client = EnclaveClient::connect(host.addr()).unwrap();
+        let big = vec![0x5au8; 500_000];
+        assert_eq!(client.exchange(&big).unwrap(), big);
+        host.shutdown();
+    }
+}

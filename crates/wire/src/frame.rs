@@ -1,0 +1,140 @@
+//! Length-prefixed message framing over byte streams.
+//!
+//! The protocol the paper's evaluation measures is socket-based: the client
+//! talks to the framework over one socket and the framework talks to the
+//! sandboxed application over another (§5 attributes the TEE overhead to
+//! exactly these two hops). Frames here are the unit travelling over each
+//! hop: `u32` little-endian length, then that many payload bytes.
+//!
+//! Framing is deliberately dumb — no compression, no multiplexing — in the
+//! smoltcp spirit of simplicity and robustness.
+
+use std::io::{Read, Write};
+
+/// Maximum frame size accepted (16 MiB), matching the codec's collection cap.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Errors from frame I/O.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying I/O failed.
+    Io(std::io::Error),
+    /// Peer announced a frame larger than [`MAX_FRAME_LEN`].
+    Oversized(usize),
+    /// Stream closed cleanly between frames.
+    Closed,
+}
+
+impl core::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "frame i/o error: {e}"),
+            Self::Oversized(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            Self::Closed => write!(f, "stream closed"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized(payload.len()));
+    }
+    let len = payload.len() as u32;
+    writer.write_all(&len.to_le_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. Returns [`FrameError::Closed`] on clean EOF at a frame
+/// boundary; mid-frame EOF is an I/O error.
+pub fn read_frame<R: Read>(reader: &mut R) -> Result<Vec<u8>, FrameError> {
+    let mut len_bytes = [0u8; 4];
+    // Distinguish clean close (0 bytes read) from torn frame.
+    let mut filled = 0;
+    while filled < 4 {
+        match reader.read(&mut len_bytes[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Err(FrameError::Closed);
+                }
+                return Err(FrameError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                )));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[9u8; 1000]).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cur).unwrap(), b"");
+        assert_eq!(read_frame(&mut cur).unwrap(), vec![9u8; 1000]);
+        assert!(matches!(read_frame(&mut cur), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn oversized_write_rejected() {
+        let huge = vec![0u8; MAX_FRAME_LEN + 1];
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_frame(&mut buf, &huge),
+            Err(FrameError::Oversized(_))
+        ));
+        assert!(buf.is_empty(), "nothing written for rejected frame");
+    }
+
+    #[test]
+    fn oversized_read_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cur), Err(FrameError::Oversized(_))));
+    }
+
+    #[test]
+    fn torn_header_is_io_error() {
+        let mut cur = Cursor::new(vec![1u8, 0]);
+        assert!(matches!(read_frame(&mut cur), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn torn_payload_is_io_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&10u32.to_le_bytes());
+        buf.extend_from_slice(&[1, 2, 3]); // only 3 of 10 payload bytes
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cur), Err(FrameError::Io(_))));
+    }
+}

@@ -1,0 +1,22 @@
+//! # distrust-wire
+//!
+//! Deterministic serialization, framing, transports, and RPC for the
+//! `distrust` workspace.
+//!
+//! Design notes (see DESIGN.md §5): blocking I/O with a thread per
+//! connection; explicit message types with a canonical binary codec so that
+//! hashed/signed structures have one byte representation everywhere; real
+//! TCP loopback sockets wherever the paper's evaluation attributes cost to
+//! socket hops.
+
+pub mod codec;
+pub mod frame;
+pub mod rpc;
+pub mod transport;
+
+pub use codec::{Decode, DecodeError, Encode};
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
+pub use rpc::{RpcClient, RpcError, RpcHandler, RpcServer};
+pub use transport::{
+    ChannelTransport, SharedTransport, TcpAcceptor, TcpTransport, Transport, TransportError,
+};

@@ -1,0 +1,298 @@
+//! Minimal request/response RPC over a [`Transport`].
+//!
+//! One in-flight request per connection (the deployment's clients are
+//! sequential auditors and signers, not high-fanout proxies), explicit
+//! status codes, and a thread-per-connection server loop in the std-net
+//! blocking style the workspace uses throughout.
+
+use crate::codec::{Decode, DecodeError, Encode};
+use crate::transport::{TcpAcceptor, TcpTransport, Transport, TransportError};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// RPC-level errors.
+#[derive(Debug)]
+pub enum RpcError {
+    /// Transport failure.
+    Transport(TransportError),
+    /// Response failed to decode.
+    Decode(DecodeError),
+    /// Server answered with an application error string.
+    Remote(String),
+}
+
+impl core::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Transport(e) => write!(f, "rpc transport error: {e}"),
+            Self::Decode(e) => write!(f, "rpc decode error: {e}"),
+            Self::Remote(msg) => write!(f, "remote error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<TransportError> for RpcError {
+    fn from(e: TransportError) -> Self {
+        Self::Transport(e)
+    }
+}
+
+impl From<DecodeError> for RpcError {
+    fn from(e: DecodeError) -> Self {
+        Self::Decode(e)
+    }
+}
+
+/// Wire envelope: `0x00` = ok + payload, `0x01` = error + utf-8 message.
+fn encode_ok(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 1);
+    out.push(0x00);
+    out.extend_from_slice(payload);
+    out
+}
+
+fn encode_err(message: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(message.len() + 1);
+    out.push(0x01);
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+fn decode_envelope(frame: Vec<u8>) -> Result<Vec<u8>, RpcError> {
+    match frame.split_first() {
+        Some((0x00, payload)) => Ok(payload.to_vec()),
+        Some((0x01, msg)) => Err(RpcError::Remote(
+            String::from_utf8_lossy(msg).into_owned(),
+        )),
+        _ => Err(RpcError::Decode(DecodeError::UnexpectedEnd)),
+    }
+}
+
+/// Client endpoint: typed call over any transport.
+pub struct RpcClient<T: Transport> {
+    transport: T,
+}
+
+impl<T: Transport> RpcClient<T> {
+    /// Wraps a connected transport.
+    pub fn new(transport: T) -> Self {
+        Self { transport }
+    }
+
+    /// Sends `request`, blocks for the response, decodes it.
+    pub fn call<Req: Encode, Resp: Decode>(&mut self, request: &Req) -> Result<Resp, RpcError> {
+        self.transport.send(&request.to_wire())?;
+        let frame = self.transport.recv()?;
+        let payload = decode_envelope(frame)?;
+        Ok(Resp::from_wire(&payload)?)
+    }
+}
+
+impl RpcClient<TcpTransport> {
+    /// Connects over TCP.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        Ok(Self::new(TcpTransport::connect(addr)?))
+    }
+}
+
+/// Server handler: decodes a request, produces a response or error string.
+pub trait RpcHandler<Req: Decode, Resp: Encode>: Send + Sync + 'static {
+    /// Handles one request.
+    fn handle(&self, request: Req) -> Result<Resp, String>;
+}
+
+impl<Req: Decode, Resp: Encode, F> RpcHandler<Req, Resp> for F
+where
+    F: Fn(Req) -> Result<Resp, String> + Send + Sync + 'static,
+{
+    fn handle(&self, request: Req) -> Result<Resp, String> {
+        self.handle_impl(request)
+    }
+}
+
+trait HandlerImpl<Req, Resp> {
+    fn handle_impl(&self, request: Req) -> Result<Resp, String>;
+}
+
+impl<Req, Resp, F> HandlerImpl<Req, Resp> for F
+where
+    F: Fn(Req) -> Result<Resp, String>,
+{
+    fn handle_impl(&self, request: Req) -> Result<Resp, String> {
+        self(request)
+    }
+}
+
+/// A running TCP RPC server. Threads are reaped on [`RpcServer::shutdown`].
+pub struct RpcServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl RpcServer {
+    /// Binds a loopback listener and serves `handler` on a thread per
+    /// connection until shutdown.
+    pub fn spawn<Req, Resp, H>(handler: Arc<H>) -> std::io::Result<Self>
+    where
+        Req: Decode + Send + 'static,
+        Resp: Encode + Send + 'static,
+        H: RpcHandler<Req, Resp>,
+    {
+        let acceptor = TcpAcceptor::bind_loopback()?;
+        let addr = acceptor.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("rpc-accept-{addr}"))
+            .spawn(move || {
+                loop {
+                    if stop_accept.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let transport = match acceptor.accept() {
+                        Ok(t) => t,
+                        Err(_) => break,
+                    };
+                    if stop_accept.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let handler = Arc::clone(&handler);
+                    let stop_conn = Arc::clone(&stop_accept);
+                    let _ = std::thread::Builder::new()
+                        .name("rpc-conn".to_string())
+                        .spawn(move || serve_connection(transport, handler, stop_conn));
+                }
+            })?;
+        Ok(Self {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and unblocks the accept loop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the accept loop awake with a throwaway connection.
+        let _ = std::net::TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for RpcServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection<Req, Resp, H>(mut transport: TcpTransport, handler: Arc<H>, stop: Arc<AtomicBool>)
+where
+    Req: Decode,
+    Resp: Encode,
+    H: RpcHandler<Req, Resp>,
+{
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let frame = match transport.recv() {
+            Ok(f) => f,
+            Err(_) => break,
+        };
+        let reply = match Req::from_wire(&frame) {
+            Ok(request) => match handler.handle(request) {
+                Ok(resp) => encode_ok(&resp.to_wire()),
+                Err(msg) => encode_err(&msg),
+            },
+            Err(e) => encode_err(&format!("malformed request: {e}")),
+        };
+        if transport.send(&reply).is_err() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_server() {
+        let handler = Arc::new(|req: Vec<u8>| -> Result<Vec<u8>, String> { Ok(req) });
+        let mut server = RpcServer::spawn::<Vec<u8>, Vec<u8>, _>(handler).unwrap();
+        let mut client = RpcClient::connect(server.local_addr()).unwrap();
+        let resp: Vec<u8> = client.call(&b"hello rpc".to_vec()).unwrap();
+        assert_eq!(resp, b"hello rpc");
+        server.shutdown();
+    }
+
+    #[test]
+    fn remote_errors_propagate() {
+        let handler =
+            Arc::new(|_req: u64| -> Result<u64, String> { Err("nope".to_string()) });
+        let mut server = RpcServer::spawn::<u64, u64, _>(handler).unwrap();
+        let mut client = RpcClient::connect(server.local_addr()).unwrap();
+        match client.call::<u64, u64>(&7) {
+            Err(RpcError::Remote(msg)) => assert_eq!(msg, "nope"),
+            other => panic!("expected remote error, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_reported() {
+        // Handler expects u64 (8 bytes); send 3 bytes.
+        let handler = Arc::new(|req: u64| -> Result<u64, String> { Ok(req + 1) });
+        let mut server = RpcServer::spawn::<u64, u64, _>(handler).unwrap();
+        let mut t = TcpTransport::connect(server.local_addr()).unwrap();
+        t.send(&[1, 2, 3]).unwrap();
+        let frame = t.recv().unwrap();
+        assert_eq!(frame[0], 0x01, "error envelope");
+        server.shutdown();
+    }
+
+    #[test]
+    fn multiple_sequential_calls() {
+        let handler = Arc::new(|req: u64| -> Result<u64, String> { Ok(req * 2) });
+        let mut server = RpcServer::spawn::<u64, u64, _>(handler).unwrap();
+        let mut client = RpcClient::connect(server.local_addr()).unwrap();
+        for i in 0..20u64 {
+            let doubled: u64 = client.call(&i).unwrap();
+            assert_eq!(doubled, i * 2);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let handler = Arc::new(|req: u64| -> Result<u64, String> { Ok(req + 100) });
+        let server = Arc::new(parking_lot::Mutex::new(
+            RpcServer::spawn::<u64, u64, _>(handler).unwrap(),
+        ));
+        let addr = server.lock().local_addr();
+        let mut joins = Vec::new();
+        for i in 0..8u64 {
+            joins.push(std::thread::spawn(move || {
+                let mut client = RpcClient::connect(addr).unwrap();
+                let resp: u64 = client.call(&i).unwrap();
+                assert_eq!(resp, i + 100);
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        server.lock().shutdown();
+    }
+}

@@ -1,0 +1,254 @@
+//! Message transports: real TCP loopback and an in-process channel pair.
+//!
+//! Every hop in the deployment — client ↔ trust domain, enclave host ↔
+//! framework, framework ↔ sandboxed app — speaks "send a byte message /
+//! receive a byte message" through the [`Transport`] trait. Production-shaped
+//! traffic uses [`TcpTransport`] (real sockets, real syscalls — what Table 3
+//! measures); unit tests that don't care about socket cost use
+//! [`ChannelTransport`].
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+/// Transport-level errors.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Framing or socket failure.
+    Frame(FrameError),
+    /// The peer disconnected.
+    Disconnected,
+}
+
+impl core::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Frame(e) => write!(f, "transport frame error: {e}"),
+            Self::Disconnected => write!(f, "peer disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<FrameError> for TransportError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Closed => TransportError::Disconnected,
+            other => TransportError::Frame(other),
+        }
+    }
+}
+
+/// A bidirectional, message-oriented byte transport.
+pub trait Transport: Send {
+    /// Sends one message.
+    fn send(&mut self, payload: &[u8]) -> Result<(), TransportError>;
+    /// Blocks until one message arrives.
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError>;
+}
+
+/// A [`Transport`] over a connected TCP stream.
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Wraps a connected stream. Disables Nagle so small request/response
+    /// frames are not delayed — the workload is RPC-shaped.
+    pub fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Connects to a listener.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        Self::new(TcpStream::connect(addr)?)
+    }
+
+    /// The peer address.
+    pub fn peer_addr(&self) -> std::io::Result<SocketAddr> {
+        self.stream.peer_addr()
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        write_frame(&mut self.stream, payload)?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
+        Ok(read_frame(&mut self.stream)?)
+    }
+}
+
+/// A TCP listener that hands out [`TcpTransport`]s.
+pub struct TcpAcceptor {
+    listener: TcpListener,
+}
+
+impl TcpAcceptor {
+    /// Binds to an ephemeral loopback port.
+    pub fn bind_loopback() -> std::io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(("127.0.0.1", 0))?,
+        })
+    }
+
+    /// The bound address (share with clients).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Blocks until a client connects.
+    pub fn accept(&self) -> std::io::Result<TcpTransport> {
+        let (stream, _) = self.listener.accept()?;
+        TcpTransport::new(stream)
+    }
+}
+
+/// In-process transport half backed by crossbeam channels.
+pub struct ChannelTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl ChannelTransport {
+    /// Creates a connected pair of endpoints.
+    pub fn pair() -> (ChannelTransport, ChannelTransport) {
+        let (tx_a, rx_a) = crossbeam::channel::unbounded();
+        let (tx_b, rx_b) = crossbeam::channel::unbounded();
+        (
+            ChannelTransport { tx: tx_a, rx: rx_b },
+            ChannelTransport { tx: tx_b, rx: rx_a },
+        )
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        self.tx
+            .send(payload.to_vec())
+            .map_err(|_| TransportError::Disconnected)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
+        self.rx.recv().map_err(|_| TransportError::Disconnected)
+    }
+}
+
+/// A thread-safe wrapper allowing a transport to be shared by reference
+/// (one request/response at a time).
+pub struct SharedTransport<T: Transport> {
+    inner: Mutex<T>,
+}
+
+impl<T: Transport> SharedTransport<T> {
+    /// Wraps a transport.
+    pub fn new(inner: T) -> Self {
+        Self {
+            inner: Mutex::new(inner),
+        }
+    }
+
+    /// Performs a blocking request/response exchange atomically.
+    pub fn exchange(&self, payload: &[u8]) -> Result<Vec<u8>, TransportError> {
+        let mut guard = self.inner.lock();
+        guard.send(payload)?;
+        guard.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn channel_pair_round_trip() {
+        let (mut a, mut b) = ChannelTransport::pair();
+        a.send(b"ping").unwrap();
+        assert_eq!(b.recv().unwrap(), b"ping");
+        b.send(b"pong").unwrap();
+        assert_eq!(a.recv().unwrap(), b"pong");
+    }
+
+    #[test]
+    fn channel_disconnect_detected() {
+        let (mut a, b) = ChannelTransport::pair();
+        drop(b);
+        assert!(matches!(a.recv(), Err(TransportError::Disconnected)));
+        assert!(matches!(
+            a.send(b"into the void"),
+            Err(TransportError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let acceptor = TcpAcceptor::bind_loopback().unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let mut t = acceptor.accept().unwrap();
+            let msg = t.recv().unwrap();
+            t.send(&msg).unwrap(); // echo
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        client.send(b"echo me").unwrap();
+        assert_eq!(client.recv().unwrap(), b"echo me");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_close_detected() {
+        let acceptor = TcpAcceptor::bind_loopback().unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let _t = acceptor.accept().unwrap();
+            // Drop immediately.
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        server.join().unwrap();
+        assert!(matches!(client.recv(), Err(TransportError::Disconnected)));
+    }
+
+    #[test]
+    fn shared_transport_exchanges() {
+        let (a, mut b) = ChannelTransport::pair();
+        let shared = SharedTransport::new(a);
+        let server = thread::spawn(move || {
+            for _ in 0..3 {
+                let req = b.recv().unwrap();
+                let mut resp = req.clone();
+                resp.push(b'!');
+                b.send(&resp).unwrap();
+            }
+        });
+        for msg in [b"one".as_slice(), b"two", b"three"] {
+            let resp = shared.exchange(msg).unwrap();
+            assert_eq!(&resp[..resp.len() - 1], msg);
+            assert_eq!(*resp.last().unwrap(), b'!');
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn large_message_over_tcp() {
+        let acceptor = TcpAcceptor::bind_loopback().unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let payload = vec![0xabu8; 1_000_000];
+        let expected = payload.clone();
+        let server = thread::spawn(move || {
+            let mut t = acceptor.accept().unwrap();
+            let got = t.recv().unwrap();
+            assert_eq!(got.len(), 1_000_000);
+            t.send(&got[..10]).unwrap();
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        client.send(&payload).unwrap();
+        assert_eq!(client.recv().unwrap(), &expected[..10]);
+        server.join().unwrap();
+    }
+}

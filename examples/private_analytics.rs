@@ -1,0 +1,62 @@
+//! Prio-style private analytics (§2's first deployed application class):
+//! telemetry aggregation where no trust domain sees individual reports.
+//!
+//! ```sh
+//! cargo run --release --example private_analytics
+//! ```
+
+use distrust::apps::analytics::{self, AnalyticsClient, METHOD_AGGREGATE};
+use distrust::core::Deployment;
+use distrust::crypto::drbg::HmacDrbg;
+
+fn main() {
+    println!("== private telemetry: 2 trust domains, additive shares ==\n");
+
+    // The classic Prio topology: exactly two non-colluding servers.
+    let deployment =
+        Deployment::launch(analytics::app_spec(2), b"analytics example").expect("launch");
+    let dims = 3; // e.g. [crashed?, used_feature_x?, startup_ms]
+    let analytics_client = AnalyticsClient::new(dims);
+
+    // 100 simulated browsers submit telemetry.
+    let mut client = deployment.client(b"browsers");
+    let mut rng = HmacDrbg::new(b"population", b"");
+    let mut expected = [0u64; 3];
+    for i in 0..100u64 {
+        let report = [
+            (i % 7 == 0) as u64,        // ~14% crash rate
+            (i % 3 == 0) as u64,        // ~33% feature usage
+            80 + (i * 13) % 40,         // startup times 80..120ms
+        ];
+        for (e, v) in expected.iter_mut().zip(&report) {
+            *e += v;
+        }
+        analytics_client
+            .submit(&mut client, &report, &mut rng)
+            .expect("submit");
+    }
+    println!("100 clients submitted privately");
+
+    // What each domain sees: a uniformly masked accumulator.
+    let mut analyst = deployment.client(b"analyst");
+    for d in 0..2u32 {
+        let acc = analyst.call(d, METHOD_AGGREGATE, b"").expect("acc");
+        let acc: Vec<u64> = acc
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        println!("domain {d} accumulator (masked): {acc:?}");
+    }
+
+    // The analyst combines both accumulators; the masks cancel.
+    let (totals, count) = analytics_client.aggregate(&mut analyst).expect("aggregate");
+    println!("\ncombined totals over {count} reports: {totals:?}");
+    println!("expected:                             {expected:?}");
+    assert_eq!(totals, expected.to_vec());
+    println!(
+        "\ncrash rate {}%, feature usage {}%, mean startup {:.1}ms ✅",
+        totals[0],
+        totals[1],
+        totals[2] as f64 / count as f64
+    );
+}

@@ -1,0 +1,252 @@
+//! Detection tests: a misbehaving trust domain is caught by the client's
+//! audit, and equivocation yields a transferable cryptographic proof —
+//! the paper's core guarantee ("the user will be able to detect whenever
+//! the system does not execute the expected code … and will obtain a
+//! publicly verifiable proof of misbehavior").
+
+use distrust::core::protocol::{Request, Response};
+use distrust::core::server::DirectHost;
+use distrust::core::{DeploymentClient, DeploymentDescriptor, DomainInfo};
+use distrust::crypto::drbg::HmacDrbg;
+use distrust::crypto::schnorr::SigningKey;
+use distrust::log::auditor::Misbehavior;
+use distrust::log::checkpoint::{log_id, CheckpointBody, SignedCheckpoint};
+use distrust::tee::host::EnclaveService;
+use distrust::tee::vendor::VendorRoots;
+use distrust::wire::{Decode, Encode};
+
+/// A malicious trust domain: answers status/attest like an honest
+/// unattested domain, but signs a DIFFERENT log head on every checkpoint
+/// request — classic equivocation (showing different histories to
+/// different clients).
+struct EquivocatingDomain {
+    key: SigningKey,
+    log_id: [u8; 32],
+    flip: bool,
+}
+
+impl EnclaveService for EquivocatingDomain {
+    fn handle(&mut self, request: Vec<u8>) -> Vec<u8> {
+        let response = match Request::from_wire(&request) {
+            Ok(Request::Attest { nonce }) => {
+                let status = distrust::core::DomainStatus {
+                    domain_index: 0,
+                    app_digest: [1; 32],
+                    app_version: 1,
+                    log_size: 1,
+                    log_head: [0xaa; 32],
+                    framework_measurement: [2; 32],
+                };
+                let _ = nonce;
+                Response::Unattested(status)
+            }
+            Ok(Request::GetCheckpoint) => {
+                self.flip = !self.flip;
+                let head = if self.flip { [0xaa; 32] } else { [0xbb; 32] };
+                Response::Checkpoint(SignedCheckpoint::sign(
+                    CheckpointBody {
+                        log_id: self.log_id,
+                        size: 1,
+                        head,
+                        logical_time: 1,
+                    },
+                    &self.key,
+                ))
+            }
+            Ok(_) => Response::Error("not implemented".into()),
+            Err(e) => Response::Error(format!("{e}")),
+        };
+        response.to_wire()
+    }
+}
+
+#[test]
+fn equivocating_domain_yields_transferable_proof() {
+    let key = SigningKey::derive(b"equivocator", b"checkpoint");
+    let lid = log_id(b"evil-deploy", 0);
+    let mut host = DirectHost::spawn(EquivocatingDomain {
+        key,
+        log_id: lid,
+        flip: false,
+    })
+    .expect("spawn");
+
+    let descriptor = DeploymentDescriptor {
+        app_name: "any".into(),
+        developer_key: SigningKey::derive(b"dev", b"k").verifying_key(),
+        vendor_roots: VendorRoots::new(vec![]),
+        domains: vec![DomainInfo {
+            index: 0,
+            addr: host.addr(),
+            vendor: None,
+            checkpoint_key: key.verifying_key(),
+        }],
+    };
+    let mut client =
+        DeploymentClient::new(descriptor, Box::new(HmacDrbg::new(b"auditor", b"")));
+
+    // First audit: checkpoint says head 0xaa — fine so far (matches the
+    // status the fake domain reports).
+    let first = client.audit(None);
+    assert!(
+        first.misbehavior.is_empty(),
+        "first view is internally consistent: {first:?}"
+    );
+
+    // Second audit: same size, different head. The auditor holds both
+    // signed checkpoints → equivocation proof.
+    let second = client.audit(None);
+    let equivocation = second
+        .misbehavior
+        .iter()
+        .find_map(|m| match m {
+            Misbehavior::Equivocation { proof, .. } => Some(proof.clone()),
+            _ => None,
+        })
+        .expect("equivocation detected");
+
+    // The proof is PUBLICLY verifiable: serialize, hand to a third party
+    // knowing only the domain's public key, verify.
+    let wire = equivocation.to_wire();
+    let transported =
+        distrust::log::checkpoint::EquivocationProof::from_wire(&wire).expect("decodes");
+    assert!(transported.verify(&key.verifying_key()));
+    // And it does not frame an innocent domain.
+    let innocent = SigningKey::derive(b"innocent", b"k");
+    assert!(!transported.verify(&innocent.verifying_key()));
+
+    host.shutdown();
+}
+
+/// A domain that rewrites history: reports a log that is not an extension
+/// of what it previously showed.
+struct RewritingDomain {
+    key: SigningKey,
+    log_id: [u8; 32],
+    phase: u64,
+}
+
+impl EnclaveService for RewritingDomain {
+    fn handle(&mut self, request: Vec<u8>) -> Vec<u8> {
+        let response = match Request::from_wire(&request) {
+            Ok(Request::Attest { .. }) => {
+                self.phase += 1;
+                // Two different "histories": sizes grow but heads are
+                // unrelated and no consistency proof will be offered.
+                let (size, head) = if self.phase == 1 {
+                    (1u64, [0x10u8; 32])
+                } else {
+                    (2u64, [0x20u8; 32])
+                };
+                Response::Unattested(distrust::core::DomainStatus {
+                    domain_index: 0,
+                    app_digest: [1; 32],
+                    app_version: 1,
+                    log_size: size,
+                    log_head: head,
+                    framework_measurement: [2; 32],
+                })
+            }
+            Ok(Request::GetCheckpoint) => {
+                let (size, head) = if self.phase <= 1 {
+                    (1u64, [0x10u8; 32])
+                } else {
+                    (2u64, [0x20u8; 32])
+                };
+                Response::Checkpoint(SignedCheckpoint::sign(
+                    CheckpointBody {
+                        log_id: self.log_id,
+                        size,
+                        head,
+                        logical_time: self.phase,
+                    },
+                    &self.key,
+                ))
+            }
+            Ok(Request::GetConsistency { .. }) => {
+                Response::Error("no proof available".into())
+            }
+            Ok(_) => Response::Error("not implemented".into()),
+            Err(e) => Response::Error(format!("{e}")),
+        };
+        response.to_wire()
+    }
+}
+
+#[test]
+fn history_rewrite_without_proof_is_flagged() {
+    let key = SigningKey::derive(b"rewriter", b"checkpoint");
+    let lid = log_id(b"rewrite-deploy", 0);
+    let mut host = DirectHost::spawn(RewritingDomain {
+        key,
+        log_id: lid,
+        phase: 0,
+    })
+    .expect("spawn");
+
+    let descriptor = DeploymentDescriptor {
+        app_name: "any".into(),
+        developer_key: SigningKey::derive(b"dev", b"k").verifying_key(),
+        vendor_roots: VendorRoots::new(vec![]),
+        domains: vec![DomainInfo {
+            index: 0,
+            addr: host.addr(),
+            vendor: None,
+            checkpoint_key: key.verifying_key(),
+        }],
+    };
+    let mut client =
+        DeploymentClient::new(descriptor, Box::new(HmacDrbg::new(b"auditor", b"")));
+
+    let first = client.audit(None);
+    assert!(first.misbehavior.is_empty(), "{first:?}");
+    let second = client.audit(None);
+    assert!(
+        second.misbehavior.iter().any(|m| matches!(
+            m,
+            Misbehavior::InconsistentGrowth { .. }
+        )),
+        "rewrite must be flagged: {second:?}"
+    );
+
+    host.shutdown();
+}
+
+#[test]
+fn checkpoint_signed_by_wrong_key_is_flagged() {
+    let real_key = SigningKey::derive(b"hijacked", b"real");
+    let attacker_key = SigningKey::derive(b"hijacked", b"attacker");
+    let lid = log_id(b"hijack-deploy", 0);
+    // The domain signs with the attacker's key (e.g. after host takeover
+    // of an unattested domain).
+    let mut host = DirectHost::spawn(EquivocatingDomain {
+        key: attacker_key,
+        log_id: lid,
+        flip: false,
+    })
+    .expect("spawn");
+
+    let descriptor = DeploymentDescriptor {
+        app_name: "any".into(),
+        developer_key: SigningKey::derive(b"dev", b"k").verifying_key(),
+        vendor_roots: VendorRoots::new(vec![]),
+        domains: vec![DomainInfo {
+            index: 0,
+            addr: host.addr(),
+            vendor: None,
+            // Client pins the REAL key.
+            checkpoint_key: real_key.verifying_key(),
+        }],
+    };
+    let mut client =
+        DeploymentClient::new(descriptor, Box::new(HmacDrbg::new(b"auditor", b"")));
+    let report = client.audit(None);
+    assert!(
+        report
+            .misbehavior
+            .iter()
+            .any(|m| matches!(m, Misbehavior::BadSignature { .. })),
+        "{report:?}"
+    );
+    host.shutdown();
+}

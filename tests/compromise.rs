@@ -1,0 +1,234 @@
+//! The compromise matrix: which guarantees survive which corruptions.
+//!
+//! * Figure 1: a compromised application developer (full control of trust
+//!   domain 0 + the developer credentials) cannot recover users' backed-up
+//!   keys.
+//! * §3.2: a single-vendor TEE exploit forges attestation for that
+//!   vendor's domains only; heterogeneous hardware bounds the blast
+//!   radius, and cross-domain digest comparison still detects divergence.
+
+use distrust::apps::key_backup::{self, KeyBackupClient, RecoverStatus};
+use distrust::core::framework::framework_measurement;
+use distrust::core::protocol::{AttestationBinding, DomainStatus};
+use distrust::core::Deployment;
+use distrust::crypto::drbg::HmacDrbg;
+use distrust::crypto::gf256;
+use distrust::tee::attest::{AttestationDocument, PlatformEvidence, Quote};
+use distrust::tee::vendor::{DeviceCert, VendorKind};
+use distrust::wire::Encode;
+
+#[test]
+fn figure1_compromised_developer_cannot_recover_user_key() {
+    // n = 4 domains, recovery threshold t = 3.
+    let deployment =
+        Deployment::launch(key_backup::app_spec(4), b"figure 1 seed").expect("launch");
+    let mut user = deployment.client(b"user");
+    let backup = KeyBackupClient::new(3);
+
+    let secret = b"user signal identity key 0123456";
+    let token = [0x5a; 32];
+    let mut rng = HmacDrbg::new(b"user entropy", b"");
+    let commitment = backup
+        .backup(&mut user, 7777, &token, secret, &mut rng)
+        .expect("backup");
+
+    // Honest recovery works.
+    let recovered = backup
+        .recover(&mut user, 7777, &token, &commitment)
+        .expect("recover");
+    assert_eq!(recovered, secret);
+
+    // THE ATTACK. The adversary compromises the developer: it owns trust
+    // domain 0 outright (reads all its state) and holds the developer's
+    // credentials. What it does NOT have: the user's token, or the state
+    // of domains 1..3 (independent trust domains).
+    //
+    // (a) Domain 0's stored share alone is information-theoretically
+    //     useless: any 2 < t shares are consistent with EVERY possible
+    //     secret. We demonstrate by brute-force consistency: combining the
+    //     attacker's share with arbitrary forged shares produces arbitrary
+    //     "secrets".
+    let mut rng = HmacDrbg::new(b"attacker", b"");
+    let shares = gf256::split(secret, 3, 4, &mut rng).expect("re-split for illustration");
+    let stolen = shares[0].clone(); // what domain 0 holds (x = 1)
+    let mut candidates = std::collections::HashSet::new();
+    for forged_byte in 0..=255u8 {
+        let forged_a = gf256::ByteShare {
+            x: 2,
+            data: vec![forged_byte; secret.len()],
+        };
+        let forged_b = gf256::ByteShare {
+            x: 3,
+            data: vec![0x77; secret.len()],
+        };
+        let guess = gf256::combine(&[stolen.clone(), forged_a, forged_b], 3).unwrap();
+        candidates.insert(guess);
+    }
+    // 256 distinct forgeries → 256 distinct "secrets": the share pins
+    // nothing down.
+    assert_eq!(candidates.len(), 256);
+
+    // (b) The attacker cannot extract shares from the honest domains
+    //     without the token: guest-side auth refuses, then rate-limits.
+    let mut attacker = deployment.client(b"attacker-client");
+    for attempt in 0..key_backup::MAX_ATTEMPTS {
+        let wrong_token = [attempt as u8; 32];
+        for d in 1..4u32 {
+            let status = backup
+                .recover_share(&mut attacker, d, 7777, &wrong_token)
+                .expect("protocol works");
+            assert_eq!(status, RecoverStatus::BadToken, "attempt {attempt}");
+        }
+    }
+    // Budget exhausted: domains 1..3 now refuse even plausible guesses.
+    for d in 1..4u32 {
+        let status = backup
+            .recover_share(&mut attacker, d, 7777, &[0x5a; 32])
+            .expect("protocol works");
+        assert_eq!(status, RecoverStatus::RateLimited);
+    }
+
+    // (c) The real user with the real token is also rate-limited now —
+    //     availability is lost until reset, but CONFIDENTIALITY held: the
+    //     attacker never obtained t shares. (The paper's threat model: the
+    //     developer must not be a central point of *attack*.)
+}
+
+#[test]
+fn vendor_exploit_forges_attestation_for_that_vendor_only() {
+    // Launch any deployment to obtain a realistic descriptor + vendors.
+    let deployment =
+        Deployment::launch(key_backup::app_spec(4), b"vendor exploit seed").expect("launch");
+    let descriptor = &deployment.descriptor;
+    let measurement =
+        framework_measurement(&descriptor.developer_key, &descriptor.app_name);
+
+    // The attacker exploits the SGX-like vendor: leaks its root key.
+    let sgx_vendor = deployment
+        .vendors
+        .iter()
+        .find(|v| v.kind() == VendorKind::SgxSim)
+        .expect("sgx vendor");
+    let stolen_root = sgx_vendor.leak_root_key();
+
+    // Forge a complete quote: fake device, fake cert, arbitrary claimed
+    // status (e.g. claiming to run the honest code while running anything).
+    let mut rng = HmacDrbg::new(b"attacker device", b"");
+    let fake_device_key = distrust::crypto::schnorr::SigningKey::generate(&mut rng);
+    let device_id = [0x66; 16];
+    let cert_msg = {
+        // Reconstruct the cert signing preimage via the public API: a
+        // legitimately provisioned device yields the format; we forge by
+        // signing the same structure with the stolen root.
+        let mut out = b"distrust/tee/device-cert/v1".to_vec();
+        VendorKind::SgxSim.encode(&mut out);
+        device_id.encode(&mut out);
+        out.extend_from_slice(&fake_device_key.verifying_key().to_bytes());
+        out
+    };
+    let forged_cert = DeviceCert {
+        vendor: VendorKind::SgxSim,
+        device_id,
+        device_key: fake_device_key.verifying_key(),
+        signature: stolen_root.sign(&cert_msg),
+    };
+    let lying_status = DomainStatus {
+        domain_index: 1,
+        app_digest: [0xde; 32], // not what's really running anywhere
+        app_version: 1,
+        log_size: 1,
+        log_head: [0xad; 32],
+        framework_measurement: measurement,
+    };
+    let binding = AttestationBinding {
+        nonce: [0x11; 32],
+        status: lying_status,
+    };
+    let document = AttestationDocument {
+        vendor: VendorKind::SgxSim,
+        device_id,
+        measurement,
+        user_data: binding.to_wire(),
+        logical_time: 1,
+        evidence: PlatformEvidence::Sgx {
+            mr_enclave: measurement,
+            mr_signer: [0; 32],
+            isv_svn: 1,
+        },
+    };
+    let forged_quote = Quote {
+        signature: fake_device_key.sign(&document.signing_bytes()),
+        document,
+        cert: forged_cert,
+    };
+
+    // The forged SGX quote passes verification — a vendor exploit defeats
+    // attestation for THAT vendor (why the paper refuses to put the whole
+    // system inside one TEE type).
+    forged_quote
+        .verify(&descriptor.vendor_roots, Some(&measurement), None)
+        .expect("vendor compromise forges its own ecosystem");
+
+    // But the same stolen root cannot forge Nitro or Keystone quotes: the
+    // cert chains to the wrong pinned root.
+    for other in [VendorKind::NitroSim, VendorKind::KeystoneSim] {
+        let mut cross = forged_quote.clone();
+        cross.document.vendor = other;
+        cross.cert.vendor = other;
+        cross.document.evidence = match other {
+            VendorKind::NitroSim => PlatformEvidence::Nitro {
+                pcrs: vec![measurement],
+                module_id: "i-forged".into(),
+            },
+            _ => PlatformEvidence::Keystone {
+                sm_hash: [0; 32],
+                runtime_hash: measurement,
+            },
+        };
+        cross.signature = fake_device_key.sign(&cross.document.signing_bytes());
+        // Re-sign the cert with the stolen (SGX) root — but the verifier
+        // checks against the *other* vendor's pinned root.
+        assert!(
+            cross
+                .verify(&descriptor.vendor_roots, Some(&measurement), None)
+                .is_err(),
+            "{:?} quote must not verify with an SGX root signature",
+            other
+        );
+    }
+}
+
+#[test]
+fn heterogeneity_bounds_the_blast_radius() {
+    // In a 4-domain deployment (domain 0 unattested + 3 TEE domains round-
+    // robin across 3 vendors), one vendor exploit undermines exactly one
+    // attested domain. The client's cross-domain digest comparison spans
+    // all n domains, so a lying minority is detected as divergence.
+    let deployment =
+        Deployment::launch(key_backup::app_spec(4), b"blast radius seed").expect("launch");
+    let vendors: Vec<_> = deployment
+        .descriptor
+        .domains
+        .iter()
+        .map(|d| d.vendor)
+        .collect();
+    assert_eq!(vendors[0], None);
+    let unique: std::collections::HashSet<_> =
+        vendors[1..].iter().map(|v| v.unwrap()).collect();
+    assert_eq!(unique.len(), 3, "three distinct vendors across 3 domains");
+
+    // An honest audit is clean; the attested majority pins the true digest.
+    let mut client = deployment.client(b"auditor");
+    let report = client.audit(Some(&deployment.initial_app_digest));
+    assert!(report.is_clean());
+    // If one domain (vendor-compromised) were to report a different
+    // digest, digests_agree would flip — exercised here structurally by
+    // checking the comparison covers all four domains.
+    assert_eq!(report.domains.len(), 4);
+    let digests: Vec<_> = report
+        .domains
+        .iter()
+        .map(|d| d.status.as_ref().unwrap().app_digest)
+        .collect();
+    assert!(digests.windows(2).all(|w| w[0] == w[1]));
+}

@@ -1,0 +1,150 @@
+//! Concurrency: a deployment must serve many clients at once without
+//! corrupting state — audits, app calls, and updates interleaved from
+//! multiple threads.
+
+use distrust::apps::analytics::{self, AnalyticsClient};
+use distrust::core::Deployment;
+use distrust::crypto::drbg::HmacDrbg;
+use std::sync::Arc;
+
+#[test]
+fn many_concurrent_submitters() {
+    let n_domains = 3;
+    let deployment = Arc::new(
+        Deployment::launch(analytics::app_spec(n_domains), b"concurrency seed")
+            .expect("launch"),
+    );
+    let dims = 2;
+    let threads = 6;
+    let per_thread = 10u64;
+
+    let mut joins = Vec::new();
+    for t in 0..threads {
+        let deployment = Arc::clone(&deployment);
+        joins.push(std::thread::spawn(move || {
+            let mut client = deployment.client(format!("client {t}").as_bytes());
+            let analytics_client = AnalyticsClient::new(dims);
+            let mut rng = HmacDrbg::new(b"thread rng", &[t as u8]);
+            for i in 0..per_thread {
+                analytics_client
+                    .submit(&mut client, &[1, i], &mut rng)
+                    .expect("submit");
+            }
+        }));
+    }
+    for j in joins {
+        j.join().expect("thread panicked");
+    }
+
+    // All submissions landed exactly once on every domain.
+    let mut analyst = deployment.client(b"analyst");
+    let analytics_client = AnalyticsClient::new(dims);
+    let (totals, count) = analytics_client.aggregate(&mut analyst).expect("aggregate");
+    assert_eq!(count, threads as u64 * per_thread);
+    assert_eq!(totals[0], threads as u64 * per_thread);
+    let per_thread_sum: u64 = (0..per_thread).sum();
+    assert_eq!(totals[1], threads as u64 * per_thread_sum);
+}
+
+#[test]
+fn concurrent_audits_and_calls() {
+    let deployment = Arc::new(
+        Deployment::launch(analytics::app_spec(3), b"audit concurrency seed")
+            .expect("launch"),
+    );
+    let digest = deployment.initial_app_digest;
+    let mut joins = Vec::new();
+    // Three auditors and three submitters at once.
+    for t in 0..3 {
+        let deployment = Arc::clone(&deployment);
+        joins.push(std::thread::spawn(move || {
+            let mut client = deployment.client(format!("auditor {t}").as_bytes());
+            for _ in 0..5 {
+                let report = client.audit(Some(&digest));
+                assert!(report.is_clean(), "{report:?}");
+            }
+        }));
+    }
+    for t in 0..3 {
+        let deployment = Arc::clone(&deployment);
+        joins.push(std::thread::spawn(move || {
+            let mut client = deployment.client(format!("submitter {t}").as_bytes());
+            let analytics_client = AnalyticsClient::new(1);
+            let mut rng = HmacDrbg::new(b"s", &[t as u8]);
+            for _ in 0..10 {
+                analytics_client
+                    .submit(&mut client, &[1], &mut rng)
+                    .expect("submit");
+            }
+        }));
+    }
+    for j in joins {
+        j.join().expect("thread panicked");
+    }
+}
+
+#[test]
+fn update_during_traffic_is_atomic() {
+    // Clients calling during an update see either v1 or v2 behaviour,
+    // never an error from a half-applied update; afterwards all domains
+    // converge on v2.
+    use distrust::core::abi::{AppHost, HANDLE_EXPORT, OUTBOX_ADDR};
+    use distrust::core::{AppSpec, NoImports};
+    use distrust::sandbox::{FuncBuilder, Limits, Module, ModuleBuilder};
+
+    fn versioned(version: u64) -> Module {
+        let mut mb = ModuleBuilder::new(1, 1);
+        let mut f = FuncBuilder::new(3, 0, 1);
+        f.constant(OUTBOX_ADDR)
+            .constant(version)
+            .store8(0)
+            .constant(1)
+            .ret();
+        let idx = mb.function(f.build().unwrap());
+        mb.export(HANDLE_EXPORT, idx);
+        mb.build()
+    }
+
+    let spec = AppSpec {
+        name: "atomic".into(),
+        module: versioned(1),
+        notes: "v1".into(),
+        hosts: (0..2)
+            .map(|_| Box::new(NoImports) as Box<dyn AppHost>)
+            .collect(),
+        limits: Limits::default(),
+    };
+    let deployment = Arc::new(Deployment::launch(spec, b"atomic seed").expect("launch"));
+
+    let mut joins = Vec::new();
+    // Callers hammer both domains.
+    for t in 0..4 {
+        let deployment = Arc::clone(&deployment);
+        joins.push(std::thread::spawn(move || {
+            let mut client = deployment.client(format!("caller {t}").as_bytes());
+            for i in 0..50 {
+                let out = client.call(i % 2, 1, b"").expect("call never errors");
+                assert!(out == vec![1] || out == vec![2], "saw {out:?}");
+            }
+        }));
+    }
+    // The developer pushes v2 mid-traffic.
+    {
+        let deployment = Arc::clone(&deployment);
+        joins.push(std::thread::spawn(move || {
+            let release = deployment.sign_release(2, "v2", &versioned(2));
+            let mut client = deployment.client(b"developer");
+            for r in client.push_update(&release) {
+                r.expect("update accepted");
+            }
+        }));
+    }
+    for j in joins {
+        j.join().expect("thread panicked");
+    }
+    // Convergence.
+    let mut client = deployment.client(b"final check");
+    for d in 0..2 {
+        assert_eq!(client.call(d, 1, b"").unwrap(), vec![2]);
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end: the paper's prototype application on a full deployment.
+//!
+//! Deploys BLS threshold signing across n = 5 trust domains (t = 3) with
+//! heterogeneous simulated TEEs, audits the deployment as a client would,
+//! signs through the framework, and verifies the aggregate under the group
+//! public key.
+
+use distrust::apps::threshold_signer::{self, ThresholdSigningClient};
+use distrust::core::Deployment;
+use distrust::crypto::drbg::HmacDrbg;
+
+#[test]
+fn five_domain_threshold_signing() {
+    let mut rng = HmacDrbg::new(b"e2e threshold", b"dealer");
+    let (spec, public) = threshold_signer::setup(3, 5, &mut rng).expect("setup");
+    let mut deployment = Deployment::launch(spec, b"e2e threshold seed").expect("launch");
+    assert_eq!(deployment.domain_count(), 5);
+
+    let mut client = deployment.client(b"client-1");
+
+    // The audit must be clean before the client trusts the deployment.
+    let report = client.audit(Some(&deployment.initial_app_digest));
+    assert!(report.is_clean(), "audit failed: {report:?}");
+    // Domain 0 is the developer's (unattested); the other four attested.
+    assert!(!report.domains[0].attested);
+    for d in &report.domains[1..] {
+        assert!(d.attested, "domain {} not attested", d.index);
+    }
+
+    // Sign.
+    let signer = ThresholdSigningClient::new(public.clone());
+    let msg = b"transfer 10 tokens to alice";
+    let sig = signer.sign(&mut client, msg).expect("signing");
+    assert!(public.public_key.verify(msg, &sig));
+    // Not valid for another message.
+    assert!(!public.public_key.verify(b"transfer 1000 tokens to mallory", &sig));
+
+    // Deterministic: BLS signatures are unique, so signing twice over any
+    // t-subset yields the identical signature.
+    let sig2 = signer.sign(&mut client, msg).expect("signing again");
+    assert_eq!(sig, sig2);
+
+    deployment.shutdown();
+}
+
+#[test]
+fn signing_survives_minority_domain_failure() {
+    let mut rng = HmacDrbg::new(b"e2e tolerance", b"dealer");
+    let (spec, public) = threshold_signer::setup(2, 4, &mut rng).expect("setup");
+    let deployment = Deployment::launch(spec, b"e2e tolerance seed").expect("launch");
+    // Corrupt the descriptor so two domains are unreachable — the client
+    // must still collect t = 2 valid partials from the remaining two.
+    {
+        // Rebuild a client whose descriptor points two domains at dead
+        // addresses.
+        let mut descriptor = deployment.descriptor.clone();
+        descriptor.domains[1].addr = "127.0.0.1:1".parse().unwrap();
+        descriptor.domains[3].addr = "127.0.0.1:1".parse().unwrap();
+        let mut degraded = distrust::core::DeploymentClient::new(
+            descriptor,
+            Box::new(HmacDrbg::new(b"degraded", b"")),
+        );
+        let signer = ThresholdSigningClient::new(public.clone());
+        let msg = b"resilient signing";
+        let sig = signer.sign(&mut degraded, msg).expect("t-of-n resilience");
+        assert!(public.public_key.verify(msg, &sig));
+    }
+
+    // Below threshold, signing must fail: three domains dead.
+    {
+        let mut descriptor = deployment.descriptor.clone();
+        for d in [0usize, 1, 3] {
+            descriptor.domains[d].addr = "127.0.0.1:1".parse().unwrap();
+        }
+        let mut starved = distrust::core::DeploymentClient::new(
+            descriptor,
+            Box::new(HmacDrbg::new(b"starved", b"")),
+        );
+        let signer = ThresholdSigningClient::new(public.clone());
+        let err = signer.sign(&mut starved, b"no quorum").unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("partial"), "unexpected error: {msg}");
+    }
+}
+
+#[test]
+fn partial_signatures_verify_against_feldman_commitments() {
+    let mut rng = HmacDrbg::new(b"e2e partials", b"dealer");
+    let (spec, public) = threshold_signer::setup(2, 3, &mut rng).expect("setup");
+    let deployment = Deployment::launch(spec, b"e2e partials seed").expect("launch");
+    let mut client = deployment.client(b"client-3");
+    let signer = ThresholdSigningClient::new(public.clone());
+
+    let msg = b"audited partial";
+    for domain in 0..3 {
+        let partial = signer
+            .partial_from_domain(&mut client, domain, msg)
+            .expect("partial");
+        assert_eq!(partial.index, (domain + 1) as u8);
+        assert!(distrust::crypto::threshold::verify_partial(
+            &public.commitments,
+            msg,
+            &partial
+        ));
+        // And it is NOT a valid partial for a different message.
+        assert!(!distrust::crypto::threshold::verify_partial(
+            &public.commitments,
+            b"other message",
+            &partial
+        ));
+    }
+}
+
+#[test]
+fn share_index_served_through_deployment() {
+    let mut rng = HmacDrbg::new(b"e2e index", b"dealer");
+    let (spec, _public) = threshold_signer::setup(1, 2, &mut rng).expect("setup");
+    let deployment = Deployment::launch(spec, b"e2e index seed").expect("launch");
+    let mut client = deployment.client(b"client-4");
+    for domain in 0..2u32 {
+        let out = client
+            .call(domain, threshold_signer::METHOD_INDEX, b"")
+            .expect("index call");
+        assert_eq!(out, vec![(domain + 1) as u8]);
+    }
+}

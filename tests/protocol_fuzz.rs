@@ -1,0 +1,117 @@
+//! Protocol robustness: trust domains face the open network, so the
+//! request decoder and the framework dispatcher must survive arbitrary
+//! bytes — answering with error frames, never crashing or hanging.
+
+use distrust::core::abi::NoImports;
+use distrust::core::framework::{EnclaveFramework, FrameworkConfig, FrameworkService};
+use distrust::core::protocol::{Request, Response};
+use distrust::crypto::schnorr::SigningKey;
+use distrust::sandbox::Limits;
+use distrust::tee::host::EnclaveService;
+use distrust::wire::{Decode, Encode};
+use proptest::prelude::*;
+
+fn service() -> FrameworkService {
+    let dev = SigningKey::derive(b"protocol fuzz", b"dev");
+    FrameworkService::new(EnclaveFramework::new(
+        FrameworkConfig {
+            domain_index: 0,
+            app_name: "fuzzed".into(),
+            developer_key: dev.verifying_key(),
+            log_id: [1; 32],
+            limits: Limits::default(),
+        },
+        None,
+        SigningKey::derive(b"protocol fuzz", b"cp"),
+        Box::new(NoImports),
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary request bytes always produce a decodable response frame.
+    #[test]
+    fn garbage_requests_get_error_responses(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut svc = service();
+        let response_bytes = svc.handle(bytes);
+        let response = Response::from_wire(&response_bytes).expect("response always decodes");
+        // With no app installed, everything either errors or reports
+        // benign state — but never panics.
+        let _ = response;
+    }
+
+    /// Request decode/encode round-trips (the framework and the client
+    /// must agree byte-for-byte, since responses are hashed into quotes).
+    #[test]
+    fn structured_requests_round_trip(
+        tag in 0u8..8,
+        nonce in any::<[u8; 32]>(),
+        method in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        number in any::<u64>(),
+    ) {
+        let request = match tag {
+            0 => Request::Attest { nonce },
+            1 => Request::GetStatus,
+            2 => Request::AppCall { method, payload: payload.clone() },
+            3 => Request::GetCheckpoint,
+            4 => Request::GetConsistency { old_size: number },
+            5 => Request::GetLogEntries { from: number },
+            _ => Request::GetNotices { since: number },
+        };
+        let wire = request.to_wire();
+        prop_assert_eq!(Request::from_wire(&wire), Ok(request));
+    }
+
+    /// Truncating a valid request at any point yields a decode error (or a
+    /// shorter valid request), never a panic; the service still answers.
+    #[test]
+    fn truncated_requests_are_handled(
+        payload in proptest::collection::vec(any::<u8>(), 0..32),
+        cut in 0usize..64,
+    ) {
+        let request = Request::AppCall { method: 1, payload };
+        let mut wire = request.to_wire();
+        wire.truncate(cut.min(wire.len()));
+        let mut svc = service();
+        let response_bytes = svc.handle(wire);
+        prop_assert!(Response::from_wire(&response_bytes).is_ok());
+    }
+}
+
+#[test]
+fn every_request_variant_gets_a_sensible_answer_without_an_app() {
+    type ResponseCheck = fn(&Response) -> bool;
+    let mut svc = service();
+    let cases: Vec<(Request, ResponseCheck)> = vec![
+        (Request::GetStatus, |r| matches!(r, Response::Status(_))),
+        (Request::Attest { nonce: [0; 32] }, |r| {
+            matches!(r, Response::Unattested(_))
+        }),
+        (
+            Request::AppCall {
+                method: 1,
+                payload: vec![],
+            },
+            |r| matches!(r, Response::AppError(_)),
+        ),
+        (Request::GetCheckpoint, |r| {
+            matches!(r, Response::Checkpoint(_))
+        }),
+        (Request::GetConsistency { old_size: 99 }, |r| {
+            matches!(r, Response::Error(_))
+        }),
+        (Request::GetLogEntries { from: 0 }, |r| {
+            matches!(r, Response::LogEntries(_))
+        }),
+        (Request::GetNotices { since: 0 }, |r| {
+            matches!(r, Response::Notices(_))
+        }),
+    ];
+    for (request, check) in cases {
+        let resp_bytes = svc.handle(request.to_wire());
+        let response = Response::from_wire(&resp_bytes).expect("decodes");
+        assert!(check(&response), "unexpected response {response:?}");
+    }
+}

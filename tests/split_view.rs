@@ -1,0 +1,177 @@
+//! Split-view detection through client gossip.
+//!
+//! The strongest attack an equivocating domain can mount is to keep every
+//! individual client's view internally consistent while showing different
+//! clients different histories. Detection then requires clients (or
+//! third-party auditors) to compare notes — the same gossip mechanism
+//! Certificate Transparency relies on, which the paper inherits by
+//! building on CT-style logs.
+
+use distrust::core::protocol::{Request, Response};
+use distrust::core::server::DirectHost;
+use distrust::core::{DeploymentClient, DeploymentDescriptor, DomainInfo};
+use distrust::crypto::drbg::HmacDrbg;
+use distrust::crypto::schnorr::SigningKey;
+use distrust::log::auditor::Misbehavior;
+use distrust::log::checkpoint::{log_id, CheckpointBody, SignedCheckpoint};
+use distrust::tee::host::EnclaveService;
+use distrust::tee::vendor::VendorRoots;
+use distrust::wire::{Decode, Encode};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A domain that serves a *consistent* fork per connection: even-numbered
+/// connections see history A, odd ones history B. Each client's repeated
+/// audits are self-consistent — only gossip can expose the fork.
+struct SplitViewDomain {
+    key: SigningKey,
+    log_id: [u8; 32],
+    my_branch: u64,
+}
+
+impl SplitViewDomain {
+    fn head(&self) -> [u8; 32] {
+        if self.my_branch.is_multiple_of(2) {
+            [0xaa; 32]
+        } else {
+            [0xbb; 32]
+        }
+    }
+}
+
+impl EnclaveService for SplitViewDomain {
+    fn handle(&mut self, request: Vec<u8>) -> Vec<u8> {
+        let response = match Request::from_wire(&request) {
+            Ok(Request::Attest { .. }) => Response::Unattested(distrust::core::DomainStatus {
+                domain_index: 0,
+                app_digest: [1; 32],
+                app_version: 1,
+                log_size: 1,
+                log_head: self.head(),
+                framework_measurement: [2; 32],
+            }),
+            Ok(Request::GetCheckpoint) => Response::Checkpoint(SignedCheckpoint::sign(
+                CheckpointBody {
+                    log_id: self.log_id,
+                    size: 1,
+                    head: self.head(),
+                    logical_time: 1,
+                },
+                &self.key,
+            )),
+            Ok(_) => Response::Error("not implemented".into()),
+            Err(e) => Response::Error(format!("{e}")),
+        };
+        response.to_wire()
+    }
+}
+
+/// Wrapper that picks a branch per *served connection* by handing each new
+/// service clone a branch id. DirectHost uses a single service behind a
+/// mutex, so instead we branch on a shared request counter every audit
+/// round (2 requests per audit: attest + checkpoint).
+struct BranchingService {
+    key: SigningKey,
+    log_id: [u8; 32],
+    rounds: Arc<AtomicU64>,
+}
+
+impl EnclaveService for BranchingService {
+    fn handle(&mut self, request: Vec<u8>) -> Vec<u8> {
+        // Each audit makes exactly two requests; allocate a branch per
+        // audit round so a single client always sees one branch.
+        let round = self.rounds.fetch_add(1, Ordering::SeqCst) / 2;
+        let mut inner = SplitViewDomain {
+            key: self.key,
+            log_id: self.log_id,
+            my_branch: round,
+        };
+        inner.handle(request)
+    }
+}
+
+#[test]
+fn gossip_exposes_split_view() {
+    let key = SigningKey::derive(b"split view", b"checkpoint");
+    let lid = log_id(b"split-deploy", 0);
+    let mut host = DirectHost::spawn(BranchingService {
+        key,
+        log_id: lid,
+        rounds: Arc::new(AtomicU64::new(0)),
+    })
+    .expect("spawn");
+
+    let descriptor = DeploymentDescriptor {
+        app_name: "any".into(),
+        developer_key: SigningKey::derive(b"dev", b"k").verifying_key(),
+        vendor_roots: VendorRoots::new(vec![]),
+        domains: vec![DomainInfo {
+            index: 0,
+            addr: host.addr(),
+            vendor: None,
+            checkpoint_key: key.verifying_key(),
+        }],
+    };
+
+    // Client A audits: sees branch 0 ([0xaa]) — internally consistent.
+    let mut client_a = DeploymentClient::new(
+        descriptor.clone(),
+        Box::new(HmacDrbg::new(b"client a", b"")),
+    );
+    let report_a = client_a.audit(None);
+    assert!(
+        report_a.misbehavior.is_empty(),
+        "client A alone sees a consistent view: {report_a:?}"
+    );
+
+    // Client B audits: sees branch 1 ([0xbb]) — also internally consistent.
+    let mut client_b = DeploymentClient::new(
+        descriptor.clone(),
+        Box::new(HmacDrbg::new(b"client b", b"")),
+    );
+    let report_b = client_b.audit(None);
+    assert!(
+        report_b.misbehavior.is_empty(),
+        "client B alone sees a consistent view: {report_b:?}"
+    );
+
+    // The two views must actually differ for this test to mean anything.
+    let head_a = client_a.gossip_payload()[0].1.body.head;
+    let head_b = client_b.gossip_payload()[0].1.body.head;
+    assert_ne!(head_a, head_b, "domain forked its history");
+
+    // Gossip: B relays its checkpoints to A → equivocation proof.
+    let evidence = client_a.ingest_gossip(&client_b.gossip_payload());
+    let proof = evidence
+        .iter()
+        .find_map(|m| match m {
+            Misbehavior::Equivocation { proof, .. } => Some(proof.clone()),
+            _ => None,
+        })
+        .expect("split view detected through gossip");
+    assert!(proof.verify(&key.verifying_key()));
+
+    // The proof is transferable: any third party verifies it from bytes.
+    let wire = proof.to_wire();
+    let transported =
+        distrust::log::checkpoint::EquivocationProof::from_wire(&wire).expect("decodes");
+    assert!(transported.verify(&key.verifying_key()));
+
+    host.shutdown();
+}
+
+#[test]
+fn gossip_between_honest_clients_is_quiet() {
+    // Against an honest deployment, gossip produces no evidence.
+    let deployment = distrust::core::Deployment::launch(
+        distrust::apps::analytics::app_spec(3),
+        b"honest gossip seed",
+    )
+    .expect("launch");
+    let mut a = deployment.client(b"client a");
+    let mut b = deployment.client(b"client b");
+    assert!(a.audit(None).is_clean());
+    assert!(b.audit(None).is_clean());
+    assert!(a.ingest_gossip(&b.gossip_payload()).is_empty());
+    assert!(b.ingest_gossip(&a.gossip_payload()).is_empty());
+}

@@ -1,0 +1,156 @@
+//! Adversarial robustness of the sandbox: the framework feeds it
+//! *developer-signed but otherwise arbitrary* code, so the VM must never
+//! panic, hang, or corrupt host state regardless of input — only trap.
+//!
+//! Property-based tests drive the decoder, validator, and interpreter with
+//! random bytes and random (structurally valid) instruction streams.
+
+use distrust::sandbox::{
+    Export, Function, Instr, Instance, Limits, Module, NoHost,
+};
+use distrust::wire::Decode;
+use proptest::prelude::*;
+
+/// Random instruction generator covering the whole ISA with plausible-ish
+/// operand ranges (small indexes/targets so validation sometimes passes).
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        any::<u64>().prop_map(Instr::Const),
+        (0u16..8).prop_map(Instr::LocalGet),
+        (0u16..8).prop_map(Instr::LocalSet),
+        Just(Instr::Add),
+        Just(Instr::Sub),
+        Just(Instr::Mul),
+        Just(Instr::DivU),
+        Just(Instr::RemU),
+        Just(Instr::And),
+        Just(Instr::Or),
+        Just(Instr::Xor),
+        Just(Instr::Shl),
+        Just(Instr::ShrU),
+        Just(Instr::Rotr),
+        Just(Instr::Eq),
+        Just(Instr::Ne),
+        Just(Instr::LtU),
+        Just(Instr::GtU),
+        Just(Instr::LeU),
+        Just(Instr::GeU),
+        (0u32..40).prop_map(Instr::JumpIfZero),
+        (0u32..40).prop_map(Instr::JumpIfNonZero),
+        (0u32..40).prop_map(Instr::Jump),
+        (0u16..3).prop_map(Instr::Call),
+        (0u16..3).prop_map(Instr::HostCall),
+        Just(Instr::Return),
+        (0u32..100_000).prop_map(Instr::Load8),
+        (0u32..100_000).prop_map(Instr::Load64),
+        (0u32..100_000).prop_map(Instr::Store8),
+        (0u32..100_000).prop_map(Instr::Store64),
+        Just(Instr::MemSize),
+        Just(Instr::MemGrow),
+        Just(Instr::Drop),
+        Just(Instr::Dup),
+        Just(Instr::Swap),
+        Just(Instr::Select),
+        Just(Instr::Trap),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic the module decoder.
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Module::from_wire(&bytes);
+    }
+
+    /// Random instruction streams: either the validator rejects the module
+    /// or execution terminates with a result/trap — never a panic, never a
+    /// hang (fuel-bounded).
+    #[test]
+    fn random_programs_are_contained(
+        code in proptest::collection::vec(arb_instr(), 1..64),
+        params in 0u16..3,
+        locals in 0u16..6,
+        returns in 0u16..2,
+        args in proptest::collection::vec(any::<u64>(), 0..3),
+    ) {
+        let module = Module {
+            imports: vec![],
+            functions: vec![Function { params, locals, returns, code }],
+            exports: vec![Export { name: "f".into(), function: 0 }],
+            data: vec![],
+            initial_pages: 1,
+            max_pages: 2,
+        };
+        if module.validate().is_err() {
+            return Ok(()); // rejected statically — fine
+        }
+        let limits = Limits {
+            fuel: 200_000,
+            max_stack: 1024,
+            max_call_depth: 16,
+        };
+        let Ok(mut inst) = Instance::new(module, limits) else {
+            return Ok(());
+        };
+        if args.len() != params as usize {
+            return Ok(()); // arity mismatch is tested elsewhere
+        }
+        // Must return, in bounded time, without panicking.
+        let _ = inst.invoke("f", &args, &mut NoHost);
+    }
+
+    /// A random program can never write outside its linear memory: after
+    /// execution, host-side memory beyond the instance is untouched (the
+    /// type system guarantees this; here we assert the instance's own
+    /// memory stays within its declared maximum).
+    #[test]
+    fn memory_never_exceeds_max(
+        code in proptest::collection::vec(arb_instr(), 1..48),
+    ) {
+        let module = Module {
+            imports: vec![],
+            functions: vec![Function { params: 0, locals: 4, returns: 0, code }],
+            exports: vec![Export { name: "f".into(), function: 0 }],
+            data: vec![],
+            initial_pages: 1,
+            max_pages: 3,
+        };
+        if module.validate().is_err() {
+            return Ok(());
+        }
+        let limits = Limits {
+            fuel: 100_000,
+            max_stack: 512,
+            max_call_depth: 8,
+        };
+        let Ok(mut inst) = Instance::new(module, limits) else {
+            return Ok(());
+        };
+        let _ = inst.invoke("f", &[], &mut NoHost);
+        prop_assert!(inst.memory.len() <= 3 * distrust::sandbox::PAGE_SIZE);
+    }
+}
+
+// Instruction round-trip fuzz: encode/decode of random instruction
+// streams is the identity (the measurement hash depends on it).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn instruction_streams_round_trip(code in proptest::collection::vec(arb_instr(), 0..64)) {
+        use distrust::wire::Encode;
+        let module = Module {
+            imports: vec![],
+            functions: vec![Function { params: 0, locals: 0, returns: 0, code }],
+            exports: vec![],
+            data: vec![],
+            initial_pages: 1,
+            max_pages: 1,
+        };
+        let bytes = module.to_wire();
+        let back = Module::from_wire(&bytes).expect("round trip");
+        prop_assert_eq!(back, module);
+    }
+}
