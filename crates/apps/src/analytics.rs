@@ -46,7 +46,10 @@ pub fn analytics_module() -> Module {
 
     // handle(method, addr, len); locals: 3 = i, 4 = k (dims in request).
     let mut f = FuncBuilder::new(3, 2, 1);
-    f.lget(0).constant(METHOD_SUBMIT).op(Instr::Eq).jnz("submit");
+    f.lget(0)
+        .constant(METHOD_SUBMIT)
+        .op(Instr::Eq)
+        .jnz("submit");
     f.lget(0)
         .constant(METHOD_AGGREGATE)
         .op(Instr::Eq)
@@ -66,14 +69,22 @@ pub fn analytics_module() -> Module {
     f.constant(layout::NDIMS).lget(4).store64(0);
     f.jmp("accumulate");
     f.label("check_dims");
-    f.constant(layout::NDIMS).load64(0).lget(4).op(Instr::Ne).jnz("malformed");
+    f.constant(layout::NDIMS)
+        .load64(0)
+        .lget(4)
+        .op(Instr::Ne)
+        .jnz("malformed");
     // acc[i] += share[i] (wrapping), i in 0..k
     f.label("accumulate");
     f.constant(0).lset(3);
     f.label("acc_loop");
     f.lget(3).lget(4).op(Instr::GeU).jnz("acc_done");
     // target address = ACC + 8i
-    f.lget(3).constant(8).op(Instr::Mul).constant(layout::ACC).add();
+    f.lget(3)
+        .constant(8)
+        .op(Instr::Mul)
+        .constant(layout::ACC)
+        .add();
     f.op(Instr::Dup).load64(0);
     // + share_i at addr + 8i
     f.lget(1).lget(3).constant(8).op(Instr::Mul).add().load64(0);
@@ -96,8 +107,17 @@ pub fn analytics_module() -> Module {
     f.constant(0).lset(3);
     f.label("copy_loop");
     f.lget(3).lget(4).op(Instr::GeU).jnz("copy_done");
-    f.constant(OUTBOX_ADDR).lget(3).constant(8).op(Instr::Mul).add();
-    f.lget(3).constant(8).op(Instr::Mul).constant(layout::ACC).add().load64(0);
+    f.constant(OUTBOX_ADDR)
+        .lget(3)
+        .constant(8)
+        .op(Instr::Mul)
+        .add();
+    f.lget(3)
+        .constant(8)
+        .op(Instr::Mul)
+        .constant(layout::ACC)
+        .add()
+        .load64(0);
     f.store64(0);
     f.lget(3).constant(1).add().lset(3).jmp("copy_loop");
     f.label("copy_done");
@@ -105,7 +125,10 @@ pub fn analytics_module() -> Module {
 
     // --- COUNT.
     f.label("count");
-    f.constant(OUTBOX_ADDR).constant(layout::COUNT).load64(0).store64(0);
+    f.constant(OUTBOX_ADDR)
+        .constant(layout::COUNT)
+        .load64(0)
+        .store64(0);
     f.constant(8).ret();
 
     f.label("malformed");
@@ -257,8 +280,7 @@ mod tests {
         let out = app_call(&mut inst, &names, &mut NoImports, METHOD_AGGREGATE, b"").unwrap();
         let totals = decode_u64s(&out).unwrap();
         assert_eq!(totals, vec![11, 1, 33]); // 2 + MAX wraps to 1
-        let count =
-            app_call(&mut inst, &names, &mut NoImports, METHOD_COUNT, b"").unwrap();
+        let count = app_call(&mut inst, &names, &mut NoImports, METHOD_COUNT, b"").unwrap();
         assert_eq!(decode_u64s(&count).unwrap(), vec![2]);
     }
 
@@ -275,8 +297,7 @@ mod tests {
     fn malformed_submissions_rejected() {
         let (mut inst, names) = instance();
         // Not a multiple of 8.
-        let out =
-            app_call(&mut inst, &names, &mut NoImports, METHOD_SUBMIT, &[1, 2, 3]).unwrap();
+        let out = app_call(&mut inst, &names, &mut NoImports, METHOD_SUBMIT, &[1, 2, 3]).unwrap();
         assert_eq!(out, vec![4]);
         // Empty.
         let out = app_call(&mut inst, &names, &mut NoImports, METHOD_SUBMIT, b"").unwrap();
@@ -291,9 +312,7 @@ mod tests {
             let shares = share_values(&values, n, &mut rng);
             assert_eq!(shares.len(), n);
             for dim in 0..values.len() {
-                let sum = shares
-                    .iter()
-                    .fold(0u64, |acc, s| acc.wrapping_add(s[dim]));
+                let sum = shares.iter().fold(0u64, |acc, s| acc.wrapping_add(s[dim]));
                 assert_eq!(sum, values[dim], "n={n} dim={dim}");
             }
         }

@@ -159,16 +159,16 @@ fn build_add_base(im: &Imports) -> distrust_sandbox::Function {
     f.lget(11).lget(8).host(im.sub).lset(11);
     f.lget(10).host(im.dbl).lset(7); // reuse 7 (I dead)
     f.lget(11).lget(7).host(im.sub).lset(11); // X3 in t (11)
-    // Y3 = r·(V − X3) − 2·Y1·J
+                                              // Y3 = r·(V − X3) − 2·Y1·J
     f.lget(10).lget(11).host(im.sub).lset(7);
     f.lget(9).lget(7).host(im.mul).lset(7);
     f.lget(1).lget(8).host(im.mul).host(im.dbl).lset(8);
     f.lget(7).lget(8).host(im.sub).lset(7); // Y3 in 7
-    // Z3 = (Z1 + H)² − Z1Z1 − HH
+                                            // Z3 = (Z1 + H)² − Z1Z1 − HH
     f.lget(2).lget(6).host(im.add).host(im.sq).lset(8);
     f.lget(8).lget(5).host(im.sub).lset(8);
     f.lget(8).lget(12).host(im.sub).lset(8); // Z3 in 8
-    // Store back.
+                                             // Store back.
     f.constant(layout::ACC_X).lget(11).store64(0);
     f.constant(layout::ACC_Y).lget(7).store64(0);
     f.constant(layout::ACC_Z).lget(8).store64(0);
@@ -211,8 +211,14 @@ pub fn signer_module() -> Module {
     f.jmp("scan"); // share == 0 is rejected at keygen; bit must exist.
     f.label("found");
     // acc = (base_x, base_y, 1)
-    f.constant(layout::ACC_X).constant(layout::BASE_X).load64(0).store64(0);
-    f.constant(layout::ACC_Y).constant(layout::BASE_Y).load64(0).store64(0);
+    f.constant(layout::ACC_X)
+        .constant(layout::BASE_X)
+        .load64(0)
+        .store64(0);
+    f.constant(layout::ACC_Y)
+        .constant(layout::BASE_Y)
+        .load64(0)
+        .store64(0);
     f.constant(layout::ACC_Z).host(im.one).store64(0);
     // for i-1 down to 0: acc = 2·acc; if bit(i): acc += base
     f.label("ladder");
@@ -581,8 +587,8 @@ mod tests {
         let names = import_names(&module);
         let mut inst = Instance::new(module, Limits::default()).unwrap();
         let mut host = SignerHost::new(keys.shares[1]);
-        let out = distrust_core::abi::app_call(&mut inst, &names, &mut host, METHOD_INDEX, b"")
-            .unwrap();
+        let out =
+            distrust_core::abi::app_call(&mut inst, &names, &mut host, METHOD_INDEX, b"").unwrap();
         assert_eq!(out, vec![2u8]);
     }
 

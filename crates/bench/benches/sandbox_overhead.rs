@@ -4,9 +4,7 @@
 //! cost, and raw VM dispatch throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use distrust_sandbox::guests::{
-    guest_sha256, hostcall_loop_module, sha256_module, CountingHost,
-};
+use distrust_sandbox::guests::{guest_sha256, hostcall_loop_module, sha256_module, CountingHost};
 use distrust_sandbox::{Instance, Limits};
 
 fn bench_sandbox(c: &mut Criterion) {
@@ -32,19 +30,14 @@ fn bench_sandbox(c: &mut Criterion) {
     let mut group = c.benchmark_group("sandbox_boundary");
     group.sample_size(10);
     for &calls in &[100u64, 10_000] {
-        group.bench_with_input(
-            BenchmarkId::new("hostcalls", calls),
-            &calls,
-            |b, &calls| {
-                let mut inst =
-                    Instance::new(hostcall_loop_module(), Limits::default()).unwrap();
-                b.iter(|| {
-                    let mut host = CountingHost { calls: 0 };
-                    inst.invoke("run", &[calls], &mut host).unwrap();
-                    std::hint::black_box(host.calls)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("hostcalls", calls), &calls, |b, &calls| {
+            let mut inst = Instance::new(hostcall_loop_module(), Limits::default()).unwrap();
+            b.iter(|| {
+                let mut host = CountingHost { calls: 0 };
+                inst.invoke("run", &[calls], &mut host).unwrap();
+                std::hint::black_box(host.calls)
+            })
+        });
     }
     group.finish();
 

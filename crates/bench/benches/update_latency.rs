@@ -57,29 +57,19 @@ fn bench_updates(c: &mut Criterion) {
     for &extra in &[0usize, 32, 256] {
         let module = padded_module(1, extra);
         let size = distrust_wire::Encode::to_wire(&module).len();
-        group.bench_with_input(
-            BenchmarkId::new("bytes", size),
-            &module,
-            |b, module| {
-                b.iter_batched(
-                    || {
-                        let mut fw = fresh_framework(&dev);
-                        let r1 = SignedRelease::create(
-                            "bench-app",
-                            1,
-                            "",
-                            &padded_module(1, 0),
-                            &dev,
-                        );
-                        fw.apply_update(&r1).expect("v1");
-                        let r2 = SignedRelease::create("bench-app", 2, "", module, &dev);
-                        (fw, r2)
-                    },
-                    |(mut fw, r2)| std::hint::black_box(fw.apply_update(&r2).expect("v2")),
-                    criterion::BatchSize::SmallInput,
-                )
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("bytes", size), &module, |b, module| {
+            b.iter_batched(
+                || {
+                    let mut fw = fresh_framework(&dev);
+                    let r1 = SignedRelease::create("bench-app", 1, "", &padded_module(1, 0), &dev);
+                    fw.apply_update(&r1).expect("v1");
+                    let r2 = SignedRelease::create("bench-app", 2, "", module, &dev);
+                    (fw, r2)
+                },
+                |(mut fw, r2)| std::hint::black_box(fw.apply_update(&r2).expect("v2")),
+                criterion::BatchSize::SmallInput,
+            )
+        });
     }
     group.finish();
 
@@ -113,9 +103,7 @@ fn bench_updates(c: &mut Criterion) {
                         );
                         (fw, next)
                     },
-                    |(mut fw, next)| {
-                        std::hint::black_box(fw.apply_update(&next).expect("next"))
-                    },
+                    |(mut fw, next)| std::hint::black_box(fw.apply_update(&next).expect("next")),
                     criterion::BatchSize::SmallInput,
                 )
             },

@@ -140,26 +140,56 @@ fn main() {
         }
     );
 
-    // Emit machine-readable results for EXPERIMENTS.md.
-    let json = serde_json::json!({
-        "experiment": "table3",
-        "iterations": ITERATIONS,
-        "rows": rows.iter().map(|r| serde_json::json!({
-            "environment": r.label,
-            "mean_ms": r.summary.mean_ms(),
-            "median_ms": r.summary.median.as_secs_f64() * 1e3,
-            "p95_ms": r.summary.p95.as_secs_f64() * 1e3,
-            "increase_pct": if r.label == "Baseline" { serde_json::Value::Null }
-                            else { serde_json::json!(r.summary.increase_over(&baseline)) },
-            "paper_ms": if r.paper_ms.is_nan() { serde_json::Value::Null } else { serde_json::json!(r.paper_ms) },
-            "paper_increase_pct": r.paper_increase,
-        })).collect::<Vec<_>>(),
-    });
+    // Emit machine-readable results for EXPERIMENTS.md. Formatted by hand:
+    // every value is a number, a string without escapes, or null, so no
+    // JSON library is needed (and none is available offline).
+    fn json_f64(v: f64) -> String {
+        if v.is_nan() {
+            "null".to_string()
+        } else {
+            format!("{v:.6}")
+        }
+    }
+    let row_objects: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let increase_pct = if r.label == "Baseline" {
+                "null".to_string()
+            } else {
+                json_f64(r.summary.increase_over(&baseline))
+            };
+            let paper_increase = match r.paper_increase {
+                Some(p) => json_f64(p),
+                None => "null".to_string(),
+            };
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"environment\": \"{}\",\n",
+                    "      \"mean_ms\": {},\n",
+                    "      \"median_ms\": {},\n",
+                    "      \"p95_ms\": {},\n",
+                    "      \"increase_pct\": {},\n",
+                    "      \"paper_ms\": {},\n",
+                    "      \"paper_increase_pct\": {}\n",
+                    "    }}"
+                ),
+                r.label,
+                json_f64(r.summary.mean_ms()),
+                json_f64(r.summary.median.as_secs_f64() * 1e3),
+                json_f64(r.summary.p95.as_secs_f64() * 1e3),
+                increase_pct,
+                json_f64(r.paper_ms),
+                paper_increase,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"table3\",\n  \"iterations\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        ITERATIONS,
+        row_objects.join(",\n"),
+    );
     std::fs::create_dir_all("bench_results").expect("mkdir bench_results");
-    std::fs::write(
-        "bench_results/table3.json",
-        serde_json::to_string_pretty(&json).expect("serialize"),
-    )
-    .expect("write results");
+    std::fs::write("bench_results/table3.json", json).expect("write results");
     println!("\nresults written to bench_results/table3.json");
 }

@@ -35,20 +35,22 @@ pub const HANDLE_EXPORT: &str = "handle";
 /// sealed state, e.g. a threshold key share).
 pub trait AppHost: Send + 'static {
     /// Invokes the import `name` with `args`; may read/write guest memory.
-    fn call(
-        &mut self,
-        name: &str,
-        args: &[u64],
-        memory: &mut Memory,
-    ) -> Result<Vec<u64>, String>;
+    fn call(&mut self, name: &str, args: &[u64], memory: &mut Memory) -> Result<Vec<u64>, String>;
 }
 
 /// An [`AppHost`] with no imports.
 pub struct NoImports;
 
 impl AppHost for NoImports {
-    fn call(&mut self, name: &str, _args: &[u64], _memory: &mut Memory) -> Result<Vec<u64>, String> {
-        Err(format!("application imported unknown host function {name:?}"))
+    fn call(
+        &mut self,
+        name: &str,
+        _args: &[u64],
+        _memory: &mut Memory,
+    ) -> Result<Vec<u64>, String> {
+        Err(format!(
+            "application imported unknown host function {name:?}"
+        ))
     }
 }
 

@@ -184,7 +184,12 @@ impl DeploymentClient {
     }
 
     /// Calls the application on one domain.
-    pub fn call(&mut self, domain: u32, method: u64, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+    pub fn call(
+        &mut self,
+        domain: u32,
+        method: u64,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, ClientError> {
         match self.exchange(
             domain,
             &Request::AppCall {
@@ -252,8 +257,7 @@ impl DeploymentClient {
     ) -> Vec<Misbehavior> {
         let mut found = Vec::new();
         for (domain, cp) in payload {
-            if let AuditOutcome::Misbehavior(m) = self.auditor.ingest_gossip(*domain, cp.clone())
-            {
+            if let AuditOutcome::Misbehavior(m) = self.auditor.ingest_gossip(*domain, cp.clone()) {
                 found.push(*m);
             }
         }
@@ -294,8 +298,7 @@ impl DeploymentClient {
             match self.exchange(d, &Request::Attest { nonce }) {
                 Ok(Response::Quote(quote)) => {
                     if info.vendor.is_none() {
-                        audit.failure =
-                            Some("domain 0 unexpectedly returned a quote".to_string());
+                        audit.failure = Some("domain 0 unexpectedly returned a quote".to_string());
                     } else if info.vendor != Some(quote.document.vendor) {
                         audit.failure = Some(format!(
                             "vendor mismatch: pinned {:?}, quoted {:?}",
@@ -314,21 +317,17 @@ impl DeploymentClient {
                                 audit.status = Some(binding.status);
                             }
                             Ok(_) => {
-                                audit.failure =
-                                    Some("stale quote: nonce mismatch".to_string());
+                                audit.failure = Some("stale quote: nonce mismatch".to_string());
                             }
                             Err(e) => {
-                                audit.failure =
-                                    Some(format!("malformed attestation binding: {e}"));
+                                audit.failure = Some(format!("malformed attestation binding: {e}"));
                             }
                         }
                     }
                 }
                 Ok(Response::Unattested(status)) => {
                     if info.vendor.is_some() {
-                        audit.failure = Some(
-                            "TEE-backed domain refused to attest".to_string(),
-                        );
+                        audit.failure = Some("TEE-backed domain refused to attest".to_string());
                     } else {
                         audit.status = Some(status);
                     }
@@ -364,14 +363,13 @@ impl DeploymentClient {
                             }
                             _ => None,
                         };
-                        let matches_status = cp.body.size == status.log_size
-                            && cp.body.head == status.log_head;
+                        let matches_status =
+                            cp.body.size == status.log_size && cp.body.head == status.log_head;
                         match self.auditor.observe(d, cp, proof.as_ref()) {
                             AuditOutcome::Consistent => {
                                 if !matches_status {
                                     audit.failure = Some(
-                                        "checkpoint disagrees with attested status"
-                                            .to_string(),
+                                        "checkpoint disagrees with attested status".to_string(),
                                     );
                                 }
                             }
@@ -382,8 +380,7 @@ impl DeploymentClient {
                         }
                     }
                     Ok(other) => {
-                        audit.failure =
-                            Some(format!("unexpected checkpoint response: {other:?}"));
+                        audit.failure = Some(format!("unexpected checkpoint response: {other:?}"));
                     }
                     Err(e) => {
                         audit.failure = Some(format!("checkpoint fetch failed: {e}"));

@@ -11,7 +11,9 @@
 
 use crate::abi::AppHost;
 use crate::client::{DeploymentClient, DeploymentDescriptor, DomainInfo};
-use crate::framework::{framework_measurement, EnclaveFramework, FrameworkConfig, FrameworkService};
+use crate::framework::{
+    framework_measurement, EnclaveFramework, FrameworkConfig, FrameworkService,
+};
 use crate::manifest::SignedRelease;
 use crate::server::DirectHost;
 use distrust_crypto::drbg::HmacDrbg;
@@ -108,7 +110,8 @@ impl Deployment {
         let developer = SigningKey::derive(seed, b"distrust/developer-key");
         let developer_pub = developer.verifying_key();
         let measurement = framework_measurement(&developer_pub, &spec.name);
-        let deployment_id = distrust_crypto::sha256_many(&[b"deployment", seed, spec.name.as_bytes()]);
+        let deployment_id =
+            distrust_crypto::sha256_many(&[b"deployment", seed, spec.name.as_bytes()]);
 
         // One simulated vendor per ecosystem; domains 1..n round-robin.
         let vendors: Vec<Vendor> = VendorKind::ALL
@@ -126,8 +129,7 @@ impl Deployment {
             let lid = log_id(&deployment_id, index);
             if index == 0 {
                 // The developer's own domain: no secure hardware.
-                let checkpoint_key =
-                    SigningKey::derive(seed, b"domain-0-checkpoint");
+                let checkpoint_key = SigningKey::derive(seed, b"domain-0-checkpoint");
                 let framework = EnclaveFramework::new(
                     FrameworkConfig {
                         domain_index: index,
@@ -220,7 +222,13 @@ impl Deployment {
 
     /// Signs a follow-up release as the developer.
     pub fn sign_release(&self, version: u64, notes: &str, module: &Module) -> SignedRelease {
-        SignedRelease::create(&self.descriptor.app_name, version, notes, module, &self.developer)
+        SignedRelease::create(
+            &self.descriptor.app_name,
+            version,
+            notes,
+            module,
+            &self.developer,
+        )
     }
 
     /// Signs a **final** release: once applied, every domain permanently

@@ -292,10 +292,8 @@ mod tests {
         // Truncate the module bytes but fix up the digest + signature so
         // only decodability fails.
         release.module_bytes.truncate(10);
-        release.manifest.code_digest = distrust_crypto::sha256_many(&[
-            b"distrust/module/v1",
-            &release.module_bytes,
-        ]);
+        release.manifest.code_digest =
+            distrust_crypto::sha256_many(&[b"distrust/module/v1", &release.module_bytes]);
         release.signature = dev.sign(&release.manifest.signing_bytes());
         assert_eq!(
             release.verify(&dev.verifying_key()),

@@ -150,10 +150,7 @@ pub fn verify_same_message(keys: &[PublicKey], message: &[u8], signature: &Signa
 /// `e(σ, g₂) == ∏ e(H(mᵢ), pkᵢ)`, with one shared final exponentiation.
 /// Messages must be pairwise distinct (callers enforce; identical messages
 /// would enable the standard aggregation pitfall without PoPs).
-pub fn verify_aggregate_distinct(
-    pairs: &[(PublicKey, &[u8])],
-    signature: &Signature,
-) -> bool {
+pub fn verify_aggregate_distinct(pairs: &[(PublicKey, &[u8])], signature: &Signature) -> bool {
     if pairs.is_empty() || signature.0.infinity {
         return false;
     }
@@ -272,11 +269,7 @@ mod tests {
         let mut rng = HmacDrbg::new(b"agg distinct", b"");
         let keys: Vec<SecretKey> = (0..3).map(|_| SecretKey::generate(&mut rng)).collect();
         let messages: [&[u8]; 3] = [b"alpha", b"beta", b"gamma"];
-        let sigs: Vec<Signature> = keys
-            .iter()
-            .zip(&messages)
-            .map(|(k, m)| k.sign(m))
-            .collect();
+        let sigs: Vec<Signature> = keys.iter().zip(&messages).map(|(k, m)| k.sign(m)).collect();
         let agg = Signature::aggregate(&sigs).unwrap();
         let pairs: Vec<(PublicKey, &[u8])> = keys
             .iter()

@@ -128,12 +128,7 @@ impl Fp12 {
         let aa = self.c0.mul_by_01(c0, c1);
         let bb = self.c1.mul_by_1(c4);
         let o = c1.add(c4);
-        let new_c1 = self
-            .c1
-            .add(&self.c0)
-            .mul_by_01(c0, &o)
-            .sub(&aa)
-            .sub(&bb);
+        let new_c1 = self.c1.add(&self.c0).mul_by_01(c0, &o).sub(&aa).sub(&bb);
         let new_c0 = bb.mul_by_v().add(&aa);
         Self {
             c0: new_c0,

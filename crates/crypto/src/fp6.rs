@@ -103,11 +103,7 @@ impl Fp6 {
             .mul(&rhs.c1)
             .add(&self.c1.mul(&rhs.c0))
             .add(&a2b2.mul_by_nonresidue());
-        let r2 = self
-            .c0
-            .mul(&rhs.c2)
-            .add(&self.c2.mul(&rhs.c0))
-            .add(&a1b1);
+        let r2 = self.c0.mul(&rhs.c2).add(&self.c2.mul(&rhs.c0)).add(&a1b1);
         Self {
             c0: r0,
             c1: r1,
@@ -134,11 +130,7 @@ impl Fp6 {
         let a_a = self.c0.mul(c0);
         let b_b = self.c1.mul(c1);
         let t1 = self.c2.mul(c1).mul_by_nonresidue().add(&a_a);
-        let t2 = c0
-            .add(c1)
-            .mul(&self.c0.add(&self.c1))
-            .sub(&a_a)
-            .sub(&b_b);
+        let t2 = c0.add(c1).mul(&self.c0.add(&self.c1)).sub(&a_a).sub(&b_b);
         let t3 = self.c2.mul(c0).add(&b_b);
         Self {
             c0: t1,

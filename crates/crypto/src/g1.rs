@@ -340,11 +340,7 @@ pub fn hash_to_g1(msg: &[u8], dst: &[u8]) -> G1Projective {
         if (h2[16] & 1 == 1) != y.is_odd() {
             y = y.neg();
         }
-        let point = G1Projective {
-            x,
-            y,
-            z: Fp::ONE,
-        };
+        let point = G1Projective { x, y, z: Fp::ONE };
         debug_assert!(point.to_affine().is_on_curve());
         let cleared = point.clear_cofactor();
         if !cleared.is_identity() {

@@ -381,10 +381,7 @@ mod tests {
         let g = G2Projective::generator();
         let a = Fr::random(&mut rng);
         let b = Fr::random(&mut rng);
-        assert_eq!(
-            g.mul_scalar(&a).mul_scalar(&b),
-            g.mul_scalar(&a.mul(&b))
-        );
+        assert_eq!(g.mul_scalar(&a).mul_scalar(&b), g.mul_scalar(&a.mul(&b)));
     }
 
     #[test]
@@ -417,11 +414,7 @@ mod tests {
             let x = Fp2::random(&mut rng);
             let y2 = x.square().mul(&x).add(&b2());
             if let Some(y) = y2.sqrt() {
-                break G2Projective {
-                    x,
-                    y,
-                    z: Fp2::ONE,
-                };
+                break G2Projective { x, y, z: Fp2::ONE };
             }
         };
         let cleared = point.clear_cofactor();

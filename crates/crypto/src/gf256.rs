@@ -48,7 +48,12 @@ pub struct ByteShare {
 
 impl core::fmt::Debug for ByteShare {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "ByteShare {{ x: {}, data: <{} bytes> }}", self.x, self.data.len())
+        write!(
+            f,
+            "ByteShare {{ x: {}, data: <{} bytes> }}",
+            self.x,
+            self.data.len()
+        )
     }
 }
 
@@ -283,7 +288,10 @@ mod tests {
             Err(Gf256Error::InsufficientShares { .. })
         ));
         let dup = vec![shares[0].clone(), shares[0].clone()];
-        assert!(matches!(combine(&dup, 2), Err(Gf256Error::DuplicateShare(1))));
+        assert!(matches!(
+            combine(&dup, 2),
+            Err(Gf256Error::DuplicateShare(1))
+        ));
     }
 
     #[test]

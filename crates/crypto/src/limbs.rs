@@ -114,7 +114,10 @@ pub fn reduce_once<const N: usize>(lo: &[u64; N], hi: u64, m: &[u64; N]) -> [u64
 ///
 /// Inputs must be fully reduced (`< m`); the output is fully reduced.
 pub fn mont_mul<const N: usize>(a: &[u64; N], b: &[u64; N], m: &[u64; N], inv: u64) -> [u64; N] {
-    debug_assert!(N + 2 <= 16, "scratch buffer sized for fields up to 896 bits");
+    debug_assert!(
+        N + 2 <= 16,
+        "scratch buffer sized for fields up to 896 bits"
+    );
     let mut t = [0u64; 16];
     for &ai in a.iter() {
         // t += ai * b

@@ -9,8 +9,8 @@
 //! Correctness is established by property tests: bilinearity in both
 //! arguments, non-degeneracy, and compatibility with scalar multiplication.
 
-use crate::fp2::Fp2;
 use crate::fp12::Fp12;
+use crate::fp2::Fp2;
 use crate::fr::Fr;
 use crate::g1::G1Affine;
 use crate::g2::{G2Affine, G2Projective};
@@ -78,13 +78,12 @@ fn addition_step(r: &mut G2Projective, q: &G2Affine) -> (Fp2, Fp2, Fp2) {
     let zsquared = r.z.square();
     let ysquared = q.y.square();
     let t0 = zsquared.mul(&q.x);
-    let t1 = q
-        .y
-        .add(&r.z)
-        .square()
-        .sub(&ysquared)
-        .sub(&zsquared)
-        .mul(&zsquared);
+    let t1 =
+        q.y.add(&r.z)
+            .square()
+            .sub(&ysquared)
+            .sub(&zsquared)
+            .mul(&zsquared);
     let t2 = t0.sub(&r.x);
     let t3 = t2.square();
     let t4 = t3.double().double();

@@ -207,10 +207,7 @@ fn lagrange_at_zero(indices: &[u8], i: usize) -> Fr {
 /// Combines `t` (or more) partial signatures into the group signature via
 /// Lagrange interpolation in the exponent. The result verifies under the
 /// group public key exactly as an ordinary BLS signature.
-pub fn aggregate(
-    t: usize,
-    partials: &[PartialSignature],
-) -> Result<Signature, ThresholdError> {
+pub fn aggregate(t: usize, partials: &[PartialSignature]) -> Result<Signature, ThresholdError> {
     if partials.len() < t {
         return Err(ThresholdError::InsufficientShares {
             have: partials.len(),
@@ -321,8 +318,7 @@ mod tests {
     fn any_t_subset_produces_same_signature() {
         let keys = setup(3, 5, b"subset");
         let msg = b"deterministic";
-        let all: Vec<PartialSignature> =
-            keys.shares.iter().map(|s| partial_sign(s, msg)).collect();
+        let all: Vec<PartialSignature> = keys.shares.iter().map(|s| partial_sign(s, msg)).collect();
         let sig_a = aggregate(3, &[all[0], all[1], all[2]]).unwrap();
         let sig_b = aggregate(3, &[all[2], all[3], all[4]]).unwrap();
         let sig_c = aggregate(3, &[all[4], all[0], all[2]]).unwrap();

@@ -186,13 +186,11 @@ impl Auditor {
                     None => false,
                 };
                 if !ok {
-                    return AuditOutcome::Misbehavior(Box::new(
-                        Misbehavior::InconsistentGrowth {
-                            domain,
-                            trusted: trusted.clone(),
-                            offered: checkpoint.clone(),
-                        },
-                    ));
+                    return AuditOutcome::Misbehavior(Box::new(Misbehavior::InconsistentGrowth {
+                        domain,
+                        trusted: trusted.clone(),
+                        offered: checkpoint.clone(),
+                    }));
                 }
             }
         }
@@ -278,7 +276,10 @@ impl Auditor {
         let mut by_size: HashMap<u64, Vec<(u32, &SignedCheckpoint)>> = HashMap::new();
         for (i, d) in self.domains.iter().enumerate() {
             for cp in d.seen.values() {
-                by_size.entry(cp.body.size).or_default().push((i as u32, cp));
+                by_size
+                    .entry(cp.body.size)
+                    .or_default()
+                    .push((i as u32, cp));
             }
         }
         for (_, group) in by_size {
@@ -287,14 +288,9 @@ impl Auditor {
             }
             let head0 = group[0].1.body.head;
             if group.iter().any(|(_, cp)| cp.body.head != head0) {
-                return AuditOutcome::Misbehavior(Box::new(
-                    Misbehavior::CrossDomainDivergence {
-                        views: group
-                            .into_iter()
-                            .map(|(i, cp)| (i, cp.clone()))
-                            .collect(),
-                    },
-                ));
+                return AuditOutcome::Misbehavior(Box::new(Misbehavior::CrossDomainDivergence {
+                    views: group.into_iter().map(|(i, cp)| (i, cp.clone())).collect(),
+                }));
             }
         }
         AuditOutcome::Consistent
@@ -495,10 +491,7 @@ mod tests {
     fn cross_domain_divergence_detected() {
         let mut d0 = Domain::new(0);
         let mut d1 = Domain::new(1);
-        let mut auditor = Auditor::new(vec![
-            d0.sk.verifying_key(),
-            d1.sk.verifying_key(),
-        ]);
+        let mut auditor = Auditor::new(vec![d0.sk.verifying_key(), d1.sk.verifying_key()]);
         d0.log.append(b"v1");
         d1.log.append(b"v1-evil");
         let cp0 = d0.checkpoint();
@@ -520,10 +513,7 @@ mod tests {
     fn agreeing_domains_cross_check_clean() {
         let mut d0 = Domain::new(0);
         let mut d1 = Domain::new(1);
-        let mut auditor = Auditor::new(vec![
-            d0.sk.verifying_key(),
-            d1.sk.verifying_key(),
-        ]);
+        let mut auditor = Auditor::new(vec![d0.sk.verifying_key(), d1.sk.verifying_key()]);
         for leaf in [b"v1".as_slice(), b"v2"] {
             d0.log.append(leaf);
             d1.log.append(leaf);
@@ -540,10 +530,7 @@ mod tests {
         // Domain 1 has seen fewer updates but agrees on the shared prefix.
         let mut d0 = Domain::new(0);
         let mut d1 = Domain::new(1);
-        let mut auditor = Auditor::new(vec![
-            d0.sk.verifying_key(),
-            d1.sk.verifying_key(),
-        ]);
+        let mut auditor = Auditor::new(vec![d0.sk.verifying_key(), d1.sk.verifying_key()]);
         d0.log.append(b"v1");
         d0.log.append(b"v2");
         d1.log.append(b"v1");
@@ -574,8 +561,12 @@ mod tests {
         };
         let mut auditor_a = auditor_for(std::slice::from_ref(&d));
         let mut auditor_b = auditor_for(std::slice::from_ref(&d));
-        assert!(auditor_a.observe(0, make_cp([0xaa; 32]), None).is_consistent());
-        assert!(auditor_b.observe(0, make_cp([0xbb; 32]), None).is_consistent());
+        assert!(auditor_a
+            .observe(0, make_cp([0xaa; 32]), None)
+            .is_consistent());
+        assert!(auditor_b
+            .observe(0, make_cp([0xbb; 32]), None)
+            .is_consistent());
         // Client B relays its view to client A.
         let payload = auditor_b.gossip_payload();
         assert_eq!(payload.len(), 1);

@@ -184,11 +184,19 @@ mod tests {
         for leaf in &suffix {
             chain.append(leaf);
         }
-        assert!(HashChain::verify_extension(&trusted, &suffix, &chain.head()));
+        assert!(HashChain::verify_extension(
+            &trusted,
+            &suffix,
+            &chain.head()
+        ));
         // A forged suffix fails.
         let mut forged = suffix.clone();
         forged[0] = b"backdoored".to_vec();
-        assert!(!HashChain::verify_extension(&trusted, &forged, &chain.head()));
+        assert!(!HashChain::verify_extension(
+            &trusted,
+            &forged,
+            &chain.head()
+        ));
     }
 
     #[test]

@@ -153,7 +153,10 @@ pub fn assemble(source: &str) -> Result<Module, AsmError> {
             }
             "func" => {
                 if parts.len() < 2 {
-                    return Err(err(line, "usage: func <name> [params=N] [locals=N] [returns=N]"));
+                    return Err(err(
+                        line,
+                        "usage: func <name> [params=N] [locals=N] [returns=N]",
+                    ));
                 }
                 let mut f = PendingFunc {
                     name: parts[1].clone(),
@@ -187,7 +190,10 @@ pub fn assemble(source: &str) -> Result<Module, AsmError> {
         }
     }
     if current.is_some() {
-        return Err(err(source.lines().count(), "unterminated func (missing 'end')"));
+        return Err(err(
+            source.lines().count(),
+            "unterminated func (missing 'end')",
+        ));
     }
 
     let func_index: HashMap<&str, u16> = funcs

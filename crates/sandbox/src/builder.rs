@@ -332,7 +332,10 @@ mod tests {
     fn duplicate_label_rejected() {
         let mut f = FuncBuilder::new(0, 0, 0);
         f.label("x").constant(1).op(Instr::Drop).label("x").ret();
-        assert_eq!(f.build().unwrap_err(), BuildError::DuplicateLabel("x".into()));
+        assert_eq!(
+            f.build().unwrap_err(),
+            BuildError::DuplicateLabel("x".into())
+        );
     }
 
     #[test]

@@ -151,15 +151,15 @@ pub fn sha256_module() -> Module {
     c.constant(18).call(rotr_fn).xor();
     w_addr(&mut c, 15);
     c.constant(3).shr().xor().lset(T1); // T1 = s0
-    // s1 = rotr(W[i-2],17) ^ rotr(W[i-2],19) ^ (W[i-2] >> 10)
+                                        // s1 = rotr(W[i-2],17) ^ rotr(W[i-2],19) ^ (W[i-2] >> 10)
     w_addr(&mut c, 2);
     c.constant(17).call(rotr_fn);
     w_addr(&mut c, 2);
     c.constant(19).call(rotr_fn).xor();
     w_addr(&mut c, 2);
     c.constant(10).shr().xor().lset(T2); // T2 = s1
-    // W[i] = (W[i-16] + s0 + W[i-7] + s1) & M32
-    // target address first:
+                                         // W[i] = (W[i-16] + s0 + W[i-7] + s1) & M32
+                                         // target address first:
     c.lget(I)
         .constant(8)
         .op(Instr::Mul)

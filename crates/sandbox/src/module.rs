@@ -284,33 +284,31 @@ impl Module {
             for instr in &func.code {
                 match instr {
                     Instr::Jump(t) | Instr::JumpIfZero(t) | Instr::JumpIfNonZero(t)
-                        if *t >= len => {
-                            return Err(ValidateError::JumpOutOfRange {
-                                function: fi32,
-                                target: *t,
-                            });
-                        }
-                    Instr::LocalGet(i) | Instr::LocalSet(i)
-                        if (*i as u32) >= nlocals => {
-                            return Err(ValidateError::BadLocal {
-                                function: fi32,
-                                index: *i,
-                            });
-                        }
-                    Instr::Call(t)
-                        if (*t as usize) >= self.functions.len() => {
-                            return Err(ValidateError::BadCall {
-                                function: fi32,
-                                target: *t,
-                            });
-                        }
-                    Instr::HostCall(i)
-                        if (*i as usize) >= self.imports.len() => {
-                            return Err(ValidateError::BadHostCall {
-                                function: fi32,
-                                index: *i,
-                            });
-                        }
+                        if *t >= len =>
+                    {
+                        return Err(ValidateError::JumpOutOfRange {
+                            function: fi32,
+                            target: *t,
+                        });
+                    }
+                    Instr::LocalGet(i) | Instr::LocalSet(i) if (*i as u32) >= nlocals => {
+                        return Err(ValidateError::BadLocal {
+                            function: fi32,
+                            index: *i,
+                        });
+                    }
+                    Instr::Call(t) if (*t as usize) >= self.functions.len() => {
+                        return Err(ValidateError::BadCall {
+                            function: fi32,
+                            target: *t,
+                        });
+                    }
+                    Instr::HostCall(i) if (*i as usize) >= self.imports.len() => {
+                        return Err(ValidateError::BadHostCall {
+                            function: fi32,
+                            index: *i,
+                        });
+                    }
                     _ => {}
                 }
             }

@@ -111,7 +111,9 @@ impl Memory {
 
     /// Reads `len` bytes at `addr`.
     pub fn read(&self, addr: u64, len: u64) -> Result<&[u8], Trap> {
-        let end = addr.checked_add(len).ok_or(Trap::OutOfBounds { addr, len })?;
+        let end = addr
+            .checked_add(len)
+            .ok_or(Trap::OutOfBounds { addr, len })?;
         if end as usize > self.bytes.len() {
             return Err(Trap::OutOfBounds { addr, len });
         }
@@ -121,7 +123,9 @@ impl Memory {
     /// Writes `data` at `addr`.
     pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), Trap> {
         let len = data.len() as u64;
-        let end = addr.checked_add(len).ok_or(Trap::OutOfBounds { addr, len })?;
+        let end = addr
+            .checked_add(len)
+            .ok_or(Trap::OutOfBounds { addr, len })?;
         if end as usize > self.bytes.len() {
             return Err(Trap::OutOfBounds { addr, len });
         }
@@ -172,7 +176,12 @@ pub trait Host {
 pub struct NoHost;
 
 impl Host for NoHost {
-    fn call(&mut self, index: u16, _args: &[u64], _memory: &mut Memory) -> Result<Vec<u64>, String> {
+    fn call(
+        &mut self,
+        index: u16,
+        _args: &[u64],
+        _memory: &mut Memory,
+    ) -> Result<Vec<u64>, String> {
         Err(format!("no host imports available (call to {index})"))
     }
 }
@@ -281,7 +290,7 @@ impl Instance {
             max_call_depth: self.limits.max_call_depth,
             stack: Vec::with_capacity(256),
         };
-        let result = exec.call_function(func_idx, args, 0);
+        let result = exec.call_function(func_idx, args);
         self.last_fuel_used = self.limits.fuel - exec.fuel;
         result
     }
@@ -295,6 +304,28 @@ fn effective_addr(base: u64, off: u32) -> Result<u64, Trap> {
         addr: base,
         len: off as u64,
     })
+}
+
+/// One guest function activation: its code, locals, and program counter.
+/// Lives on the heap (in the executor's frame vector), not the host stack.
+struct Frame<'m> {
+    func: &'m Function,
+    locals: Vec<u64>,
+    ip: usize,
+}
+
+impl<'m> Frame<'m> {
+    /// A fresh activation of `func`: arguments in the leading locals, the
+    /// declared locals zeroed, execution starting at the first instruction.
+    fn new(func: &'m Function, args: &[u64]) -> Self {
+        let mut locals = vec![0u64; func.params as usize + func.locals as usize];
+        locals[..args.len()].copy_from_slice(args);
+        Self {
+            func,
+            locals,
+            ip: 0,
+        }
+    }
 }
 
 struct Executor<'m, H: Host> {
@@ -329,49 +360,48 @@ impl<'m, H: Host> Executor<'m, H> {
         self.stack.pop().ok_or(Trap::StackUnderflow)
     }
 
-    fn call_function(
-        &mut self,
-        func_idx: u32,
-        args: &[u64],
-        depth: usize,
-    ) -> Result<Option<u64>, Trap> {
-        if depth >= self.max_call_depth {
-            return Err(Trap::CallDepthExceeded);
-        }
-        let func: &Function = self
-            .module
+    /// Runs `func_idx` to completion on an explicit frame stack.
+    ///
+    /// The interpreter is deliberately iterative: guest call depth consumes
+    /// heap (one [`Frame`] per activation), never host stack, so a
+    /// deeply-recursive guest can only trap with [`Trap::CallDepthExceeded`]
+    /// — it cannot overflow the host thread's stack and abort the process.
+    fn call_function(&mut self, func_idx: u32, args: &[u64]) -> Result<Option<u64>, Trap> {
+        let module = self.module;
+        let root: &Function = module
             .functions
             .get(func_idx as usize)
             .ok_or(Trap::InvalidFunction(func_idx))?;
-        let mut locals = vec![0u64; func.params as usize + func.locals as usize];
-        locals[..args.len()].copy_from_slice(args);
-        let code = &func.code;
-        let mut ip: usize = 0;
+        if self.max_call_depth == 0 {
+            return Err(Trap::CallDepthExceeded);
+        }
+        let mut frames = vec![Frame::new(root, args)];
         loop {
-            let Some(instr) = code.get(ip) else {
+            let frame = frames.last_mut().expect("at least the root frame");
+            let func = frame.func;
+            let Some(instr) = func.code.get(frame.ip) else {
                 return Err(Trap::FellOffEnd);
             };
             self.charge(1)?;
-            ip += 1;
+            frame.ip += 1;
             match *instr {
                 Instr::Const(v) => self.push(v)?,
                 Instr::LocalGet(i) => {
-                    let v = *locals.get(i as usize).ok_or(Trap::StackUnderflow)?;
+                    let v = *frame.locals.get(i as usize).ok_or(Trap::StackUnderflow)?;
                     self.push(v)?;
                 }
                 Instr::LocalSet(i) => {
                     let v = self.pop()?;
-                    *locals.get_mut(i as usize).ok_or(Trap::StackUnderflow)? = v;
+                    *frame
+                        .locals
+                        .get_mut(i as usize)
+                        .ok_or(Trap::StackUnderflow)? = v;
                 }
                 Instr::Add => self.binop(|a, b| Ok(a.wrapping_add(b)))?,
                 Instr::Sub => self.binop(|a, b| Ok(a.wrapping_sub(b)))?,
                 Instr::Mul => self.binop(|a, b| Ok(a.wrapping_mul(b)))?,
-                Instr::DivU => {
-                    self.binop(|a, b| a.checked_div(b).ok_or(Trap::DivisionByZero))?
-                }
-                Instr::RemU => {
-                    self.binop(|a, b| a.checked_rem(b).ok_or(Trap::DivisionByZero))?
-                }
+                Instr::DivU => self.binop(|a, b| a.checked_div(b).ok_or(Trap::DivisionByZero))?,
+                Instr::RemU => self.binop(|a, b| a.checked_rem(b).ok_or(Trap::DivisionByZero))?,
                 Instr::And => self.binop(|a, b| Ok(a & b))?,
                 Instr::Or => self.binop(|a, b| Ok(a | b))?,
                 Instr::Xor => self.binop(|a, b| Ok(a ^ b))?,
@@ -387,20 +417,22 @@ impl<'m, H: Host> Executor<'m, H> {
                 Instr::JumpIfZero(t) => {
                     let c = self.pop()?;
                     if c == 0 {
-                        ip = t as usize;
+                        frame.ip = t as usize;
                     }
                 }
                 Instr::JumpIfNonZero(t) => {
                     let c = self.pop()?;
                     if c != 0 {
-                        ip = t as usize;
+                        frame.ip = t as usize;
                     }
                 }
-                Instr::Jump(t) => ip = t as usize,
+                Instr::Jump(t) => frame.ip = t as usize,
                 Instr::Call(target) => {
                     self.charge(CALL_FUEL)?;
-                    let callee = self
-                        .module
+                    if frames.len() >= self.max_call_depth {
+                        return Err(Trap::CallDepthExceeded);
+                    }
+                    let callee = module
                         .functions
                         .get(target as usize)
                         .ok_or(Trap::InvalidFunction(target as u32))?;
@@ -410,10 +442,7 @@ impl<'m, H: Host> Executor<'m, H> {
                     }
                     let split = self.stack.len() - nargs;
                     let call_args: Vec<u64> = self.stack.split_off(split);
-                    let ret = self.call_function(target as u32, &call_args, depth + 1)?;
-                    if let Some(v) = ret {
-                        self.push(v)?;
-                    }
+                    frames.push(Frame::new(callee, &call_args));
                 }
                 Instr::HostCall(index) => {
                     self.charge(HOST_FUEL)?;
@@ -445,11 +474,18 @@ impl<'m, H: Host> Executor<'m, H> {
                     }
                 }
                 Instr::Return => {
-                    return if func.returns == 1 {
-                        Ok(Some(self.pop()?))
+                    let ret = if func.returns == 1 {
+                        Some(self.pop()?)
                     } else {
-                        Ok(None)
+                        None
                     };
+                    frames.pop();
+                    if frames.is_empty() {
+                        return Ok(ret);
+                    }
+                    if let Some(v) = ret {
+                        self.push(v)?;
+                    }
                 }
                 Instr::Load8(off) => {
                     self.charge(MEM_FUEL)?;
@@ -553,23 +589,48 @@ mod tests {
     #[test]
     fn arithmetic() {
         assert_eq!(
-            run(vec![Instr::Const(2), Instr::Const(3), Instr::Add, Instr::Return], &[]),
+            run(
+                vec![Instr::Const(2), Instr::Const(3), Instr::Add, Instr::Return],
+                &[]
+            ),
             Ok(Some(5))
         );
         assert_eq!(
-            run(vec![Instr::Const(10), Instr::Const(3), Instr::Sub, Instr::Return], &[]),
+            run(
+                vec![Instr::Const(10), Instr::Const(3), Instr::Sub, Instr::Return],
+                &[]
+            ),
             Ok(Some(7))
         );
         assert_eq!(
-            run(vec![Instr::Const(6), Instr::Const(7), Instr::Mul, Instr::Return], &[]),
+            run(
+                vec![Instr::Const(6), Instr::Const(7), Instr::Mul, Instr::Return],
+                &[]
+            ),
             Ok(Some(42))
         );
         assert_eq!(
-            run(vec![Instr::Const(17), Instr::Const(5), Instr::DivU, Instr::Return], &[]),
+            run(
+                vec![
+                    Instr::Const(17),
+                    Instr::Const(5),
+                    Instr::DivU,
+                    Instr::Return
+                ],
+                &[]
+            ),
             Ok(Some(3))
         );
         assert_eq!(
-            run(vec![Instr::Const(17), Instr::Const(5), Instr::RemU, Instr::Return], &[]),
+            run(
+                vec![
+                    Instr::Const(17),
+                    Instr::Const(5),
+                    Instr::RemU,
+                    Instr::Return
+                ],
+                &[]
+            ),
             Ok(Some(2))
         );
     }
@@ -578,7 +639,12 @@ mod tests {
     fn wrapping_semantics() {
         assert_eq!(
             run(
-                vec![Instr::Const(u64::MAX), Instr::Const(1), Instr::Add, Instr::Return],
+                vec![
+                    Instr::Const(u64::MAX),
+                    Instr::Const(1),
+                    Instr::Add,
+                    Instr::Return
+                ],
                 &[]
             ),
             Ok(Some(0))
@@ -595,7 +661,10 @@ mod tests {
     #[test]
     fn division_by_zero_traps() {
         assert_eq!(
-            run(vec![Instr::Const(1), Instr::Const(0), Instr::DivU, Instr::Return], &[]),
+            run(
+                vec![Instr::Const(1), Instr::Const(0), Instr::DivU, Instr::Return],
+                &[]
+            ),
             Err(Trap::DivisionByZero)
         );
     }
@@ -623,7 +692,12 @@ mod tests {
     fn rotr_matches_rust() {
         assert_eq!(
             run(
-                vec![Instr::Const(0x1234_5678_9abc_def0), Instr::Const(16), Instr::Rotr, Instr::Return],
+                vec![
+                    Instr::Const(0x1234_5678_9abc_def0),
+                    Instr::Const(16),
+                    Instr::Rotr,
+                    Instr::Return
+                ],
                 &[]
             ),
             Ok(Some(0x1234_5678_9abc_def0u64.rotate_right(16)))
@@ -690,7 +764,11 @@ mod tests {
 
     #[test]
     fn memory_oob_traps() {
-        let code = vec![Instr::Const(PAGE_SIZE as u64 - 4), Instr::Load64(0), Instr::Return];
+        let code = vec![
+            Instr::Const(PAGE_SIZE as u64 - 4),
+            Instr::Load64(0),
+            Instr::Return,
+        ];
         assert!(matches!(run(code, &[]), Err(Trap::OutOfBounds { .. })));
         // Offset wrap-around must trap, not alias low memory.
         let code = vec![Instr::Const(u64::MAX), Instr::Load8(10), Instr::Return];
@@ -765,7 +843,10 @@ mod tests {
             },
         )
         .unwrap();
-        assert_eq!(inst.invoke("main", &[], &mut NoHost), Err(Trap::StackOverflow));
+        assert_eq!(
+            inst.invoke("main", &[], &mut NoHost),
+            Err(Trap::StackOverflow)
+        );
     }
 
     #[test]
@@ -928,12 +1009,7 @@ mod tests {
     #[test]
     fn wrong_arity_rejected() {
         // Function declares two parameters; invoke with zero.
-        let m = module_with(
-            vec![Instr::LocalGet(0), Instr::Return],
-            2,
-            0,
-            1,
-        );
+        let m = module_with(vec![Instr::LocalGet(0), Instr::Return], 2, 0, 1);
         let mut inst = Instance::new(m, Limits::default()).unwrap();
         assert_eq!(
             inst.invoke("main", &[], &mut NoHost),

@@ -170,12 +170,7 @@ impl Enclave {
         stream.generate(&mut keystream);
         let mut out = Vec::with_capacity(SEAL_NONCE_LEN + plaintext.len() + SEAL_TAG_LEN);
         out.extend_from_slice(&nonce);
-        out.extend(
-            plaintext
-                .iter()
-                .zip(keystream.iter())
-                .map(|(p, k)| p ^ k),
-        );
+        out.extend(plaintext.iter().zip(keystream.iter()).map(|(p, k)| p ^ k));
         let tag = {
             let mut mac = distrust_crypto::hmac::HmacSha256::new(&mac_key);
             mac.update(&out);

@@ -179,8 +179,7 @@ impl EnclaveClient {
 
     /// One request/response exchange.
     pub fn exchange(&mut self, request: &[u8]) -> std::io::Result<Vec<u8>> {
-        write_frame(&mut self.stream, request)
-            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        write_frame(&mut self.stream, request).map_err(|e| std::io::Error::other(e.to_string()))?;
         read_frame(&mut self.stream).map_err(|e| std::io::Error::other(e.to_string()))
     }
 }

@@ -82,7 +82,11 @@ pub struct DeviceCert {
 }
 
 impl DeviceCert {
-    fn signing_bytes(vendor: VendorKind, device_id: &[u8; 16], device_key: &VerifyingKey) -> Vec<u8> {
+    fn signing_bytes(
+        vendor: VendorKind,
+        device_id: &[u8; 16],
+        device_key: &VerifyingKey,
+    ) -> Vec<u8> {
         let mut out = CERT_DST.to_vec();
         vendor.encode(&mut out);
         device_id.encode(&mut out);
@@ -155,7 +159,10 @@ impl Vendor {
 
     /// Manufactures a new device: fresh device key, certified by the root,
     /// with a device-unique sealing secret.
-    pub fn provision_device<R: rand::RngCore + ?Sized>(&self, rng: &mut R) -> crate::enclave::SecureDevice {
+    pub fn provision_device<R: rand::RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> crate::enclave::SecureDevice {
         let seq = self
             .next_device
             .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
@@ -165,8 +172,7 @@ impl Vendor {
         let device_key = SigningKey::generate(rng);
         let mut sealing_secret = [0u8; 32];
         rng.fill_bytes(&mut sealing_secret);
-        let msg =
-            DeviceCert::signing_bytes(self.kind, &device_id, &device_key.verifying_key());
+        let msg = DeviceCert::signing_bytes(self.kind, &device_id, &device_key.verifying_key());
         let cert = DeviceCert {
             vendor: self.kind,
             device_id,
@@ -286,11 +292,8 @@ mod tests {
         let mut rng = HmacDrbg::new(b"attacker rng", b"");
         let fake_key = SigningKey::generate(&mut rng);
         let device_id = [0xee; 16];
-        let msg = DeviceCert::signing_bytes(
-            VendorKind::SgxSim,
-            &device_id,
-            &fake_key.verifying_key(),
-        );
+        let msg =
+            DeviceCert::signing_bytes(VendorKind::SgxSim, &device_id, &fake_key.verifying_key());
         let forged = DeviceCert {
             vendor: VendorKind::SgxSim,
             device_id,

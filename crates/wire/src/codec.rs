@@ -323,10 +323,7 @@ mod tests {
     #[test]
     fn truncation_rejected() {
         let buf = u64::MAX.to_wire();
-        assert_eq!(
-            u64::from_wire(&buf[..7]),
-            Err(DecodeError::UnexpectedEnd)
-        );
+        assert_eq!(u64::from_wire(&buf[..7]), Err(DecodeError::UnexpectedEnd));
     }
 
     #[test]

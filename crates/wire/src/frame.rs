@@ -120,7 +120,10 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(u32::MAX).to_le_bytes());
         let mut cur = Cursor::new(buf);
-        assert!(matches!(read_frame(&mut cur), Err(FrameError::Oversized(_))));
+        assert!(matches!(
+            read_frame(&mut cur),
+            Err(FrameError::Oversized(_))
+        ));
     }
 
     #[test]

@@ -65,9 +65,7 @@ fn encode_err(message: &str) -> Vec<u8> {
 fn decode_envelope(frame: Vec<u8>) -> Result<Vec<u8>, RpcError> {
     match frame.split_first() {
         Some((0x00, payload)) => Ok(payload.to_vec()),
-        Some((0x01, msg)) => Err(RpcError::Remote(
-            String::from_utf8_lossy(msg).into_owned(),
-        )),
+        Some((0x01, msg)) => Err(RpcError::Remote(String::from_utf8_lossy(msg).into_owned())),
         _ => Err(RpcError::Decode(DecodeError::UnexpectedEnd)),
     }
 }
@@ -149,24 +147,22 @@ impl RpcServer {
         let stop_accept = Arc::clone(&stop);
         let accept_thread = std::thread::Builder::new()
             .name(format!("rpc-accept-{addr}"))
-            .spawn(move || {
-                loop {
-                    if stop_accept.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let transport = match acceptor.accept() {
-                        Ok(t) => t,
-                        Err(_) => break,
-                    };
-                    if stop_accept.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let handler = Arc::clone(&handler);
-                    let stop_conn = Arc::clone(&stop_accept);
-                    let _ = std::thread::Builder::new()
-                        .name("rpc-conn".to_string())
-                        .spawn(move || serve_connection(transport, handler, stop_conn));
+            .spawn(move || loop {
+                if stop_accept.load(Ordering::SeqCst) {
+                    break;
                 }
+                let transport = match acceptor.accept() {
+                    Ok(t) => t,
+                    Err(_) => break,
+                };
+                if stop_accept.load(Ordering::SeqCst) {
+                    break;
+                }
+                let handler = Arc::clone(&handler);
+                let stop_conn = Arc::clone(&stop_accept);
+                let _ = std::thread::Builder::new()
+                    .name("rpc-conn".to_string())
+                    .spawn(move || serve_connection(transport, handler, stop_conn));
             })?;
         Ok(Self {
             addr,
@@ -197,8 +193,11 @@ impl Drop for RpcServer {
     }
 }
 
-fn serve_connection<Req, Resp, H>(mut transport: TcpTransport, handler: Arc<H>, stop: Arc<AtomicBool>)
-where
+fn serve_connection<Req, Resp, H>(
+    mut transport: TcpTransport,
+    handler: Arc<H>,
+    stop: Arc<AtomicBool>,
+) where
     Req: Decode,
     Resp: Encode,
     H: RpcHandler<Req, Resp>,
@@ -240,8 +239,7 @@ mod tests {
 
     #[test]
     fn remote_errors_propagate() {
-        let handler =
-            Arc::new(|_req: u64| -> Result<u64, String> { Err("nope".to_string()) });
+        let handler = Arc::new(|_req: u64| -> Result<u64, String> { Err("nope".to_string()) });
         let mut server = RpcServer::spawn::<u64, u64, _>(handler).unwrap();
         let mut client = RpcClient::connect(server.local_addr()).unwrap();
         match client.call::<u64, u64>(&7) {

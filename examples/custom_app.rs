@@ -136,7 +136,12 @@ fn main() {
     let payload = b"hello distributed trust";
     let checksum = client.call(1, 1, payload).expect("checksum");
     let expected: u8 = payload.iter().fold(0u8, |a, b| a.wrapping_add(*b));
-    println!("checksum({:?}) = {} (expected {})", String::from_utf8_lossy(payload), checksum[0], expected);
+    println!(
+        "checksum({:?}) = {} (expected {})",
+        String::from_utf8_lossy(payload),
+        checksum[0],
+        expected
+    );
     assert_eq!(checksum, vec![expected]);
 
     let reversed = client.call(2, 2, payload).expect("reverse");

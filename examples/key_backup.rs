@@ -50,8 +50,14 @@ fn main() {
         let guess = gf256::combine(
             &[
                 stolen.clone(),
-                gf256::ByteShare { x: 2, data: vec![b; secret.len()] },
-                gf256::ByteShare { x: 3, data: vec![0x11; secret.len()] },
+                gf256::ByteShare {
+                    x: 2,
+                    data: vec![b; secret.len()],
+                },
+                gf256::ByteShare {
+                    x: 3,
+                    data: vec![0x11; secret.len()],
+                },
             ],
             3,
         )

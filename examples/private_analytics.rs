@@ -24,9 +24,9 @@ fn main() {
     let mut expected = [0u64; 3];
     for i in 0..100u64 {
         let report = [
-            (i % 7 == 0) as u64,        // ~14% crash rate
-            (i % 3 == 0) as u64,        // ~33% feature usage
-            80 + (i * 13) % 40,         // startup times 80..120ms
+            (i % 7 == 0) as u64, // ~14% crash rate
+            (i % 3 == 0) as u64, // ~33% feature usage
+            80 + (i * 13) % 40,  // startup times 80..120ms
         ];
         for (e, v) in expected.iter_mut().zip(&report) {
             *e += v;

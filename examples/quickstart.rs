@@ -21,7 +21,10 @@ fn main() {
     for d in &deployment.descriptor.domains {
         match d.vendor {
             Some(v) => println!("  domain {}: TEE ({}) at {}", d.index, v.name(), d.addr),
-            None => println!("  domain {}: developer-run, unattested, at {}", d.index, d.addr),
+            None => println!(
+                "  domain {}: developer-run, unattested, at {}",
+                d.index, d.addr
+            ),
         }
     }
 

@@ -56,7 +56,9 @@ fn main() {
     println!("  a single domain's partial does not verify alone ✅");
 
     // Tamper check.
-    assert!(!public.public_key.verify(b"release v9.9.9 (backdoored)", &signature));
+    assert!(!public
+        .public_key
+        .verify(b"release v9.9.9 (backdoored)", &signature));
     println!("  signature does not transfer to other messages ✅");
 }
 

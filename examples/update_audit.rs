@@ -40,20 +40,25 @@ fn main() {
     let deployment = Deployment::launch(spec, b"update audit example").expect("launch");
     let mut client = deployment.client(b"auditing user");
 
-    println!("v1 deployed to 3 domains; app answers: {:?}", client.call(1, 1, b"").unwrap());
+    println!(
+        "v1 deployed to 3 domains; app answers: {:?}",
+        client.call(1, 1, b"").unwrap()
+    );
     let report = client.audit(Some(&deployment.initial_app_digest));
     println!("initial audit clean: {}\n", report.is_clean());
 
     // -- A malicious actor (without the developer key) tries to push code.
     println!("-- mallory pushes an unsigned update --");
     let mallory = SigningKey::derive(b"mallory", b"key");
-    let evil =
-        distrust::core::SignedRelease::create("greeter", 2, "fix", &greeter(66), &mallory);
+    let evil = distrust::core::SignedRelease::create("greeter", 2, "fix", &greeter(66), &mallory);
     for (d, result) in client.push_update(&evil).into_iter().enumerate() {
-        println!("  domain {d}: {}", match result {
-            Err(e) => format!("REJECTED ({e})"),
-            Ok(_) => "accepted (!!)".into(),
-        });
+        println!(
+            "  domain {d}: {}",
+            match result {
+                Err(e) => format!("REJECTED ({e})"),
+                Ok(_) => "accepted (!!)".into(),
+            }
+        );
     }
     assert_eq!(client.call(1, 1, b"").unwrap(), vec![1], "still v1");
 

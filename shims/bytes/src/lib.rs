@@ -1,0 +1,65 @@
+//! Offline stand-in for the `bytes` crate: just enough of [`Buf`] and
+//! [`BufMut`] for the canonical codec, over plain `Vec<u8>` / `&[u8]`.
+
+/// Read-side cursor over a contiguous byte buffer.
+pub trait Buf {
+    /// Bytes remaining to be consumed.
+    fn remaining(&self) -> usize;
+    /// A view of the unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+    /// Consumes `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Write-side sink for contiguous bytes.
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8) {
+        self.put_slice(&[b]);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buf_over_slice() {
+        let data = [1u8, 2, 3];
+        let mut buf: &[u8] = &data;
+        assert_eq!(buf.remaining(), 3);
+        buf.advance(2);
+        assert_eq!(buf.chunk(), &[3]);
+    }
+
+    #[test]
+    fn bufmut_over_vec() {
+        let mut out = Vec::new();
+        out.put_u8(7);
+        out.put_slice(&[8, 9]);
+        assert_eq!(out, vec![7, 8, 9]);
+    }
+}

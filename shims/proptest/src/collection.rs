@@ -1,0 +1,95 @@
+//! Collection strategies: length-ranged `Vec` generation.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A range of permissible collection sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive upper bound.
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        Self {
+            lo: exact,
+            hi: exact + 1,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(range: core::ops::Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty size range");
+        Self {
+            lo: range.start,
+            hi: range.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(range: core::ops::RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *range.start(),
+            hi: *range.end() + 1,
+        }
+    }
+}
+
+/// Strategy generating vectors whose length falls in a [`SizeRange`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.hi - self.size.lo) as u64;
+        let len = self.size.lo + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates `Vec`s of `element` values with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn lengths_respect_range() {
+        let mut rng = TestRng::from_name("collection lengths");
+        let strategy = vec(any::<u8>(), 2..5);
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn nested_vectors_work() {
+        let mut rng = TestRng::from_name("collection nested");
+        let strategy = vec(vec(any::<u8>(), 0..4), 1..3);
+        let v = strategy.generate(&mut rng);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn exact_size_from_usize() {
+        let mut rng = TestRng::from_name("collection exact");
+        let v = vec(any::<u8>(), 3).generate(&mut rng);
+        assert_eq!(v.len(), 3);
+    }
+}

@@ -1,0 +1,228 @@
+//! Value-generation strategies: ranges, constants, tuples, maps, unions.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Applies `map` to every generated value.
+    fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, map }
+    }
+
+    /// Erases the concrete strategy type (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Wraps a non-empty option list.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let index = rng.below(self.options.len() as u64) as usize;
+        self.options[index].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            // All arithmetic is widened through i128/u128 so that signed
+            // ranges, ranges spanning more than the target type's positive
+            // half, and full-domain inclusive ranges (span 2^64) are all
+            // handled without overflow. `% span` is exact when span == 2^64
+            // and mildly biased otherwise — fine for test-case generation.
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let lo = self.start as i128;
+                    let span = (self.end as i128 - lo) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (lo + offset as i128) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u128 + 1;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (lo + offset as i128) as $t
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("strategy tests")
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let x = (3u8..7).generate(&mut rng);
+            assert!((3..7).contains(&x));
+            let y = (1u8..=255).generate(&mut rng);
+            assert!(y >= 1);
+            let z = (0usize..1).generate(&mut rng);
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn signed_and_full_domain_ranges() {
+        let mut rng = rng();
+        let mut saw_negative = false;
+        for _ in 0..200 {
+            let a = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&a));
+            saw_negative |= a < 0;
+            let b = (-100i8..100).generate(&mut rng);
+            assert!((-100..100).contains(&b));
+            let c = (i64::MIN..=i64::MAX).generate(&mut rng);
+            let _ = c; // whole domain: any value is in range
+            let d = (0u64..=u64::MAX).generate(&mut rng);
+            let _ = d;
+        }
+        assert!(saw_negative, "signed range never produced a negative value");
+    }
+
+    #[test]
+    fn map_and_just() {
+        let mut rng = rng();
+        let doubled = (1u32..5).prop_map(|x| x * 2).generate(&mut rng);
+        assert!(doubled % 2 == 0 && doubled < 10);
+        assert_eq!(Just(9u8).generate(&mut rng), 9);
+    }
+
+    #[test]
+    fn union_picks_every_arm_eventually() {
+        let mut rng = rng();
+        let union = Union::new(vec![Just(0u8).boxed(), Just(1u8).boxed()]);
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[union.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = rng();
+        let (a, b) = (0u8..4, 10u8..14).generate(&mut rng);
+        assert!(a < 4 && (10..14).contains(&b));
+    }
+}

@@ -1,0 +1,154 @@
+//! Deterministic case runner: a splitmix64 RNG seeded from the test name.
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case's inputs did not satisfy a `prop_assume!`; draw another.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self::Fail(message.into())
+    }
+
+    /// Builds a rejection (input precondition unmet).
+    pub fn reject(_reason: impl Into<String>) -> Self {
+        Self::Reject
+    }
+}
+
+/// Result of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Configuration accepted via `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic splitmix64 generator used for all case generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary string (FNV-1a), typically the test name, so
+    /// each test draws a distinct but fully reproducible stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { state: hash }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, bound)`. `bound` must be nonzero. Modulo
+    /// bias is acceptable for test-case generation.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// Runs `case` until `config.cases` cases pass, panicking on the first
+/// failure. Rejected cases (via `prop_assume!`) are redrawn, with a cap to
+/// catch assumptions that can never be satisfied.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let mut rng = TestRng::from_name(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let max_rejects = config.cases.saturating_mul(16).max(1024);
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "proptest '{name}': {rejected} rejections with only {passed} passes — \
+                     the prop_assume! precondition is unsatisfiable"
+                );
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!("proptest '{name}' failed after {passed} passing cases: {message}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("case");
+        let mut b = TestRng::from_name("case");
+        let mut c = TestRng::from_name("other");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn run_cases_counts_passes() {
+        let mut runs = 0u32;
+        run_cases(&ProptestConfig::with_cases(10), "counting", |_| {
+            runs += 1;
+            Ok(())
+        });
+        assert_eq!(runs, 10);
+    }
+
+    #[test]
+    fn rejections_redraw() {
+        let mut draws = 0u32;
+        run_cases(&ProptestConfig::with_cases(4), "rejecting", |rng| {
+            draws += 1;
+            if rng.next_u64() % 2 == 0 {
+                Err(TestCaseError::Reject)
+            } else {
+                Ok(())
+            }
+        });
+        assert!(draws >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failures_panic() {
+        run_cases(&ProptestConfig::with_cases(4), "failing", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

@@ -55,7 +55,9 @@ fn key_backup_full_cycle() {
         secret2.to_vec()
     );
     assert_eq!(
-        backup.recover(&mut client, 1001, &token, &commitment).unwrap(),
+        backup
+            .recover(&mut client, 1001, &token, &commitment)
+            .unwrap(),
         secret.to_vec()
     );
 }
@@ -75,9 +77,7 @@ fn key_backup_rate_limit_over_the_wire() {
     // Hammer domain 1 with wrong tokens until it locks.
     for _ in 0..key_backup::MAX_ATTEMPTS {
         assert_eq!(
-            backup
-                .recover_share(&mut client, 1, 5, &[1u8; 32])
-                .unwrap(),
+            backup.recover_share(&mut client, 1, 5, &[1u8; 32]).unwrap(),
             RecoverStatus::BadToken
         );
     }
@@ -96,8 +96,7 @@ fn key_backup_rate_limit_over_the_wire() {
 fn analytics_aggregates_without_revealing_individuals() {
     let n_domains = 3;
     let deployment =
-        Deployment::launch(analytics::app_spec(n_domains), b"analytics e2e seed")
-            .expect("launch");
+        Deployment::launch(analytics::app_spec(n_domains), b"analytics e2e seed").expect("launch");
     let analytics_client = AnalyticsClient::new(4);
     let mut rng = HmacDrbg::new(b"reporters", b"");
 

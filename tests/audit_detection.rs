@@ -82,8 +82,7 @@ fn equivocating_domain_yields_transferable_proof() {
             checkpoint_key: key.verifying_key(),
         }],
     };
-    let mut client =
-        DeploymentClient::new(descriptor, Box::new(HmacDrbg::new(b"auditor", b"")));
+    let mut client = DeploymentClient::new(descriptor, Box::new(HmacDrbg::new(b"auditor", b"")));
 
     // First audit: checkpoint says head 0xaa — fine so far (matches the
     // status the fake domain reports).
@@ -163,9 +162,7 @@ impl EnclaveService for RewritingDomain {
                     &self.key,
                 ))
             }
-            Ok(Request::GetConsistency { .. }) => {
-                Response::Error("no proof available".into())
-            }
+            Ok(Request::GetConsistency { .. }) => Response::Error("no proof available".into()),
             Ok(_) => Response::Error("not implemented".into()),
             Err(e) => Response::Error(format!("{e}")),
         };
@@ -195,17 +192,16 @@ fn history_rewrite_without_proof_is_flagged() {
             checkpoint_key: key.verifying_key(),
         }],
     };
-    let mut client =
-        DeploymentClient::new(descriptor, Box::new(HmacDrbg::new(b"auditor", b"")));
+    let mut client = DeploymentClient::new(descriptor, Box::new(HmacDrbg::new(b"auditor", b"")));
 
     let first = client.audit(None);
     assert!(first.misbehavior.is_empty(), "{first:?}");
     let second = client.audit(None);
     assert!(
-        second.misbehavior.iter().any(|m| matches!(
-            m,
-            Misbehavior::InconsistentGrowth { .. }
-        )),
+        second
+            .misbehavior
+            .iter()
+            .any(|m| matches!(m, Misbehavior::InconsistentGrowth { .. })),
         "rewrite must be flagged: {second:?}"
     );
 
@@ -238,8 +234,7 @@ fn checkpoint_signed_by_wrong_key_is_flagged() {
             checkpoint_key: real_key.verifying_key(),
         }],
     };
-    let mut client =
-        DeploymentClient::new(descriptor, Box::new(HmacDrbg::new(b"auditor", b"")));
+    let mut client = DeploymentClient::new(descriptor, Box::new(HmacDrbg::new(b"auditor", b"")));
     let report = client.audit(None);
     assert!(
         report

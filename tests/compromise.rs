@@ -20,8 +20,7 @@ use distrust::wire::Encode;
 #[test]
 fn figure1_compromised_developer_cannot_recover_user_key() {
     // n = 4 domains, recovery threshold t = 3.
-    let deployment =
-        Deployment::launch(key_backup::app_spec(4), b"figure 1 seed").expect("launch");
+    let deployment = Deployment::launch(key_backup::app_spec(4), b"figure 1 seed").expect("launch");
     let mut user = deployment.client(b"user");
     let backup = KeyBackupClient::new(3);
 
@@ -100,8 +99,7 @@ fn vendor_exploit_forges_attestation_for_that_vendor_only() {
     let deployment =
         Deployment::launch(key_backup::app_spec(4), b"vendor exploit seed").expect("launch");
     let descriptor = &deployment.descriptor;
-    let measurement =
-        framework_measurement(&descriptor.developer_key, &descriptor.app_name);
+    let measurement = framework_measurement(&descriptor.developer_key, &descriptor.app_name);
 
     // The attacker exploits the SGX-like vendor: leaks its root key.
     let sgx_vendor = deployment
@@ -213,8 +211,7 @@ fn heterogeneity_bounds_the_blast_radius() {
         .map(|d| d.vendor)
         .collect();
     assert_eq!(vendors[0], None);
-    let unique: std::collections::HashSet<_> =
-        vendors[1..].iter().map(|v| v.unwrap()).collect();
+    let unique: std::collections::HashSet<_> = vendors[1..].iter().map(|v| v.unwrap()).collect();
     assert_eq!(unique.len(), 3, "three distinct vendors across 3 domains");
 
     // An honest audit is clean; the attested majority pins the true digest.

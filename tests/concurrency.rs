@@ -11,8 +11,7 @@ use std::sync::Arc;
 fn many_concurrent_submitters() {
     let n_domains = 3;
     let deployment = Arc::new(
-        Deployment::launch(analytics::app_spec(n_domains), b"concurrency seed")
-            .expect("launch"),
+        Deployment::launch(analytics::app_spec(n_domains), b"concurrency seed").expect("launch"),
     );
     let dims = 2;
     let threads = 6;
@@ -49,8 +48,7 @@ fn many_concurrent_submitters() {
 #[test]
 fn concurrent_audits_and_calls() {
     let deployment = Arc::new(
-        Deployment::launch(analytics::app_spec(3), b"audit concurrency seed")
-            .expect("launch"),
+        Deployment::launch(analytics::app_spec(3), b"audit concurrency seed").expect("launch"),
     );
     let digest = deployment.initial_app_digest;
     let mut joins = Vec::new();

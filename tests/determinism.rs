@@ -80,8 +80,7 @@ fn partial_signatures_identical_across_execution_environments() {
 fn log_leaves_identical_across_domains() {
     // Every domain must compute the identical leaf bytes for the same
     // release, or cross-domain digest comparison would be vacuous.
-    let deployment =
-        Deployment::launch(analytics::app_spec(4), b"leaf determinism").unwrap();
+    let deployment = Deployment::launch(analytics::app_spec(4), b"leaf determinism").unwrap();
     let mut client = deployment.client(b"auditor");
     let reference = client.log_entries(0, 0).unwrap();
     assert!(!reference.is_empty());

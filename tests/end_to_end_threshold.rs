@@ -33,7 +33,9 @@ fn five_domain_threshold_signing() {
     let sig = signer.sign(&mut client, msg).expect("signing");
     assert!(public.public_key.verify(msg, &sig));
     // Not valid for another message.
-    assert!(!public.public_key.verify(b"transfer 1000 tokens to mallory", &sig));
+    assert!(!public
+        .public_key
+        .verify(b"transfer 1000 tokens to mallory", &sig));
 
     // Deterministic: BLS signatures are unique, so signing twice over any
     // t-subset yields the identical signature.

@@ -1,0 +1,29 @@
+//! Smoke test: all examples must build, and the quickstart — the first
+//! thing README points a new user at — must run to completion and exit 0.
+//!
+//! Invokes the same cargo binary that is running this test, against this
+//! workspace. Everything is already compiled by the time the test suite
+//! runs, so the inner invocations are cheap cache hits plus one example
+//! execution.
+
+use std::process::Command;
+
+fn cargo(args: &[&str]) -> std::process::ExitStatus {
+    Command::new(env!("CARGO"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .status()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo {args:?}: {e}"))
+}
+
+#[test]
+fn examples_build_and_quickstart_runs() {
+    assert!(
+        cargo(&["build", "--examples", "--quiet"]).success(),
+        "cargo build --examples failed"
+    );
+    assert!(
+        cargo(&["run", "--example", "quickstart", "--quiet"]).success(),
+        "cargo run --example quickstart exited nonzero"
+    );
+}

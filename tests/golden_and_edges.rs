@@ -31,9 +31,7 @@ fn golden_request_encodings() {
     // Exact-content pins:
     assert_eq!(
         digest_hex(&attest.to_wire()),
-        digest_hex(
-            &[vec![0u8], vec![7u8; 32]].concat()
-        ),
+        digest_hex(&[vec![0u8], vec![7u8; 32]].concat()),
     );
 }
 
@@ -90,11 +88,8 @@ fn audit_flags_unexpected_published_digest() {
 
 #[test]
 fn client_surfaces_unreachable_domains() {
-    let deployment = Deployment::launch(
-        distrust::apps::analytics::app_spec(2),
-        b"unreachable seed",
-    )
-    .unwrap();
+    let deployment =
+        Deployment::launch(distrust::apps::analytics::app_spec(2), b"unreachable seed").unwrap();
     let mut descriptor = deployment.descriptor.clone();
     descriptor.domains[1].addr = "127.0.0.1:1".parse().unwrap();
     let mut client = distrust::core::DeploymentClient::new(
@@ -116,22 +111,15 @@ fn client_surfaces_unreachable_domains() {
 fn audit_is_repeatable_and_monotone() {
     // Repeated audits keep succeeding and reuse consistency proofs; the
     // auditor state never wedges on an honest deployment.
-    let deployment = Deployment::launch(
-        distrust::apps::analytics::app_spec(3),
-        b"repeat audit seed",
-    )
-    .unwrap();
+    let deployment =
+        Deployment::launch(distrust::apps::analytics::app_spec(3), b"repeat audit seed").unwrap();
     let mut client = deployment.client(b"auditor");
     for round in 0..5 {
         let report = client.audit(Some(&deployment.initial_app_digest));
         assert!(report.is_clean(), "round {round}: {report:?}");
     }
     // Push an update mid-stream; audits continue cleanly with growth.
-    let release = deployment.sign_release(
-        2,
-        "v2",
-        &distrust::apps::analytics::analytics_module(),
-    );
+    let release = deployment.sign_release(2, "v2", &distrust::apps::analytics::analytics_module());
     // Same module bytes → same digest → same version bump only.
     for r in client.push_update(&release) {
         r.expect("accepted");

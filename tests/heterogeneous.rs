@@ -12,14 +12,18 @@ use distrust::wire::Decode;
 #[test]
 fn domains_attest_with_vendor_specific_evidence() {
     // 4 domains: 0 unattested, 1..3 on SGX-sim, Nitro-sim, Keystone-sim.
-    let deployment =
-        Deployment::launch(analytics::app_spec(4), b"hetero seed").expect("launch");
+    let deployment = Deployment::launch(analytics::app_spec(4), b"hetero seed").expect("launch");
     let mut client = deployment.client(b"auditor");
 
     let mut seen = Vec::new();
     for d in 1..4u32 {
         let resp = client
-            .exchange(d, &Request::Attest { nonce: [d as u8; 32] })
+            .exchange(
+                d,
+                &Request::Attest {
+                    nonce: [d as u8; 32],
+                },
+            )
             .expect("attest");
         let quote = match resp {
             Response::Quote(q) => q,
@@ -60,8 +64,7 @@ fn domains_attest_with_vendor_specific_evidence() {
 
 #[test]
 fn nonce_prevents_quote_replay() {
-    let deployment =
-        Deployment::launch(analytics::app_spec(2), b"replay seed").expect("launch");
+    let deployment = Deployment::launch(analytics::app_spec(2), b"replay seed").expect("launch");
     let mut client = deployment.client(b"auditor");
 
     // Capture a quote for nonce A.
@@ -112,8 +115,7 @@ fn audit_rejects_vendor_substitution() {
 
 #[test]
 fn unattested_domain_zero_is_audited_as_such() {
-    let deployment =
-        Deployment::launch(analytics::app_spec(3), b"domain0 seed").expect("launch");
+    let deployment = Deployment::launch(analytics::app_spec(3), b"domain0 seed").expect("launch");
     let mut client = deployment.client(b"auditor");
     let report = client.audit(Some(&deployment.initial_app_digest));
     assert!(report.is_clean());

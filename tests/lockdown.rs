@@ -110,6 +110,9 @@ fn lockdown_survives_through_notices() {
     for d in 0..2 {
         let notices = client.notices(d, 0).unwrap();
         let last = notices.last().unwrap();
-        assert!(last.manifest.locks_updates, "domain {d} notice carries lock bit");
+        assert!(
+            last.manifest.locks_updates,
+            "domain {d} notice carries lock bit"
+        );
     }
 }

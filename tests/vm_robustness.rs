@@ -5,9 +5,7 @@
 //! Property-based tests drive the decoder, validator, and interpreter with
 //! random bytes and random (structurally valid) instruction streams.
 
-use distrust::sandbox::{
-    Export, Function, Instr, Instance, Limits, Module, NoHost,
-};
+use distrust::sandbox::{Export, Function, Instance, Instr, Limits, Module, NoHost};
 use distrust::wire::Decode;
 use proptest::prelude::*;
 
