@@ -1,0 +1,207 @@
+//! Concurrency benchmark for the wire layer (ISSUE 2 acceptance): p50/p99
+//! request latency at 100 / 1000 / 4000 concurrent connections, event-loop
+//! server (fixed pool of 4 reactor threads + 1 accept thread) vs. the
+//! thread-per-connection baseline (one OS thread per client).
+//!
+//! Custom harness (`harness = false`): criterion's mean-of-iterations shape
+//! cannot express "open N sockets, keep them all live, report tail
+//! latency". Requests are pipelined per worker — every connection has a
+//! request in flight before any response is read — so the numbers include
+//! real queueing, not just lone round-trips. Results are printed as a table
+//! and appended to `bench_results/wire_concurrency.json`.
+
+use distrust_wire::codec::{Decode, Encode};
+use distrust_wire::rpc::{EventLoopRpcServer, RpcServer};
+use distrust_wire::transport::{TcpTransport, Transport};
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const CLIENT_COUNTS: &[usize] = &[100, 1000, 4000];
+const WORKERS: usize = 8;
+const WARMUP_ROUNDS: usize = 1;
+const MEASURED_ROUNDS: usize = 5;
+
+fn handler(req: u64) -> Result<u64, String> {
+    Ok(req.wrapping_mul(0x9e37_79b9) ^ 0x5bd1)
+}
+
+/// Either server, reduced to "an address to hammer and a way to stop".
+enum Server {
+    EventLoop(EventLoopRpcServer),
+    ThreadPerConn(RpcServer),
+}
+
+impl Server {
+    fn spawn(event_loop: bool) -> std::io::Result<Self> {
+        let h = Arc::new(handler as fn(u64) -> Result<u64, String>);
+        Ok(if event_loop {
+            Self::EventLoop(EventLoopRpcServer::spawn::<u64, u64, _>(h)?)
+        } else {
+            Self::ThreadPerConn(RpcServer::spawn::<u64, u64, _>(h)?)
+        })
+    }
+
+    fn addr(&self) -> SocketAddr {
+        match self {
+            Self::EventLoop(s) => s.local_addr(),
+            Self::ThreadPerConn(s) => s.local_addr(),
+        }
+    }
+
+    fn shutdown(&mut self) {
+        match self {
+            Self::EventLoop(s) => s.shutdown(),
+            Self::ThreadPerConn(s) => s.shutdown(),
+        }
+    }
+
+    fn label(event_loop: bool) -> &'static str {
+        if event_loop {
+            "event-loop (4 reactors)"
+        } else {
+            "thread-per-connection"
+        }
+    }
+}
+
+/// One worker: `conns` connections, pipelined send-all-then-recv-all
+/// rounds, per-request latency in nanoseconds.
+fn worker(
+    addr: SocketAddr,
+    conns: usize,
+    barrier: Arc<Barrier>,
+) -> std::thread::JoinHandle<Vec<u64>> {
+    std::thread::spawn(move || {
+        let mut transports: Vec<TcpTransport> = (0..conns)
+            .map(|_| TcpTransport::connect(addr).expect("connect"))
+            .collect();
+        let mut latencies = Vec::with_capacity(conns * MEASURED_ROUNDS);
+        let mut sent_at = vec![Instant::now(); conns];
+        barrier.wait();
+        for round in 0..WARMUP_ROUNDS + MEASURED_ROUNDS {
+            for (i, t) in transports.iter_mut().enumerate() {
+                let req = (round * conns + i) as u64;
+                sent_at[i] = Instant::now();
+                t.send(&req.to_wire()).expect("send");
+            }
+            for (i, t) in transports.iter_mut().enumerate() {
+                let frame = t.recv().expect("recv");
+                let elapsed = sent_at[i].elapsed();
+                let (status, payload) = frame.split_first().expect("envelope");
+                assert_eq!(*status, 0x00, "ok envelope");
+                let resp = u64::from_wire(payload).expect("decode");
+                let req = (round * conns + i) as u64;
+                assert_eq!(resp, handler(req).unwrap());
+                if round >= WARMUP_ROUNDS {
+                    latencies.push(elapsed.as_nanos() as u64);
+                }
+            }
+        }
+        latencies
+    })
+}
+
+struct Row {
+    server: &'static str,
+    clients: usize,
+    requests: usize,
+    p50: Duration,
+    p99: Duration,
+    throughput: f64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    Duration::from_nanos(sorted[idx])
+}
+
+fn run(event_loop: bool, clients: usize) -> Row {
+    let mut server = Server::spawn(event_loop).expect("spawn server");
+    let addr = server.addr();
+    let barrier = Arc::new(Barrier::new(WORKERS));
+    let started = Instant::now();
+    // Distribute the remainder so exactly `clients` connections open.
+    let handles: Vec<_> = (0..WORKERS)
+        .map(|w| {
+            let per_worker = clients / WORKERS + usize::from(w < clients % WORKERS);
+            worker(addr, per_worker, Arc::clone(&barrier))
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("worker"));
+    }
+    let wall = started.elapsed();
+    server.shutdown();
+    latencies.sort_unstable();
+    Row {
+        server: Server::label(event_loop),
+        clients,
+        requests: latencies.len(),
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+        throughput: latencies.len() as f64 / wall.as_secs_f64(),
+    }
+}
+
+/// Soft open-file limit, if discoverable. Each client costs two in-process
+/// descriptors (client socket + accepted socket).
+fn max_open_files() -> Option<usize> {
+    let limits = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let line = limits.lines().find(|l| l.starts_with("Max open files"))?;
+    line.split_whitespace().nth(3)?.parse().ok()
+}
+
+fn main() {
+    // `cargo bench` passes harness flags like `--bench`; nothing to parse.
+    let fd_budget = max_open_files().map(|limit| limit.saturating_sub(200) / 2);
+    let mut rows = Vec::new();
+    println!(
+        "{:<24} {:>8} {:>10} {:>12} {:>12} {:>12}",
+        "server", "clients", "requests", "p50", "p99", "req/s"
+    );
+    for &requested in CLIENT_COUNTS {
+        let clients = match fd_budget {
+            Some(budget) if budget < requested => {
+                eprintln!("fd limit: scaling {requested} clients down to {budget}");
+                budget
+            }
+            _ => requested,
+        };
+        if clients < WORKERS {
+            eprintln!("fd limit too tight for {requested} clients; skipping");
+            continue;
+        }
+        for event_loop in [false, true] {
+            let row = run(event_loop, clients);
+            println!(
+                "{:<24} {:>8} {:>10} {:>10.2?} {:>10.2?} {:>12.0}",
+                row.server, row.clients, row.requests, row.p50, row.p99, row.throughput
+            );
+            rows.push(row);
+        }
+    }
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"server\": \"{}\", \"clients\": {}, \"requests\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"req_per_s\": {:.0}}}",
+                r.server,
+                r.clients,
+                r.requests,
+                r.p50.as_secs_f64() * 1e6,
+                r.p99.as_secs_f64() * 1e6,
+                r.throughput
+            )
+        })
+        .collect();
+    let json = format!("[\n{}\n]\n", entries.join(",\n"));
+    // `cargo bench` runs with the package as CWD; anchor to the workspace
+    // root so the results land next to table3.json either way.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    std::fs::create_dir_all(&dir).expect("mkdir bench_results");
+    let path = dir.join("wire_concurrency.json");
+    std::fs::write(&path, json).expect("write results");
+    println!("\nwrote {}", path.display());
+}

@@ -4,85 +4,56 @@
 //! secure hardware." It runs the same framework code, but clients reach it
 //! over a single socket — no enclave proxy hop — and its attestation
 //! response is [`crate::protocol::Response::Unattested`].
+//!
+//! Since ISSUE 2 the host serves that socket through the wire crate's
+//! readiness event loop ([`EventLoopRpcServer`] in raw-frame mode) instead
+//! of spawning one blocking thread per connection: a fixed pool of reactor
+//! threads multiplexes every client, so a domain can hold thousands of
+//! concurrent connections open. The wire format is unchanged — plain
+//! length-prefixed frames, errors encoded inside the service's own response
+//! messages — so existing clients (e.g.
+//! [`EnclaveClient`](distrust_tee::host::EnclaveClient)) work as before.
 
 use distrust_tee::host::EnclaveService;
-use distrust_wire::frame::{read_frame, write_frame};
+use distrust_wire::reactor::FrameService;
+use distrust_wire::rpc::EventLoopRpcServer;
 use parking_lot::Mutex;
-use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::SocketAddr;
 use std::sync::Arc;
-use std::thread::JoinHandle;
+
+/// Reactor threads per direct host. A deployment runs one direct host next
+/// to several enclave hosts on the same machine; two threads keep it
+/// responsive without oversubscribing small boxes.
+const REACTOR_THREADS: usize = 2;
 
 /// A running single-socket service host.
 pub struct DirectHost {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    inner: EventLoopRpcServer,
 }
 
 impl DirectHost {
-    /// Spawns the service on an ephemeral loopback port.
+    /// Spawns the service on an ephemeral loopback port. The service runs
+    /// behind a mutex: one request at a time, in whatever order the
+    /// reactor pool completes frames — the same serialization the old
+    /// thread-per-connection host provided.
     pub fn spawn<S: EnclaveService>(service: S) -> std::io::Result<Self> {
-        let listener = TcpListener::bind(("127.0.0.1", 0))?;
-        let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let service = Arc::new(Mutex::new(service));
-        let stop_a = Arc::clone(&stop);
-        let accept_thread = std::thread::Builder::new()
-            .name(format!("direct-host-{addr}"))
-            .spawn(move || {
-                for conn in listener.incoming() {
-                    if stop_a.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(mut conn) = conn else { break };
-                    let _ = conn.set_nodelay(true);
-                    let service = Arc::clone(&service);
-                    let stop_c = Arc::clone(&stop_a);
-                    let _ = std::thread::Builder::new()
-                        .name("direct-host-conn".to_string())
-                        .spawn(move || loop {
-                            if stop_c.load(Ordering::SeqCst) {
-                                break;
-                            }
-                            let Ok(request) = read_frame(&mut conn) else {
-                                break;
-                            };
-                            let response = service.lock().handle(request);
-                            if write_frame(&mut conn, &response).is_err() {
-                                break;
-                            }
-                        });
-                }
-            })?;
+        let service = Mutex::new(service);
+        let frames: FrameService =
+            Arc::new(move |request: &[u8]| service.lock().handle(request.to_vec()));
         Ok(Self {
-            addr,
-            stop,
-            accept_thread: Some(accept_thread),
+            inner: EventLoopRpcServer::spawn_frames(frames, REACTOR_THREADS)?,
         })
     }
 
     /// Address clients connect to.
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.local_addr()
     }
 
-    /// Stops accepting and joins the accept loop.
+    /// Stops accepting, closes every connection, and joins all serving
+    /// threads. Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        if let Ok(mut s) = TcpStream::connect(self.addr) {
-            let _ = s.write_all(&[0]);
-        }
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-    }
-}
-
-impl Drop for DirectHost {
-    fn drop(&mut self) {
-        self.shutdown();
+        self.inner.shutdown();
     }
 }
 
@@ -116,5 +87,29 @@ mod tests {
         assert_eq!(client.exchange(b"").unwrap(), vec![1]);
         assert_eq!(client.exchange(b"").unwrap(), vec![2]);
         host.shutdown();
+    }
+
+    #[test]
+    fn many_clients_share_the_fixed_pool() {
+        let mut host = DirectHost::spawn(|req: Vec<u8>| req).unwrap();
+        let addr = host.addr();
+        // Many more connections than reactor threads, alive concurrently.
+        let mut clients: Vec<EnclaveClient> = (0..40)
+            .map(|_| EnclaveClient::connect(addr).unwrap())
+            .collect();
+        for (i, c) in clients.iter_mut().enumerate() {
+            let msg = vec![i as u8; 16];
+            assert_eq!(c.exchange(&msg).unwrap(), msg);
+        }
+        host.shutdown();
+    }
+
+    #[test]
+    fn shutdown_unblocks_idle_clients() {
+        let mut host = DirectHost::spawn(|req: Vec<u8>| req).unwrap();
+        let mut client = EnclaveClient::connect(host.addr()).unwrap();
+        assert_eq!(client.exchange(b"x").unwrap(), b"x");
+        host.shutdown();
+        assert!(client.exchange(b"y").is_err());
     }
 }

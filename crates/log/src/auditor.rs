@@ -253,13 +253,15 @@ impl Auditor {
             .collect()
     }
 
-    /// Cross-checks the latest verified heads across all domains. The paper
+    /// Cross-checks the verified checkpoints across all domains. The paper
     /// requires all `n` domains to report the *same* digest history; any
     /// divergence is flagged.
     ///
-    /// `align_sizes` restricts the comparison to domains whose latest
-    /// checkpoints share the maximum common size — domains lagging behind
-    /// (but consistent) are not flagged.
+    /// Comparison is grouped by checkpoint size: every checkpoint each
+    /// domain has presented is bucketed by its announced log size, and all
+    /// checkpoints within a size bucket must share the same head. Domains
+    /// lagging behind (no checkpoint at a given size) are not flagged —
+    /// being behind is consistent; disagreeing at the same size is not.
     pub fn cross_check(&self) -> AuditOutcome {
         let mut views: Vec<(u32, &SignedCheckpoint)> = Vec::new();
         for (i, d) in self.domains.iter().enumerate() {

@@ -14,6 +14,11 @@ use std::io::{Read, Write};
 /// Maximum frame size accepted (16 MiB), matching the codec's collection cap.
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 
+/// Payload bytes are read and buffered in chunks of at most this size, so a
+/// peer announcing a huge frame cannot force a large allocation before it
+/// has actually delivered the bytes.
+pub const READ_CHUNK: usize = 64 * 1024;
+
 /// Errors from frame I/O.
 #[derive(Debug)]
 pub enum FrameError {
@@ -81,8 +86,15 @@ pub fn read_frame<R: Read>(reader: &mut R) -> Result<Vec<u8>, FrameError> {
     if len > MAX_FRAME_LEN {
         return Err(FrameError::Oversized(len));
     }
-    let mut payload = vec![0u8; len];
-    reader.read_exact(&mut payload)?;
+    // Grow the buffer by at most READ_CHUNK at a time: the announced length
+    // is attacker-controlled, the delivered bytes are what we pay for.
+    let mut payload = Vec::with_capacity(len.min(READ_CHUNK));
+    while payload.len() < len {
+        let take = (len - payload.len()).min(READ_CHUNK);
+        let start = payload.len();
+        payload.resize(start + take, 0);
+        reader.read_exact(&mut payload[start..])?;
+    }
     Ok(payload)
 }
 
@@ -130,6 +142,58 @@ mod tests {
     fn torn_header_is_io_error() {
         let mut cur = Cursor::new(vec![1u8, 0]);
         assert!(matches!(read_frame(&mut cur), Err(FrameError::Io(_))));
+    }
+
+    /// A reader that serves from a small buffer and records the largest
+    /// destination buffer it was ever handed — a stand-in for "how much did
+    /// `read_frame` allocate up front".
+    struct TrackingReader {
+        data: Vec<u8>,
+        pos: usize,
+        max_buf: usize,
+    }
+
+    impl Read for TrackingReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.max_buf = self.max_buf.max(buf.len());
+            let n = buf.len().min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn announced_16mib_with_3_bytes_fails_without_big_allocation() {
+        // Header promises MAX_FRAME_LEN; only 3 payload bytes ever arrive.
+        let mut data = (MAX_FRAME_LEN as u32).to_le_bytes().to_vec();
+        data.extend_from_slice(&[1, 2, 3]);
+        let mut reader = TrackingReader {
+            data,
+            pos: 0,
+            max_buf: 0,
+        };
+        assert!(matches!(read_frame(&mut reader), Err(FrameError::Io(_))));
+        assert!(
+            reader.max_buf <= READ_CHUNK,
+            "read buffer of {} bytes exceeds the {} byte chunk cap",
+            reader.max_buf,
+            READ_CHUNK
+        );
+    }
+
+    #[test]
+    fn chunked_read_reassembles_multi_chunk_frame() {
+        let payload: Vec<u8> = (0..READ_CHUNK * 2 + 17).map(|i| i as u8).collect();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut reader = TrackingReader {
+            data: buf,
+            pos: 0,
+            max_buf: 0,
+        };
+        assert_eq!(read_frame(&mut reader).unwrap(), payload);
+        assert!(reader.max_buf <= READ_CHUNK);
     }
 
     #[test]

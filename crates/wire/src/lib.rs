@@ -3,20 +3,27 @@
 //! Deterministic serialization, framing, transports, and RPC for the
 //! `distrust` workspace.
 //!
-//! Design notes (see DESIGN.md §5): blocking I/O with a thread per
-//! connection; explicit message types with a canonical binary codec so that
-//! hashed/signed structures have one byte representation everywhere; real
-//! TCP loopback sockets wherever the paper's evaluation attributes cost to
-//! socket hops.
+//! Design notes (see DESIGN.md §5): explicit message types with a canonical
+//! binary codec so that hashed/signed structures have one byte
+//! representation everywhere; real TCP loopback sockets wherever the
+//! paper's evaluation attributes cost to socket hops. Serving comes in two
+//! shapes: the original blocking thread-per-connection loop
+//! ([`rpc::RpcServer`]) and a readiness-based event loop ([`reactor`],
+//! [`frame_nb`], [`rpc::EventLoopRpcServer`]) that multiplexes thousands of
+//! connections onto a small fixed thread pool.
 
 pub mod codec;
 pub mod frame;
+pub mod frame_nb;
+pub mod reactor;
 pub mod rpc;
 pub mod transport;
 
 pub use codec::{Decode, DecodeError, Encode};
-pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
-pub use rpc::{RpcClient, RpcError, RpcHandler, RpcServer};
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN, READ_CHUNK};
+pub use frame_nb::{FrameReader, WriteBuf};
+pub use reactor::{FrameService, Reactor, ReactorHandle};
+pub use rpc::{EventLoopRpcServer, RpcClient, RpcError, RpcHandler, RpcServer};
 pub use transport::{
     ChannelTransport, SharedTransport, TcpAcceptor, TcpTransport, Transport, TransportError,
 };

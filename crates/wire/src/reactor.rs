@@ -1,0 +1,434 @@
+//! Hand-rolled readiness event loop over `std`-only non-blocking sockets.
+//!
+//! The paper's evaluation (§5, Table 3) pins most deployment overhead on
+//! the socket hops between client, framework, and sandboxed app, and the
+//! blocking wire layer burns one OS thread per connection on top of that.
+//! This module multiplexes thousands of connections onto a small fixed pool
+//! of reactor threads instead.
+//!
+//! No external event-loop crate is available offline, and `std` exposes no
+//! `poll(2)`, so readiness is level-triggered the portable way: every
+//! connection is switched to non-blocking mode, and each reactor thread
+//! sweeps its ready-set — draining reads until `WouldBlock`, flushing
+//! pending writes until `WouldBlock` — then sleeps with a small adaptive
+//! backoff when a full sweep makes no progress. Sweeping is O(connections),
+//! but each sweep harvests every ready connection, so cost amortises
+//! exactly when it matters (many active clients) and the backoff caps idle
+//! burn when it does not.
+//!
+//! Per-connection state lives in [`frame_nb`](crate::frame_nb): partial
+//! frame reads and writes survive across sweeps, which the blocking
+//! [`read_frame`](crate::frame::read_frame)/[`write_frame`](crate::frame::write_frame)
+//! pair cannot do.
+
+use crate::frame_nb::{FrameReader, WriteBuf};
+use std::io::Read;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A request-frame handler: one frame in, one response frame out. Shared by
+/// every reactor thread, so interior mutability (and locking, if the
+/// service is stateful) is the implementor's business.
+pub type FrameService = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
+
+/// Sleep floor after an idle sweep.
+const IDLE_BACKOFF_MIN: Duration = Duration::from_micros(20);
+/// Sleep ceiling: bounds added latency for the first request after a quiet
+/// period. Any progress resets the backoff to the floor, so a busy or
+/// steadily-trickling connection never waits anywhere near this long —
+/// while a thread holding only idle connections stops burning the CPU on
+/// sub-millisecond sweep wakeups.
+const IDLE_BACKOFF_MAX: Duration = Duration::from_millis(5);
+/// How long an empty reactor thread blocks on its intake queue per wait.
+const EMPTY_WAIT: Duration = Duration::from_millis(5);
+/// Stop reading from a connection whose un-flushed responses exceed this.
+const WRITE_HIGH_WATER: usize = 1 << 20;
+/// Read buffer size per reactor thread (reused across connections).
+const SCRATCH_LEN: usize = 16 * 1024;
+/// Cap on bytes read from one connection per sweep: a peer that never
+/// stops being readable must not starve its thread's other connections.
+const READ_BUDGET_PER_SWEEP: usize = 256 * 1024;
+
+/// One multiplexed connection: socket plus resumable frame state.
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    writer: WriteBuf,
+    /// Peer sent FIN: stop reading, but drain queued responses before
+    /// closing — a client may legitimately half-close after its last
+    /// request and still expect the reply.
+    eof: bool,
+}
+
+/// Outcome of one sweep over one connection.
+enum Pump {
+    /// Bytes moved or frames completed this sweep.
+    Progress,
+    /// Nothing ready; keep the connection.
+    Idle,
+    /// EOF, I/O error, or protocol violation; drop the connection.
+    Closed,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            reader: FrameReader::new(),
+            writer: WriteBuf::new(),
+            eof: false,
+        })
+    }
+
+    /// Flushes pending writes; partial writes still count as progress.
+    /// Returns `None` when the connection should close.
+    fn try_flush(&mut self, progress: &mut bool) -> Option<()> {
+        if self.writer.is_empty() {
+            return Some(());
+        }
+        let before = self.writer.pending();
+        match self.writer.flush(&mut self.stream) {
+            Ok(_) => {
+                if self.writer.pending() < before {
+                    *progress = true;
+                }
+                Some(())
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Flushes pending writes, then drains readable bytes into complete
+    /// frames, dispatching each through `service`.
+    fn pump(
+        &mut self,
+        service: &FrameService,
+        scratch: &mut [u8],
+        frames: &mut Vec<Vec<u8>>,
+    ) -> Pump {
+        let mut progress = false;
+        if self.try_flush(&mut progress).is_none() {
+            return Pump::Closed;
+        }
+        let mut budget = READ_BUDGET_PER_SWEEP;
+        while !self.eof && budget > 0 {
+            if self.writer.pending() > WRITE_HIGH_WATER {
+                // Backpressure: let the peer drain before reading more.
+                break;
+            }
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    self.eof = true;
+                    progress = true;
+                }
+                Ok(n) => {
+                    progress = true;
+                    budget = budget.saturating_sub(n);
+                    if self.reader.feed(&scratch[..n], frames).is_err() {
+                        return Pump::Closed;
+                    }
+                    for frame in frames.drain(..) {
+                        let response = service(&frame);
+                        if self.writer.push_frame(&response).is_err() {
+                            return Pump::Closed;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Pump::Closed,
+            }
+        }
+        if self.try_flush(&mut progress).is_none() {
+            return Pump::Closed;
+        }
+        if self.eof && self.writer.is_empty() {
+            // Everything owed has been delivered; now the FIN is final.
+            return Pump::Closed;
+        }
+        if progress {
+            Pump::Progress
+        } else {
+            Pump::Idle
+        }
+    }
+}
+
+/// Shared half of the reactor: intake queues and the stop flag.
+struct ReactorShared {
+    queues: Vec<Sender<TcpStream>>,
+    next: AtomicUsize,
+    stop: AtomicBool,
+}
+
+/// A cloneable registration handle (what accept loops hold).
+#[derive(Clone)]
+pub struct ReactorHandle {
+    shared: Arc<ReactorShared>,
+}
+
+impl ReactorHandle {
+    /// Hands a connected stream to the next reactor thread, round-robin.
+    /// Fails once the reactor has shut down.
+    pub fn register(&self, stream: TcpStream) -> std::io::Result<()> {
+        if self.shared.stop.load(Ordering::SeqCst) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "reactor is shut down",
+            ));
+        }
+        let i = self.shared.next.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
+        self.shared.queues[i].send(stream).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::NotConnected, "reactor thread exited")
+        })
+    }
+}
+
+/// A running pool of reactor threads serving one [`FrameService`].
+pub struct Reactor {
+    shared: Arc<ReactorShared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Reactor {
+    /// Spawns `threads` reactor threads (clamped to at least 1), all
+    /// dispatching complete request frames to `service`.
+    pub fn spawn(service: FrameService, threads: usize) -> std::io::Result<Self> {
+        let threads = threads.max(1);
+        let mut queues = Vec::with_capacity(threads);
+        let mut receivers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (tx, rx) = std::sync::mpsc::channel();
+            queues.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(ReactorShared {
+            queues,
+            next: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+        });
+        let mut handles = Vec::with_capacity(threads);
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let shared_t = Arc::clone(&shared);
+            let service_t = Arc::clone(&service);
+            match std::thread::Builder::new()
+                .name(format!("wire-reactor-{i}"))
+                .spawn(move || reactor_loop(rx, service_t, shared_t))
+            {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    // Don't leak the threads already spawned: stop and join
+                    // them before reporting the failure.
+                    shared.stop.store(true, Ordering::SeqCst);
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(Self {
+            shared,
+            threads: handles,
+        })
+    }
+
+    /// A cloneable handle for registering connections.
+    pub fn handle(&self) -> ReactorHandle {
+        ReactorHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Stops every reactor thread, shutting down all multiplexed sockets,
+    /// and joins the pool. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn reactor_loop(intake: Receiver<TcpStream>, service: FrameService, shared: Arc<ReactorShared>) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; SCRATCH_LEN];
+    let mut frames: Vec<Vec<u8>> = Vec::new();
+    let mut backoff = IDLE_BACKOFF_MIN;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        // With no connections, block on the intake queue instead of
+        // spinning; the timeout keeps the stop flag responsive.
+        if conns.is_empty() {
+            match intake.recv_timeout(EMPTY_WAIT) {
+                Ok(stream) => {
+                    if let Ok(conn) = Conn::new(stream) {
+                        conns.push(conn);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        loop {
+            match intake.try_recv() {
+                Ok(stream) => {
+                    if let Ok(conn) = Conn::new(stream) {
+                        conns.push(conn);
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        let mut progress = false;
+        conns.retain_mut(
+            |conn| match conn.pump(&service, &mut scratch, &mut frames) {
+                Pump::Progress => {
+                    progress = true;
+                    true
+                }
+                Pump::Idle => true,
+                Pump::Closed => {
+                    let _ = conn.stream.shutdown(Shutdown::Both);
+                    false
+                }
+            },
+        );
+        if progress {
+            backoff = IDLE_BACKOFF_MIN;
+        } else {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(IDLE_BACKOFF_MAX);
+        }
+    }
+    // Unblock any peer still waiting on us before the sockets drop.
+    for conn in &conns {
+        let _ = conn.stream.shutdown(Shutdown::Both);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{read_frame, write_frame};
+    use std::net::{TcpListener, TcpStream};
+
+    fn echo_service() -> FrameService {
+        Arc::new(|frame: &[u8]| {
+            let mut out = frame.to_vec();
+            out.reverse();
+            out
+        })
+    }
+
+    fn connect_pair(listener: &TcpListener, handle: &ReactorHandle) -> TcpStream {
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        client.set_nodelay(true).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        handle.register(server_side).unwrap();
+        client
+    }
+
+    #[test]
+    fn single_connection_round_trip() {
+        let mut reactor = Reactor::spawn(echo_service(), 2).unwrap();
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let mut client = connect_pair(&listener, &reactor.handle());
+        write_frame(&mut client, b"abc").unwrap();
+        assert_eq!(read_frame(&mut client).unwrap(), b"cba");
+        write_frame(&mut client, b"12345").unwrap();
+        assert_eq!(read_frame(&mut client).unwrap(), b"54321");
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn many_connections_multiplexed_on_two_threads() {
+        let mut reactor = Reactor::spawn(echo_service(), 2).unwrap();
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let handle = reactor.handle();
+        let mut clients: Vec<TcpStream> =
+            (0..64).map(|_| connect_pair(&listener, &handle)).collect();
+        // Pipelined: all sends first, then all receives.
+        for (i, c) in clients.iter_mut().enumerate() {
+            write_frame(c, format!("msg {i}").as_bytes()).unwrap();
+        }
+        for (i, c) in clients.iter_mut().enumerate() {
+            let expected: Vec<u8> = format!("msg {i}").bytes().rev().collect();
+            assert_eq!(read_frame(c).unwrap(), expected);
+        }
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn large_frame_crosses_partial_reads() {
+        let mut reactor = Reactor::spawn(echo_service(), 1).unwrap();
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let mut client = connect_pair(&listener, &reactor.handle());
+        let big: Vec<u8> = (0..500_000u32).map(|i| i as u8).collect();
+        write_frame(&mut client, &big).unwrap();
+        let mut expected = big;
+        expected.reverse();
+        assert_eq!(read_frame(&mut client).unwrap(), expected);
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn shutdown_closes_registered_connections() {
+        let mut reactor = Reactor::spawn(echo_service(), 1).unwrap();
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let mut client = connect_pair(&listener, &reactor.handle());
+        reactor.shutdown();
+        // The reactor shut the socket: the blocking read unblocks.
+        assert!(read_frame(&mut client).is_err());
+        // Registration after shutdown is refused.
+        let orphan = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        assert!(reactor.handle().register(orphan).is_err());
+    }
+
+    #[test]
+    fn half_close_still_gets_the_response() {
+        // Request-then-FIN: the reply owed for the last request must be
+        // delivered before the reactor drops the connection.
+        let mut reactor = Reactor::spawn(echo_service(), 1).unwrap();
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let mut client = connect_pair(&listener, &reactor.handle());
+        write_frame(&mut client, b"last words").unwrap();
+        client.shutdown(Shutdown::Write).unwrap();
+        assert_eq!(read_frame(&mut client).unwrap(), b"sdrow tsal");
+        assert!(matches!(
+            read_frame(&mut client),
+            Err(crate::frame::FrameError::Closed)
+        ));
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn oversized_frame_drops_connection_only() {
+        let mut reactor = Reactor::spawn(echo_service(), 1).unwrap();
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let handle = reactor.handle();
+        let mut bad = connect_pair(&listener, &handle);
+        let mut good = connect_pair(&listener, &handle);
+        use std::io::Write;
+        bad.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        assert!(read_frame(&mut bad).is_err(), "violator disconnected");
+        write_frame(&mut good, b"still here").unwrap();
+        assert_eq!(read_frame(&mut good).unwrap(), b"ereh llits");
+        reactor.shutdown();
+    }
+}

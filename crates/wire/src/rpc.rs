@@ -1,13 +1,21 @@
 //! Minimal request/response RPC over a [`Transport`].
 //!
 //! One in-flight request per connection (the deployment's clients are
-//! sequential auditors and signers, not high-fanout proxies), explicit
-//! status codes, and a thread-per-connection server loop in the std-net
-//! blocking style the workspace uses throughout.
+//! sequential auditors and signers, not high-fanout proxies) and explicit
+//! status codes. Two server shapes share the same [`RpcHandler`] trait and
+//! wire protocol:
+//!
+//! * [`RpcServer`] — the original thread-per-connection blocking loop.
+//!   Simple, fine for tens of clients, one OS thread per socket.
+//! * [`EventLoopRpcServer`] — multiplexes thousands of connections onto a
+//!   small fixed pool of [`Reactor`] threads with non-blocking sockets and
+//!   resumable framing (see [`crate::reactor`] / [`crate::frame_nb`]).
 
 use crate::codec::{Decode, DecodeError, Encode};
+use crate::reactor::{FrameService, Reactor};
 use crate::transport::{TcpAcceptor, TcpTransport, Transport, TransportError};
-use std::net::SocketAddr;
+use parking_lot::Mutex;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -125,11 +133,57 @@ where
     }
 }
 
-/// A running TCP RPC server. Threads are reaped on [`RpcServer::shutdown`].
+/// Accepts one connection, retrying through transient errors (EMFILE
+/// spikes, clients racing RST) — they must not kill the listener. Returns
+/// `None` when the accept loop should exit: stop flag set, or a persistent
+/// error storm (reported loudly) exhausted its patience.
+fn accept_with_retry<T>(
+    label: &str,
+    stop: &AtomicBool,
+    consecutive_errors: &mut u32,
+    mut accept: impl FnMut() -> std::io::Result<T>,
+) -> Option<T> {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return None;
+        }
+        match accept() {
+            Ok(t) => {
+                *consecutive_errors = 0;
+                return Some(t);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                if stop.load(Ordering::SeqCst) {
+                    return None;
+                }
+                *consecutive_errors += 1;
+                if *consecutive_errors > 100 {
+                    eprintln!("{label}: giving up after repeated accept errors: {e}");
+                    return None;
+                }
+                eprintln!("{label}: accept error (retrying): {e}");
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// A connection thread plus a cloned socket handle the supervisor can shut
+/// down to unblock it.
+struct ConnSlot {
+    socket: TcpStream,
+    thread: JoinHandle<()>,
+}
+
+/// A running TCP RPC server. Threads are reaped on [`RpcServer::shutdown`]:
+/// the accept loop *and* every connection thread, whose sockets are shut
+/// down first so readers parked in `recv` unblock.
 pub struct RpcServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<ConnSlot>>>,
 }
 
 impl RpcServer {
@@ -144,30 +198,64 @@ impl RpcServer {
         let acceptor = TcpAcceptor::bind_loopback()?;
         let addr = acceptor.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<ConnSlot>>> = Arc::new(Mutex::new(Vec::new()));
         let stop_accept = Arc::clone(&stop);
+        let conns_accept = Arc::clone(&conns);
         let accept_thread = std::thread::Builder::new()
             .name(format!("rpc-accept-{addr}"))
-            .spawn(move || loop {
-                if stop_accept.load(Ordering::SeqCst) {
-                    break;
+            .spawn(move || {
+                let label = format!("rpc-accept-{addr}");
+                let mut consecutive_errors = 0u32;
+                loop {
+                    let Some(transport) =
+                        accept_with_retry(&label, &stop_accept, &mut consecutive_errors, || {
+                            acceptor.accept()
+                        })
+                    else {
+                        break;
+                    };
+                    if stop_accept.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let socket = match transport.try_clone_stream() {
+                        Ok(s) => s,
+                        Err(_) => continue, // connection dies unserved
+                    };
+                    let handler = Arc::clone(&handler);
+                    let stop_conn = Arc::clone(&stop_accept);
+                    match std::thread::Builder::new()
+                        .name("rpc-conn".to_string())
+                        .spawn(move || serve_connection(transport, handler, stop_conn))
+                    {
+                        Ok(thread) => {
+                            let mut slots = conns_accept.lock();
+                            // Opportunistically reap finished threads so the
+                            // registry tracks live connections, not history.
+                            let mut i = 0;
+                            while i < slots.len() {
+                                if slots[i].thread.is_finished() {
+                                    let slot = slots.swap_remove(i);
+                                    let _ = slot.thread.join();
+                                } else {
+                                    i += 1;
+                                }
+                            }
+                            slots.push(ConnSlot { socket, thread });
+                        }
+                        Err(e) => {
+                            // Out of threads: refuse loudly instead of silently
+                            // dropping the socket on the floor.
+                            eprintln!("rpc-accept-{addr}: failed to spawn connection thread: {e}");
+                            let _ = socket.shutdown(Shutdown::Both);
+                        }
+                    }
                 }
-                let transport = match acceptor.accept() {
-                    Ok(t) => t,
-                    Err(_) => break,
-                };
-                if stop_accept.load(Ordering::SeqCst) {
-                    break;
-                }
-                let handler = Arc::clone(&handler);
-                let stop_conn = Arc::clone(&stop_accept);
-                let _ = std::thread::Builder::new()
-                    .name("rpc-conn".to_string())
-                    .spawn(move || serve_connection(transport, handler, stop_conn));
             })?;
         Ok(Self {
             addr,
             stop,
             accept_thread: Some(accept_thread),
+            conns,
         })
     }
 
@@ -176,13 +264,23 @@ impl RpcServer {
         self.addr
     }
 
-    /// Stops accepting and unblocks the accept loop.
+    /// Stops accepting, unblocks every connection thread by shutting down
+    /// its socket, and joins them all. No thread outlives this call.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Poke the accept loop awake with a throwaway connection.
-        let _ = std::net::TcpStream::connect(self.addr);
+        let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        // With the accept loop gone, no new slots can appear; drain and
+        // reap. Shutting the socket forces a blocked `recv` to error out.
+        let slots = std::mem::take(&mut *self.conns.lock());
+        for slot in &slots {
+            let _ = slot.socket.shutdown(Shutdown::Both);
+        }
+        for slot in slots {
+            let _ = slot.thread.join();
         }
     }
 }
@@ -220,6 +318,127 @@ fn serve_connection<Req, Resp, H>(
         if transport.send(&reply).is_err() {
             break;
         }
+    }
+}
+
+/// Builds the envelope-speaking [`FrameService`] shared by every reactor
+/// thread: decode request → dispatch handler → encode ok/err envelope.
+fn envelope_service<Req, Resp, H>(handler: Arc<H>) -> FrameService
+where
+    Req: Decode + Send + 'static,
+    Resp: Encode + Send + 'static,
+    H: RpcHandler<Req, Resp>,
+{
+    Arc::new(move |frame: &[u8]| match Req::from_wire(frame) {
+        Ok(request) => match handler.handle(request) {
+            Ok(resp) => encode_ok(&resp.to_wire()),
+            Err(msg) => encode_err(&msg),
+        },
+        Err(e) => encode_err(&format!("malformed request: {e}")),
+    })
+}
+
+/// A readiness-based RPC server: one accept thread plus a small fixed pool
+/// of reactor threads multiplexing every connection with non-blocking
+/// sockets. Speaks the exact wire protocol of [`RpcServer`], so
+/// [`RpcClient`] works against either unchanged.
+pub struct EventLoopRpcServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    reactor: Reactor,
+}
+
+impl EventLoopRpcServer {
+    /// Reactor threads used by [`EventLoopRpcServer::spawn`]. With the
+    /// accept thread this keeps the whole server within a handful of OS
+    /// threads regardless of connection count.
+    pub const DEFAULT_REACTOR_THREADS: usize = 4;
+
+    /// Binds a loopback listener and serves `handler` on the default pool.
+    pub fn spawn<Req, Resp, H>(handler: Arc<H>) -> std::io::Result<Self>
+    where
+        Req: Decode + Send + 'static,
+        Resp: Encode + Send + 'static,
+        H: RpcHandler<Req, Resp>,
+    {
+        Self::spawn_with_threads(handler, Self::DEFAULT_REACTOR_THREADS)
+    }
+
+    /// As [`EventLoopRpcServer::spawn`] with an explicit pool size.
+    pub fn spawn_with_threads<Req, Resp, H>(
+        handler: Arc<H>,
+        reactor_threads: usize,
+    ) -> std::io::Result<Self>
+    where
+        Req: Decode + Send + 'static,
+        Resp: Encode + Send + 'static,
+        H: RpcHandler<Req, Resp>,
+    {
+        Self::spawn_frames(envelope_service(handler), reactor_threads)
+    }
+
+    /// Serves raw frames (no ok/err envelope) through the reactor. This is
+    /// the layer the trust-domain hosts use: their protocol encodes errors
+    /// inside the response message itself, and their existing clients speak
+    /// plain frames.
+    pub fn spawn_frames(service: FrameService, reactor_threads: usize) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let reactor = Reactor::spawn(service, reactor_threads)?;
+        let handle = reactor.handle();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("rpc-evl-accept-{addr}"))
+            .spawn(move || {
+                let label = format!("rpc-evl-accept-{addr}");
+                let mut consecutive_errors = 0u32;
+                loop {
+                    let Some(stream) =
+                        accept_with_retry(&label, &stop_accept, &mut consecutive_errors, || {
+                            listener.accept().map(|(s, _)| s)
+                        })
+                    else {
+                        break;
+                    };
+                    if stop_accept.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if handle.register(stream).is_err() {
+                        break;
+                    }
+                }
+            })?;
+        Ok(Self {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            reactor,
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, closes every multiplexed connection, and joins the
+    /// accept thread and the reactor pool. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the accept loop awake with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.reactor.shutdown();
+    }
+}
+
+impl Drop for EventLoopRpcServer {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -292,5 +511,109 @@ mod tests {
             j.join().unwrap();
         }
         server.lock().shutdown();
+    }
+
+    /// Regression (ISSUE 2): a connection thread parked in `recv` used to
+    /// outlive `shutdown`, which only joined the accept thread. Every
+    /// connection thread holds a clone of the handler `Arc` for its whole
+    /// lifetime, so the strong count observes the leak directly.
+    #[test]
+    fn shutdown_reaps_connection_blocked_in_recv() {
+        let handler = Arc::new(|req: u64| -> Result<u64, String> { Ok(req) });
+        let mut server = RpcServer::spawn::<u64, u64, _>(Arc::clone(&handler)).unwrap();
+        let mut client = RpcClient::connect(server.local_addr()).unwrap();
+        // One call guarantees the connection thread is up and serving...
+        let _: u64 = client.call(&1u64).unwrap();
+        // ...and now it is parked in `recv` with no request in flight.
+        server.shutdown();
+        drop(server);
+        assert_eq!(
+            Arc::strong_count(&handler),
+            1,
+            "a leaked connection thread still holds the handler"
+        );
+        // The server closed the socket underneath the idle client.
+        assert!(client.call::<u64, u64>(&2).is_err());
+    }
+
+    #[test]
+    fn event_loop_echo_and_sequential_calls() {
+        let handler = Arc::new(|req: u64| -> Result<u64, String> { Ok(req * 3) });
+        let mut server = EventLoopRpcServer::spawn::<u64, u64, _>(handler).unwrap();
+        let mut client = RpcClient::connect(server.local_addr()).unwrap();
+        for i in 0..50u64 {
+            let tripled: u64 = client.call(&i).unwrap();
+            assert_eq!(tripled, i * 3);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn event_loop_remote_errors_propagate() {
+        let handler = Arc::new(|req: u64| -> Result<u64, String> {
+            if req.is_multiple_of(2) {
+                Ok(req)
+            } else {
+                Err(format!("odd: {req}"))
+            }
+        });
+        let mut server = EventLoopRpcServer::spawn::<u64, u64, _>(handler).unwrap();
+        let mut client = RpcClient::connect(server.local_addr()).unwrap();
+        assert_eq!(client.call::<u64, u64>(&4).unwrap(), 4);
+        match client.call::<u64, u64>(&5) {
+            Err(RpcError::Remote(msg)) => assert_eq!(msg, "odd: 5"),
+            other => panic!("expected remote error, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn event_loop_malformed_request_reported() {
+        let handler = Arc::new(|req: u64| -> Result<u64, String> { Ok(req) });
+        let mut server = EventLoopRpcServer::spawn::<u64, u64, _>(handler).unwrap();
+        let mut t = TcpTransport::connect(server.local_addr()).unwrap();
+        t.send(&[9, 9]).unwrap();
+        let frame = t.recv().unwrap();
+        assert_eq!(frame[0], 0x01, "error envelope");
+        server.shutdown();
+    }
+
+    #[test]
+    fn event_loop_many_concurrent_clients() {
+        let handler = Arc::new(|req: u64| -> Result<u64, String> { Ok(req + 7) });
+        let mut server = EventLoopRpcServer::spawn_with_threads::<u64, u64, _>(handler, 2).unwrap();
+        let addr = server.local_addr();
+        // Far more connections than reactor threads, all open at once.
+        let mut clients: Vec<RpcClient<TcpTransport>> = (0..100)
+            .map(|_| RpcClient::connect(addr).unwrap())
+            .collect();
+        for round in 0..3u64 {
+            for (i, c) in clients.iter_mut().enumerate() {
+                let req = round * 1000 + i as u64;
+                assert_eq!(c.call::<u64, u64>(&req).unwrap(), req + 7);
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn event_loop_shutdown_closes_idle_clients() {
+        let handler = Arc::new(|req: u64| -> Result<u64, String> { Ok(req) });
+        let mut server = EventLoopRpcServer::spawn::<u64, u64, _>(handler).unwrap();
+        let mut client = RpcClient::connect(server.local_addr()).unwrap();
+        let _: u64 = client.call(&1u64).unwrap();
+        server.shutdown();
+        assert!(client.call::<u64, u64>(&2).is_err());
+    }
+
+    #[test]
+    fn event_loop_large_payload_round_trip() {
+        let handler = Arc::new(|req: Vec<u8>| -> Result<Vec<u8>, String> { Ok(req) });
+        let mut server = EventLoopRpcServer::spawn::<Vec<u8>, Vec<u8>, _>(handler).unwrap();
+        let mut client = RpcClient::connect(server.local_addr()).unwrap();
+        let big: Vec<u8> = (0..700_000u32).map(|i| (i * 31) as u8).collect();
+        let echoed: Vec<u8> = client.call(&big).unwrap();
+        assert_eq!(echoed, big);
+        server.shutdown();
     }
 }

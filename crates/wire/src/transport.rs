@@ -71,6 +71,13 @@ impl TcpTransport {
     pub fn peer_addr(&self) -> std::io::Result<SocketAddr> {
         self.stream.peer_addr()
     }
+
+    /// Clones the underlying socket handle. A supervisor can call
+    /// [`TcpStream::shutdown`] on the clone to unblock a thread parked in
+    /// [`Transport::recv`] on the original.
+    pub fn try_clone_stream(&self) -> std::io::Result<TcpStream> {
+        self.stream.try_clone()
+    }
 }
 
 impl Transport for TcpTransport {
