@@ -12,7 +12,7 @@
 
 use distrust_wire::codec::{Decode, Encode};
 use distrust_wire::rpc::{EventLoopRpcServer, RpcServer};
-use distrust_wire::transport::{TcpTransport, Transport};
+use distrust_wire::transport::{max_open_files, TcpTransport, Transport};
 use std::net::SocketAddr;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -143,14 +143,6 @@ fn run(event_loop: bool, clients: usize) -> Row {
         p99: percentile(&latencies, 0.99),
         throughput: latencies.len() as f64 / wall.as_secs_f64(),
     }
-}
-
-/// Soft open-file limit, if discoverable. Each client costs two in-process
-/// descriptors (client socket + accepted socket).
-fn max_open_files() -> Option<usize> {
-    let limits = std::fs::read_to_string("/proc/self/limits").ok()?;
-    let line = limits.lines().find(|l| l.starts_with("Max open files"))?;
-    line.split_whitespace().nth(3)?.parse().ok()
 }
 
 fn main() {

@@ -39,10 +39,12 @@ pub type FrameService = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
 const IDLE_BACKOFF_MIN: Duration = Duration::from_micros(20);
 /// Sleep ceiling: bounds added latency for the first request after a quiet
 /// period. Any progress resets the backoff to the floor, so a busy or
-/// steadily-trickling connection never waits anywhere near this long —
-/// while a thread holding only idle connections stops burning the CPU on
-/// sub-millisecond sweep wakeups.
-const IDLE_BACKOFF_MAX: Duration = Duration::from_millis(5);
+/// steadily-trickling connection never waits anywhere near this long — the
+/// cap is only reached after ~11 consecutive idle sweeps (tens of
+/// milliseconds of silence). It is set high enough that a thread parked on
+/// thousands of idle connections costs ~20 sweeps/sec (one `read` syscall
+/// per connection per sweep), not hundreds.
+const IDLE_BACKOFF_MAX: Duration = Duration::from_millis(50);
 /// How long an empty reactor thread blocks on its intake queue per wait.
 const EMPTY_WAIT: Duration = Duration::from_millis(5);
 /// Stop reading from a connection whose un-flushed responses exceed this.
@@ -130,9 +132,20 @@ impl Conn {
                 Ok(n) => {
                     progress = true;
                     budget = budget.saturating_sub(n);
+                    // `frames` is thread-shared scratch: any frame left in it
+                    // when we bail would be drained by the *next* connection
+                    // this thread pumps, sending one client's response to
+                    // another. `feed` can legitimately complete frames and
+                    // then fail (valid frame followed by an oversized header
+                    // in the same read), so every error exit below must clear
+                    // the scratch first.
                     if self.reader.feed(&scratch[..n], frames).is_err() {
+                        frames.clear();
                         return Pump::Closed;
                     }
+                    // (An early return mid-drain is fine: dropping the
+                    // `Drain` iterator removes the remaining elements, so
+                    // the scratch is empty either way.)
                     for frame in frames.drain(..) {
                         let response = service(&frame);
                         if self.writer.push_frame(&response).is_err() {
@@ -262,6 +275,16 @@ impl Drop for Reactor {
     }
 }
 
+/// Switches a freshly accepted stream to non-blocking mode and adds it to
+/// the sweep set. Failure means the client sees a closed socket; say why on
+/// stderr instead of dropping it without a trace.
+fn adopt(stream: TcpStream, conns: &mut Vec<Conn>) {
+    match Conn::new(stream) {
+        Ok(conn) => conns.push(conn),
+        Err(e) => eprintln!("wire-reactor: dropping accepted connection: {e}"),
+    }
+}
+
 fn reactor_loop(intake: Receiver<TcpStream>, service: FrameService, shared: Arc<ReactorShared>) {
     let mut conns: Vec<Conn> = Vec::new();
     let mut scratch = vec![0u8; SCRATCH_LEN];
@@ -275,22 +298,14 @@ fn reactor_loop(intake: Receiver<TcpStream>, service: FrameService, shared: Arc<
         // spinning; the timeout keeps the stop flag responsive.
         if conns.is_empty() {
             match intake.recv_timeout(EMPTY_WAIT) {
-                Ok(stream) => {
-                    if let Ok(conn) = Conn::new(stream) {
-                        conns.push(conn);
-                    }
-                }
+                Ok(stream) => adopt(stream, &mut conns),
                 Err(RecvTimeoutError::Timeout) => continue,
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
         loop {
             match intake.try_recv() {
-                Ok(stream) => {
-                    if let Ok(conn) = Conn::new(stream) {
-                        conns.push(conn);
-                    }
-                }
+                Ok(stream) => adopt(stream, &mut conns),
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => break,
             }
@@ -312,8 +327,25 @@ fn reactor_loop(intake: Receiver<TcpStream>, service: FrameService, shared: Arc<
         if progress {
             backoff = IDLE_BACKOFF_MIN;
         } else {
-            std::thread::sleep(backoff);
-            backoff = (backoff * 2).min(IDLE_BACKOFF_MAX);
+            // Park on the intake queue rather than in a blind sleep: the
+            // idle-CPU profile is identical, but a newly registered
+            // connection wakes the thread immediately instead of waiting
+            // out the rest of the backoff.
+            match intake.recv_timeout(backoff) {
+                Ok(stream) => {
+                    adopt(stream, &mut conns);
+                    backoff = IDLE_BACKOFF_MIN;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    backoff = (backoff * 2).min(IDLE_BACKOFF_MAX);
+                }
+                // Unreachable while `shared` (which owns the senders) is
+                // alive, but never turn it into a busy spin.
+                Err(RecvTimeoutError::Disconnected) => {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(IDLE_BACKOFF_MAX);
+                }
+            }
         }
     }
     // Unblock any peer still waiting on us before the sockets drop.
@@ -429,6 +461,41 @@ mod tests {
         assert!(read_frame(&mut bad).is_err(), "violator disconnected");
         write_frame(&mut good, b"still here").unwrap();
         assert_eq!(read_frame(&mut good).unwrap(), b"ereh llits");
+        reactor.shutdown();
+    }
+
+    /// Regression: `feed` can complete a frame into the thread-shared
+    /// scratch Vec and *then* fail on an oversized header in the same read.
+    /// The completed frame used to survive the `Pump::Closed` return and be
+    /// drained by the next connection this thread pumped — connection A's
+    /// response delivered to connection B.
+    #[test]
+    fn frames_completed_before_protocol_error_do_not_leak_across_conns() {
+        let mut reactor = Reactor::spawn(echo_service(), 1).unwrap();
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let handle = reactor.handle();
+        let mut bad = connect_pair(&listener, &handle);
+        let mut good = connect_pair(&listener, &handle);
+        use std::io::Write;
+        // One write, so both arrive in the same read chunk: a complete
+        // valid frame immediately followed by an oversized header.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"poison").unwrap();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        bad.write_all(&wire).unwrap();
+        // The violator is disconnected either way, but if the kernel split
+        // the write across two reads the reactor legitimately answers the
+        // valid frame before hitting the bad header — tolerate that one
+        // response rather than flake.
+        while let Ok(resp) = read_frame(&mut bad) {
+            assert_eq!(resp, b"nosiop", "only the echo may precede the close");
+        }
+        // The single reactor thread now serves `good`; the first response
+        // it reads must answer its own request, not the stale "poison".
+        write_frame(&mut good, b"clean").unwrap();
+        assert_eq!(read_frame(&mut good).unwrap(), b"naelc");
+        write_frame(&mut good, b"again").unwrap();
+        assert_eq!(read_frame(&mut good).unwrap(), b"niaga");
         reactor.shutdown();
     }
 }

@@ -133,10 +133,14 @@ where
     }
 }
 
-/// Accepts one connection, retrying through transient errors (EMFILE
-/// spikes, clients racing RST) — they must not kill the listener. Returns
-/// `None` when the accept loop should exit: stop flag set, or a persistent
-/// error storm (reported loudly) exhausted its patience.
+/// Accepts one connection, retrying through errors (EMFILE spikes, clients
+/// racing RST) — they must not kill the listener. There is no give-up
+/// threshold: an accept loop that quit after a burst of errors would leave
+/// a zombie server object that looks alive but accepts nothing, with no way
+/// for the host to notice. Instead retries back off exponentially (10 ms
+/// doubling to a 500 ms ceiling) so a sustained storm, like fd exhaustion,
+/// costs almost no CPU, yet the listener recovers within half a second of
+/// the condition clearing. Returns `None` only once the stop flag is set.
 fn accept_with_retry<T>(
     label: &str,
     stop: &AtomicBool,
@@ -157,13 +161,14 @@ fn accept_with_retry<T>(
                 if stop.load(Ordering::SeqCst) {
                     return None;
                 }
-                *consecutive_errors += 1;
-                if *consecutive_errors > 100 {
-                    eprintln!("{label}: giving up after repeated accept errors: {e}");
-                    return None;
+                *consecutive_errors = consecutive_errors.saturating_add(1);
+                // Log the onset of a storm and a heartbeat thereafter, not
+                // every retry.
+                if *consecutive_errors <= 3 || consecutive_errors.is_multiple_of(100) {
+                    eprintln!("{label}: accept error (retry #{consecutive_errors}): {e}");
                 }
-                eprintln!("{label}: accept error (retrying): {e}");
-                std::thread::sleep(std::time::Duration::from_millis(10));
+                let backoff_ms = (10u64 << (*consecutive_errors - 1).min(6)).min(500);
+                std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
             }
         }
     }
@@ -219,7 +224,13 @@ impl RpcServer {
                     }
                     let socket = match transport.try_clone_stream() {
                         Ok(s) => s,
-                        Err(_) => continue, // connection dies unserved
+                        Err(e) => {
+                            // Without the clone the supervisor cannot unblock
+                            // the connection at shutdown; refuse it loudly
+                            // rather than dropping the socket without a trace.
+                            eprintln!("{label}: failed to clone accepted socket: {e}");
+                            continue;
+                        }
                     };
                     let handler = Arc::clone(&handler);
                     let stop_conn = Arc::clone(&stop_accept);
@@ -245,7 +256,7 @@ impl RpcServer {
                         Err(e) => {
                             // Out of threads: refuse loudly instead of silently
                             // dropping the socket on the floor.
-                            eprintln!("rpc-accept-{addr}: failed to spawn connection thread: {e}");
+                            eprintln!("{label}: failed to spawn connection thread: {e}");
                             let _ = socket.shutdown(Shutdown::Both);
                         }
                     }

@@ -168,6 +168,16 @@ impl<T: Transport> SharedTransport<T> {
     }
 }
 
+/// Soft open-file limit of this process, if discoverable (Linux
+/// `/proc/self/limits`). Load tests and benches use it to size loopback
+/// connection counts: each in-process client costs two descriptors, the
+/// client socket and the accepted socket.
+pub fn max_open_files() -> Option<usize> {
+    let limits = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let line = limits.lines().find(|l| l.starts_with("Max open files"))?;
+    line.split_whitespace().nth(3)?.parse().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,6 +6,7 @@ use distrust::apps::analytics::{self, AnalyticsClient};
 use distrust::core::Deployment;
 use distrust::crypto::drbg::HmacDrbg;
 use distrust::wire::rpc::{EventLoopRpcServer, RpcClient};
+use distrust::wire::transport::max_open_files;
 use std::sync::{Arc, Barrier};
 
 #[test]
@@ -80,14 +81,6 @@ fn concurrent_audits_and_calls() {
     for j in joins {
         j.join().expect("thread panicked");
     }
-}
-
-/// Soft open-file limit, if discoverable (each client connection costs two
-/// descriptors in-process: the client socket and the accepted socket).
-fn max_open_files() -> Option<usize> {
-    let limits = std::fs::read_to_string("/proc/self/limits").ok()?;
-    let line = limits.lines().find(|l| l.starts_with("Max open files"))?;
-    line.split_whitespace().nth(3)?.parse().ok()
 }
 
 #[test]
