@@ -5,13 +5,17 @@
 //! match across all n trust domains."
 
 use crate::framework::framework_measurement;
-use crate::protocol::{AttestationBinding, DomainStatus, Request, Response, UpdateNotice};
+use crate::protocol::{
+    AttestationBinding, AuditBundle, BundleAttestation, DomainStatus, Request, Response,
+    UpdateNotice,
+};
 use distrust_crypto::schnorr::VerifyingKey;
 use distrust_crypto::sha256::Digest;
 use distrust_log::auditor::{AuditOutcome, Auditor, Misbehavior};
-use distrust_tee::host::EnclaveClient;
 use distrust_tee::vendor::{VendorKind, VendorRoots};
 use distrust_wire::codec::{Decode, Encode};
+use distrust_wire::pipeline::PipelinedClient;
+use distrust_wire::transport::TcpTransport;
 use rand::RngCore;
 use std::net::SocketAddr;
 
@@ -54,6 +58,10 @@ impl DeploymentDescriptor {
 pub enum ClientError {
     /// Socket-level failure.
     Io(std::io::Error),
+    /// Transport-level failure on an established connection (disconnect,
+    /// framing violation) — the structured error, so callers can tell a
+    /// retriable disconnect from a protocol violation.
+    Transport(distrust_wire::TransportError),
     /// Could not decode the response.
     Decode(distrust_wire::DecodeError),
     /// The domain answered, but not with the expected variant.
@@ -70,6 +78,7 @@ impl core::fmt::Display for ClientError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Transport(e) => write!(f, "transport error: {e}"),
             Self::Decode(e) => write!(f, "decode error: {e}"),
             Self::Unexpected(what) => write!(f, "unexpected response: {what}"),
             Self::App(e) => write!(f, "application error: {e}"),
@@ -87,6 +96,12 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+impl From<distrust_wire::TransportError> for ClientError {
+    fn from(e: distrust_wire::TransportError) -> Self {
+        Self::Transport(e)
+    }
+}
+
 /// Per-domain audit result.
 #[derive(Debug)]
 pub struct DomainAudit {
@@ -99,6 +114,21 @@ pub struct DomainAudit {
     pub status: Option<DomainStatus>,
     /// Why the audit of this domain failed, if it did.
     pub failure: Option<String>,
+    /// `true` when this domain answered the single-round-trip
+    /// [`Request::BatchAudit`]; `false` when the client fell back to the
+    /// legacy per-step sequence.
+    pub batched: bool,
+}
+
+/// How the client's audits have been served, cumulatively: domains that
+/// answered the batched single-round-trip request vs. domains that forced
+/// the legacy per-step fallback.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AuditStats {
+    /// Domain audits completed through [`Request::BatchAudit`].
+    pub batched_domains: u64,
+    /// Domain audits that fell back to the per-step path.
+    pub fallback_domains: u64,
 }
 
 /// The outcome of one full audit round.
@@ -128,11 +158,26 @@ impl AuditReport {
 
 /// A stateful client for one deployment: connects to all domains, audits,
 /// calls the application, and pushes updates (when it is the developer).
+///
+/// Audits are batched by default: one pipelined [`Request::BatchAudit`]
+/// frame per domain over a persistent connection returns attestation,
+/// checkpoints, and a range consistency proof in a single round-trip, and
+/// the auditor's verified-prefix cache skips everything it has already
+/// checked. Domains that do not understand the batched request (old
+/// servers answer it with an error) transparently fall back to the legacy
+/// `Attest`/`GetCheckpoint`/`GetConsistency` sequence; [`AuditStats`]
+/// records which path served each domain.
 pub struct DeploymentClient {
     descriptor: DeploymentDescriptor,
-    connections: Vec<Option<EnclaveClient>>,
+    connections: Vec<Option<PipelinedClient<TcpTransport>>>,
+    /// Per-domain: did the server answer `BatchAudit` with a bundle? Set
+    /// to `false` on the first fallback so later audits skip the wasted
+    /// probe round-trip; reset to `true` whenever a fresh connection is
+    /// opened (the server may have been upgraded).
+    batch_capable: Vec<bool>,
     auditor: Auditor,
     rng: Box<dyn RngCore + Send>,
+    stats: AuditStats,
 }
 
 impl DeploymentClient {
@@ -149,8 +194,10 @@ impl DeploymentClient {
         Self {
             descriptor,
             connections: (0..n).map(|_| None).collect(),
+            batch_capable: vec![true; n],
             auditor,
             rng,
+            stats: AuditStats::default(),
         }
     }
 
@@ -159,25 +206,42 @@ impl DeploymentClient {
         &self.descriptor
     }
 
-    /// Sends one request to one domain.
-    pub fn exchange(&mut self, domain: u32, request: &Request) -> Result<Response, ClientError> {
+    /// Cumulative batched-vs-fallback audit accounting.
+    pub fn audit_stats(&self) -> AuditStats {
+        self.stats
+    }
+
+    /// The persistent connection to `domain`, opened on first use.
+    fn connection(
+        &mut self,
+        domain: u32,
+    ) -> Result<&mut PipelinedClient<TcpTransport>, ClientError> {
         let idx = domain as usize;
         let info = self
             .descriptor
             .domains
             .get(idx)
-            .ok_or(ClientError::NoSuchDomain(domain))?
-            .clone();
+            .ok_or(ClientError::NoSuchDomain(domain))?;
         if self.connections[idx].is_none() {
-            self.connections[idx] = Some(EnclaveClient::connect(info.addr)?);
+            let transport = TcpTransport::connect(info.addr)?;
+            self.connections[idx] = Some(PipelinedClient::new(transport));
+            // A fresh connection may be talking to an upgraded server:
+            // re-probe the batched audit once.
+            self.batch_capable[idx] = true;
         }
-        let conn = self.connections[idx].as_mut().expect("just connected");
-        let bytes = match conn.exchange(&request.to_wire()) {
+        Ok(self.connections[idx].as_mut().expect("just connected"))
+    }
+
+    /// Sends one request to one domain.
+    pub fn exchange(&mut self, domain: u32, request: &Request) -> Result<Response, ClientError> {
+        let wire = request.to_wire();
+        let conn = self.connection(domain)?;
+        let bytes = match conn.call(&wire) {
             Ok(b) => b,
             Err(e) => {
                 // Drop the broken connection so the next call reconnects.
-                self.connections[idx] = None;
-                return Err(ClientError::Io(e));
+                self.connections[domain as usize] = None;
+                return Err(ClientError::Transport(e));
             }
         };
         Response::from_wire(&bytes).map_err(ClientError::Decode)
@@ -264,15 +328,26 @@ impl DeploymentClient {
         found
     }
 
-    /// Performs a full audit round across all domains:
+    /// Performs a full audit round across all domains.
     ///
-    /// 1. challenge each domain with a fresh nonce; verify TEE quotes
-    ///    end-to-end (cert chain → vendor root, evidence, measurement,
-    ///    nonce echo);
-    /// 2. fetch a signed checkpoint from each domain and require it to
-    ///    match the attested log head, plus a consistency proof against
-    ///    the previously verified checkpoint;
-    /// 3. cross-check digest histories across all domains.
+    /// The fast path issues one [`Request::BatchAudit`] per domain —
+    /// pipelined, so every domain's request is in flight before any
+    /// response is read — and gets attestation, checkpoints, and a range
+    /// consistency proof back in a single round-trip per domain, matched
+    /// by request id. Per domain it:
+    ///
+    /// 1. verifies the TEE quote end-to-end (cert chain → vendor root,
+    ///    evidence, measurement, nonce echo);
+    /// 2. feeds the checkpoint bundle to the auditor, which verifies
+    ///    signatures and the consistency chain only *above* its verified
+    ///    prefix and hunts for equivocation inside the bundle and against
+    ///    everything previously seen;
+    /// 3. requires the freshest checkpoint to match the attested status.
+    ///
+    /// Domains that do not understand `BatchAudit` (old servers answer
+    /// with an error frame) fall back to the legacy per-step sequence
+    /// with identical detection semantics. Finally the digest histories
+    /// are cross-checked across all domains.
     ///
     /// `expected_app` pins the digest of the published code, when the
     /// client has computed it from source (§3.3's "the developer
@@ -283,114 +358,69 @@ impl DeploymentClient {
         let mut domains = Vec::with_capacity(n as usize);
         let mut misbehavior = Vec::new();
 
+        // Phase 1: pipeline one BatchAudit frame to every domain before
+        // reading anything back. Domains that already proved they do not
+        // speak it are not re-probed (no wasted round-trip); the flag
+        // resets when a fresh connection is opened.
+        let mut inflight: Vec<Option<(u64, [u8; 32])>> = Vec::with_capacity(n as usize);
         for d in 0..n {
-            let info = self.descriptor.domains[d as usize].clone();
-            let mut audit = DomainAudit {
-                index: d,
-                attested: false,
-                status: None,
-                failure: None,
-            };
+            if !self.batch_capable[d as usize] {
+                inflight.push(None);
+                continue;
+            }
             let mut nonce = [0u8; 32];
             self.rng.fill_bytes(&mut nonce);
-
-            // Step 1: attestation challenge.
-            match self.exchange(d, &Request::Attest { nonce }) {
-                Ok(Response::Quote(quote)) => {
-                    if info.vendor.is_none() {
-                        audit.failure = Some("domain 0 unexpectedly returned a quote".to_string());
-                    } else if info.vendor != Some(quote.document.vendor) {
-                        audit.failure = Some(format!(
-                            "vendor mismatch: pinned {:?}, quoted {:?}",
-                            info.vendor, quote.document.vendor
-                        ));
-                    } else if let Err(e) = quote.verify(
-                        &self.descriptor.vendor_roots,
-                        Some(&expected_measurement),
-                        None,
-                    ) {
-                        audit.failure = Some(format!("quote verification failed: {e}"));
-                    } else {
-                        match AttestationBinding::from_wire(&quote.document.user_data) {
-                            Ok(binding) if binding.nonce == nonce => {
-                                audit.attested = true;
-                                audit.status = Some(binding.status);
-                            }
-                            Ok(_) => {
-                                audit.failure = Some("stale quote: nonce mismatch".to_string());
-                            }
-                            Err(e) => {
-                                audit.failure = Some(format!("malformed attestation binding: {e}"));
-                            }
-                        }
+            let verified_size = self.auditor.latest(d).map(|cp| cp.body.size).unwrap_or(0);
+            let sent = match self.connection(d) {
+                Ok(conn) => {
+                    let id = conn.next_request_id();
+                    let request = Request::BatchAudit {
+                        request_id: id,
+                        nonce,
+                        verified_size,
+                    };
+                    match conn.send(&request.to_wire()) {
+                        Ok(()) => Some((id, nonce)),
+                        Err(_) => None,
                     }
                 }
-                Ok(Response::Unattested(status)) => {
-                    if info.vendor.is_some() {
-                        audit.failure = Some("TEE-backed domain refused to attest".to_string());
-                    } else {
-                        audit.status = Some(status);
-                    }
-                }
-                Ok(other) => {
-                    audit.failure = Some(format!("unexpected attest response: {other:?}"));
-                }
-                Err(e) => {
-                    audit.failure = Some(format!("attest failed: {e}"));
-                }
+                Err(_) => None,
+            };
+            if sent.is_none() {
+                // Broken connection: the legacy path below reconnects.
+                self.connections[d as usize] = None;
             }
+            inflight.push(sent);
+        }
 
-            // Step 2: checkpoint + consistency.
-            if let Some(status) = audit.status.clone() {
-                match self.exchange(d, &Request::GetCheckpoint) {
-                    Ok(Response::Checkpoint(cp)) => {
-                        // Feed the auditor first: a correctly signed
-                        // checkpoint is evidence regardless of whether it
-                        // matches the claimed status — this is what turns
-                        // equivocation into a transferable proof.
-                        let prior = self.auditor.latest(d).cloned();
-                        let proof = match prior {
-                            Some(p) if p.body.size < cp.body.size => {
-                                match self.exchange(
-                                    d,
-                                    &Request::GetConsistency {
-                                        old_size: p.body.size,
-                                    },
-                                ) {
-                                    Ok(Response::Consistency(proof)) => Some(proof),
-                                    _ => None,
-                                }
-                            }
-                            _ => None,
-                        };
-                        let matches_status =
-                            cp.body.size == status.log_size && cp.body.head == status.log_head;
-                        match self.auditor.observe(d, cp, proof.as_ref()) {
-                            AuditOutcome::Consistent => {
-                                if !matches_status {
-                                    audit.failure = Some(
-                                        "checkpoint disagrees with attested status".to_string(),
-                                    );
-                                }
-                            }
-                            AuditOutcome::Misbehavior(m) => {
-                                audit.failure = Some(format!("log misbehavior: {m:?}"));
-                                misbehavior.push(*m);
-                            }
-                        }
+        // Phase 2: collect responses (and fall back per domain if needed).
+        for d in 0..n {
+            let audit = match inflight[d as usize] {
+                Some((id, nonce)) => match self.collect_batch_audit(d, id) {
+                    Some(bundle) => {
+                        self.stats.batched_domains += 1;
+                        self.process_audit_bundle(
+                            d,
+                            nonce,
+                            *bundle,
+                            &expected_measurement,
+                            &mut misbehavior,
+                        )
                     }
-                    Ok(other) => {
-                        audit.failure = Some(format!("unexpected checkpoint response: {other:?}"));
+                    None => {
+                        self.stats.fallback_domains += 1;
+                        self.audit_domain_legacy(d, &expected_measurement, &mut misbehavior)
                     }
-                    Err(e) => {
-                        audit.failure = Some(format!("checkpoint fetch failed: {e}"));
-                    }
+                },
+                None => {
+                    self.stats.fallback_domains += 1;
+                    self.audit_domain_legacy(d, &expected_measurement, &mut misbehavior)
                 }
-            }
+            };
             domains.push(audit);
         }
 
-        // Step 3: cross-domain digest comparison.
+        // Phase 3: cross-domain digest comparison.
         if let AuditOutcome::Misbehavior(m) = self.auditor.cross_check() {
             misbehavior.push(*m);
         }
@@ -417,5 +447,223 @@ impl DeploymentClient {
             misbehavior,
             app_digest,
         }
+    }
+
+    /// Reads the response to an in-flight `BatchAudit`. `None` means "use
+    /// the legacy path": the server answered with something other than an
+    /// audit bundle (an old server's error frame — remembered, so the
+    /// domain is not probed again on this connection) or the connection
+    /// died.
+    fn collect_batch_audit(&mut self, domain: u32, id: u64) -> Option<Box<AuditBundle>> {
+        let conn = self.connections[domain as usize].as_mut()?;
+        let frame = match conn.recv_matching(id, Response::peek_audit_bundle_request_id) {
+            Ok(frame) => frame,
+            Err(_) => {
+                self.connections[domain as usize] = None;
+                return None;
+            }
+        };
+        match Response::from_wire(&frame) {
+            Ok(Response::AuditBundle(bundle)) => {
+                debug_assert_eq!(bundle.request_id, id, "recv_matching matched by this id");
+                Some(bundle)
+            }
+            _ => {
+                // The server answered, just not with a bundle: an old
+                // server. Stop probing it every round.
+                self.batch_capable[domain as usize] = false;
+                None
+            }
+        }
+    }
+
+    /// Shared attestation verification for the batched and per-step
+    /// paths: checks a TEE quote end-to-end (vendor pin, cert chain,
+    /// measurement, nonce binding) or accepts a plain status for
+    /// vendor-less domains, recording the outcome on `audit`.
+    fn apply_attestation(
+        &self,
+        attestation: BundleAttestation,
+        nonce: [u8; 32],
+        expected_measurement: &Digest,
+        audit: &mut DomainAudit,
+    ) {
+        let info = &self.descriptor.domains[audit.index as usize];
+        match attestation {
+            BundleAttestation::Quote(quote) => {
+                if info.vendor.is_none() {
+                    audit.failure = Some("domain 0 unexpectedly returned a quote".to_string());
+                } else if info.vendor != Some(quote.document.vendor) {
+                    audit.failure = Some(format!(
+                        "vendor mismatch: pinned {:?}, quoted {:?}",
+                        info.vendor, quote.document.vendor
+                    ));
+                } else if let Err(e) = quote.verify(
+                    &self.descriptor.vendor_roots,
+                    Some(expected_measurement),
+                    None,
+                ) {
+                    audit.failure = Some(format!("quote verification failed: {e}"));
+                } else {
+                    match AttestationBinding::from_wire(&quote.document.user_data) {
+                        Ok(binding) if binding.nonce == nonce => {
+                            audit.attested = true;
+                            audit.status = Some(binding.status);
+                        }
+                        Ok(_) => {
+                            audit.failure = Some("stale quote: nonce mismatch".to_string());
+                        }
+                        Err(e) => {
+                            audit.failure = Some(format!("malformed attestation binding: {e}"));
+                        }
+                    }
+                }
+            }
+            BundleAttestation::Unattested(status) => {
+                if info.vendor.is_some() {
+                    audit.failure = Some("TEE-backed domain refused to attest".to_string());
+                } else {
+                    audit.status = Some(status);
+                }
+            }
+        }
+    }
+
+    /// Verifies one domain's batched audit response: attestation first,
+    /// then the checkpoint bundle through the auditor.
+    fn process_audit_bundle(
+        &mut self,
+        domain: u32,
+        nonce: [u8; 32],
+        response: AuditBundle,
+        expected_measurement: &Digest,
+        misbehavior: &mut Vec<Misbehavior>,
+    ) -> DomainAudit {
+        let mut audit = DomainAudit {
+            index: domain,
+            attested: false,
+            status: None,
+            failure: None,
+            batched: true,
+        };
+        self.apply_attestation(
+            response.attestation,
+            nonce,
+            expected_measurement,
+            &mut audit,
+        );
+        if let Some(status) = audit.status.clone() {
+            // Feed the auditor first, exactly like the per-step path: a
+            // correctly signed bundle is evidence regardless of whether
+            // it matches the claimed status.
+            let matches_status = response.bundle.checkpoints.last().is_some_and(|cp| {
+                cp.body.size == status.log_size && cp.body.head == status.log_head
+            });
+            match self.auditor.observe_bundle(domain, &response.bundle) {
+                AuditOutcome::Consistent => {
+                    if !matches_status {
+                        audit.failure =
+                            Some("checkpoint disagrees with attested status".to_string());
+                    }
+                }
+                AuditOutcome::Misbehavior(m) => {
+                    audit.failure = Some(format!("log misbehavior: {m:?}"));
+                    misbehavior.push(*m);
+                }
+            }
+        }
+        audit
+    }
+
+    /// The legacy per-step audit of one domain: `Attest`, then
+    /// `GetCheckpoint` (+ `GetConsistency` on growth), one round-trip
+    /// each. Kept for old servers that do not answer `BatchAudit`;
+    /// detection semantics are identical to the batched path.
+    fn audit_domain_legacy(
+        &mut self,
+        d: u32,
+        expected_measurement: &Digest,
+        misbehavior: &mut Vec<Misbehavior>,
+    ) -> DomainAudit {
+        let mut audit = DomainAudit {
+            index: d,
+            attested: false,
+            status: None,
+            failure: None,
+            batched: false,
+        };
+        let mut nonce = [0u8; 32];
+        self.rng.fill_bytes(&mut nonce);
+
+        // Step 1: attestation challenge (verified by the same helper the
+        // batched path uses — the two paths cannot drift).
+        match self.exchange(d, &Request::Attest { nonce }) {
+            Ok(Response::Quote(quote)) => self.apply_attestation(
+                BundleAttestation::Quote(quote),
+                nonce,
+                expected_measurement,
+                &mut audit,
+            ),
+            Ok(Response::Unattested(status)) => self.apply_attestation(
+                BundleAttestation::Unattested(status),
+                nonce,
+                expected_measurement,
+                &mut audit,
+            ),
+            Ok(other) => {
+                audit.failure = Some(format!("unexpected attest response: {other:?}"));
+            }
+            Err(e) => {
+                audit.failure = Some(format!("attest failed: {e}"));
+            }
+        }
+
+        // Step 2: checkpoint + consistency.
+        if let Some(status) = audit.status.clone() {
+            match self.exchange(d, &Request::GetCheckpoint) {
+                Ok(Response::Checkpoint(cp)) => {
+                    // Feed the auditor first: a correctly signed
+                    // checkpoint is evidence regardless of whether it
+                    // matches the claimed status — this is what turns
+                    // equivocation into a transferable proof.
+                    let prior = self.auditor.latest(d).cloned();
+                    let proof = match prior {
+                        Some(p) if p.body.size > 0 && p.body.size < cp.body.size => {
+                            match self.exchange(
+                                d,
+                                &Request::GetConsistency {
+                                    old_size: p.body.size,
+                                },
+                            ) {
+                                Ok(Response::Consistency(proof)) => Some(proof),
+                                _ => None,
+                            }
+                        }
+                        _ => None,
+                    };
+                    let matches_status =
+                        cp.body.size == status.log_size && cp.body.head == status.log_head;
+                    match self.auditor.observe(d, cp, proof.as_ref()) {
+                        AuditOutcome::Consistent => {
+                            if !matches_status {
+                                audit.failure =
+                                    Some("checkpoint disagrees with attested status".to_string());
+                            }
+                        }
+                        AuditOutcome::Misbehavior(m) => {
+                            audit.failure = Some(format!("log misbehavior: {m:?}"));
+                            misbehavior.push(*m);
+                        }
+                    }
+                }
+                Ok(other) => {
+                    audit.failure = Some(format!("unexpected checkpoint response: {other:?}"));
+                }
+                Err(e) => {
+                    audit.failure = Some(format!("checkpoint fetch failed: {e}"));
+                }
+            }
+        }
+        audit
     }
 }

@@ -20,14 +20,19 @@
 
 use crate::abi::{app_call, import_names, AppHost};
 use crate::manifest::{ReleaseError, ReleaseManifest, SignedRelease};
-use crate::protocol::{AttestationBinding, DomainStatus, Request, Response, UpdateNotice};
+use crate::protocol::{
+    AttestationBinding, AuditBundle, BundleAttestation, DomainStatus, Request, Response,
+    UpdateNotice,
+};
 use distrust_crypto::schnorr::{SigningKey, VerifyingKey};
 use distrust_crypto::sha256::Digest;
+use distrust_log::batch::{CheckpointBundle, ProofBundle};
 use distrust_log::checkpoint::{CheckpointBody, SignedCheckpoint};
 use distrust_log::merkle::MerkleLog;
 use distrust_sandbox::{Instance, Limits};
 use distrust_tee::enclave::Enclave;
 use distrust_wire::codec::{Decode, Encode};
+use std::collections::HashMap;
 
 /// Computes the framework measurement: the value a TEE attests when it
 /// loads this framework sealed with a particular developer key. Everything
@@ -61,6 +66,29 @@ struct RunningApp {
     manifest: ReleaseManifest,
 }
 
+/// Upper bound on checkpoints per [`AuditBundle`]; a client further behind
+/// than this gets one direct consistency step from its verified size to
+/// the earliest included checkpoint.
+const MAX_BUNDLE_CHECKPOINTS: usize = 64;
+
+/// Shared per-epoch audit artifacts, amortised across every auditing
+/// client: one [`CheckpointBundle`] per distinct `verified_size`, rebuilt
+/// only when the log grows. With this cache a `BatchAudit` performs **no
+/// signing and no proof construction** in steady state — serving ten
+/// thousand auditors costs ten thousand hash-map lookups, not ten thousand
+/// Schnorr signatures.
+#[derive(Default)]
+struct AuditCache {
+    /// Log size the cached bundles describe; any other size invalidates.
+    epoch: u64,
+    /// Signed size-0 checkpoint for audits of a still-empty log.
+    genesis: Option<SignedCheckpoint>,
+    /// Bundles keyed by the client-reported verified size.
+    bundles: HashMap<u64, CheckpointBundle>,
+    hits: u64,
+    misses: u64,
+}
+
 /// One trust domain's framework state.
 pub struct EnclaveFramework {
     config: FrameworkConfig,
@@ -75,6 +103,11 @@ pub struct EnclaveFramework {
     log: MerkleLog,
     /// Update notices, one per activated release.
     notices: Vec<UpdateNotice>,
+    /// One signed checkpoint per log append ("epoch"), signed at update
+    /// time so audits are served from cache instead of signing per client.
+    epoch_checkpoints: Vec<SignedCheckpoint>,
+    /// Shared proof/bundle cache for [`Request::BatchAudit`].
+    audit_cache: AuditCache,
     app: Option<RunningApp>,
     app_host: Box<dyn AppHost>,
     logical_time: u64,
@@ -97,6 +130,8 @@ impl EnclaveFramework {
             checkpoint_key,
             log: MerkleLog::new(),
             notices: Vec::new(),
+            epoch_checkpoints: Vec::new(),
+            audit_cache: AuditCache::default(),
             app: None,
             app_host,
             logical_time: 0,
@@ -169,6 +204,19 @@ impl EnclaveFramework {
             log_index,
             logical_time: self.logical_time,
         });
+        // Sign this epoch's checkpoint once, here — every BatchAudit until
+        // the next update is served from it without touching the key.
+        self.logical_time += 1;
+        self.epoch_checkpoints.push(SignedCheckpoint::sign(
+            CheckpointBody {
+                log_id: self.config.log_id,
+                size: self.log.len() as u64,
+                head: self.log.root(),
+                logical_time: self.logical_time,
+            },
+            &self.checkpoint_key,
+        ));
+        self.audit_cache.bundles.clear();
         // 3. Activate (and lock, if this is a final release).
         self.app = Some(RunningApp {
             import_names: import_names(&module),
@@ -193,6 +241,84 @@ impl EnclaveFramework {
             },
             &self.checkpoint_key,
         )
+    }
+
+    /// `(hits, misses)` of the shared audit-bundle cache — how many
+    /// `BatchAudit` requests were served without signing or proving.
+    pub fn audit_cache_stats(&self) -> (u64, u64) {
+        (self.audit_cache.hits, self.audit_cache.misses)
+    }
+
+    /// Serves the checkpoint/proof half of a batched audit from the shared
+    /// per-epoch cache, building (and caching) it on first demand.
+    fn audit_bundle(&mut self, verified_size: u64) -> CheckpointBundle {
+        let current = self.log.len() as u64;
+        if self.audit_cache.epoch != current {
+            self.audit_cache.bundles.clear();
+            self.audit_cache.epoch = current;
+        }
+        // Anything at or past the head needs only the latest checkpoint;
+        // collapse those onto one cache slot.
+        let key = verified_size.min(current);
+        if let Some(bundle) = self.audit_cache.bundles.get(&key) {
+            self.audit_cache.hits += 1;
+            return bundle.clone();
+        }
+        self.audit_cache.misses += 1;
+        let bundle = self.build_audit_bundle(key, current);
+        self.audit_cache.bundles.insert(key, bundle.clone());
+        bundle
+    }
+
+    fn build_audit_bundle(&mut self, verified_size: u64, current: u64) -> CheckpointBundle {
+        let empty = ProofBundle::default();
+        if self.epoch_checkpoints.is_empty() {
+            // Nothing installed yet: serve a (cached) signed view of the
+            // empty log.
+            if self.audit_cache.genesis.is_none() {
+                self.logical_time += 1;
+                self.audit_cache.genesis = Some(SignedCheckpoint::sign(
+                    CheckpointBody {
+                        log_id: self.config.log_id,
+                        size: 0,
+                        head: self.log.root(),
+                        logical_time: self.logical_time,
+                    },
+                    &self.checkpoint_key,
+                ));
+            }
+            let genesis = self.audit_cache.genesis.clone().expect("just signed");
+            return CheckpointBundle {
+                checkpoints: vec![genesis],
+                proof: empty,
+            };
+        }
+        if verified_size >= current {
+            // Client already at the head: the latest checkpoint alone.
+            let latest = self.epoch_checkpoints.last().expect("non-empty").clone();
+            return CheckpointBundle {
+                checkpoints: vec![latest],
+                proof: empty,
+            };
+        }
+        let mut checkpoints: Vec<SignedCheckpoint> = self
+            .epoch_checkpoints
+            .iter()
+            .filter(|cp| cp.body.size > verified_size)
+            .cloned()
+            .collect();
+        if checkpoints.len() > MAX_BUNDLE_CHECKPOINTS {
+            checkpoints.drain(..checkpoints.len() - MAX_BUNDLE_CHECKPOINTS);
+        }
+        // Proof chain: verified prefix (when provable, i.e. non-empty)
+        // through every included checkpoint size.
+        let mut sizes: Vec<usize> = Vec::with_capacity(checkpoints.len() + 1);
+        if verified_size >= 1 {
+            sizes.push(verified_size as usize);
+        }
+        sizes.extend(checkpoints.iter().map(|cp| cp.body.size as usize));
+        let proof = self.log.prove_consistency_range(&sizes).unwrap_or_default();
+        CheckpointBundle { checkpoints, proof }
     }
 
     /// Handles one protocol request.
@@ -259,6 +385,28 @@ impl EnclaveFramework {
                     .cloned()
                     .collect(),
             ),
+            Request::BatchAudit {
+                request_id,
+                nonce,
+                verified_size,
+            } => {
+                let binding = AttestationBinding {
+                    nonce,
+                    status: self.status(),
+                };
+                let attestation = match &self.enclave {
+                    Some(enclave) => {
+                        BundleAttestation::Quote(Box::new(enclave.quote(&binding.to_wire())))
+                    }
+                    None => BundleAttestation::Unattested(binding.status),
+                };
+                let bundle = self.audit_bundle(verified_size);
+                Response::AuditBundle(Box::new(AuditBundle {
+                    request_id,
+                    attestation,
+                    bundle,
+                }))
+            }
         }
     }
 }
@@ -479,6 +627,126 @@ mod tests {
         fw.apply_update(&release(2)).unwrap();
         let status = fw.status();
         assert_eq!(status.app_version, 2);
+    }
+
+    fn checkpoint_vk() -> VerifyingKey {
+        SigningKey::derive(b"framework tests", b"checkpoint").verifying_key()
+    }
+
+    #[test]
+    fn batch_audit_served_from_shared_cache() {
+        let mut fw = fresh_framework();
+        fw.apply_update(&release(1)).unwrap();
+        fw.apply_update(&release(2)).unwrap();
+        for i in 0..5u64 {
+            match fw.handle(Request::BatchAudit {
+                request_id: i,
+                nonce: [i as u8; 32],
+                verified_size: 0,
+            }) {
+                Response::AuditBundle(b) => {
+                    assert_eq!(b.request_id, i, "request id echoed");
+                    assert_eq!(b.bundle.checkpoints.len(), 2, "one checkpoint per epoch");
+                    assert!(b
+                        .bundle
+                        .checkpoints
+                        .iter()
+                        .all(|cp| cp.verify(&checkpoint_vk())));
+                    let last = b.bundle.checkpoints.last().unwrap();
+                    assert_eq!(last.body.size, 2);
+                    assert_eq!(last.body.head, fw.status().log_head);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Five identical audits: one bundle build, four cache hits — and
+        // zero fresh signatures (the epoch checkpoints were signed at
+        // update time).
+        let (hits, misses) = fw.audit_cache_stats();
+        assert_eq!((hits, misses), (4, 1));
+    }
+
+    #[test]
+    fn batch_audit_bundles_verify_with_the_auditor() {
+        use distrust_log::auditor::Auditor;
+        let mut fw = fresh_framework();
+        fw.apply_update(&release(1)).unwrap();
+        let mut auditor = Auditor::new(vec![checkpoint_vk()]);
+        let bundle = match fw.handle(Request::BatchAudit {
+            request_id: 1,
+            nonce: [1; 32],
+            verified_size: 0,
+        }) {
+            Response::AuditBundle(b) => b.bundle,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(auditor.observe_bundle(0, &bundle).is_consistent());
+        assert_eq!(auditor.latest(0).unwrap().body.size, 1);
+
+        // Growth: the next bundle links the verified prefix to the head.
+        fw.apply_update(&release(2)).unwrap();
+        fw.apply_update(&release(3)).unwrap();
+        let bundle = match fw.handle(Request::BatchAudit {
+            request_id: 2,
+            nonce: [2; 32],
+            verified_size: 1,
+        }) {
+            Response::AuditBundle(b) => b.bundle,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(bundle.checkpoints.len(), 2, "sizes 2 and 3");
+        assert_eq!(bundle.proof.len(), 2, "steps 1→2 and 2→3");
+        assert!(auditor.observe_bundle(0, &bundle).is_consistent());
+        assert_eq!(auditor.latest(0).unwrap().body.size, 3);
+
+        // Steady state: same bundle again — nothing verified, all skipped.
+        let before = auditor.prefix_cache(0).unwrap().signatures_verified();
+        let bundle = match fw.handle(Request::BatchAudit {
+            request_id: 3,
+            nonce: [3; 32],
+            verified_size: 3,
+        }) {
+            Response::AuditBundle(b) => b.bundle,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(auditor.observe_bundle(0, &bundle).is_consistent());
+        let cache = auditor.prefix_cache(0).unwrap();
+        assert_eq!(
+            cache.signatures_verified(),
+            before,
+            "unchanged log must not cost a signature verification"
+        );
+    }
+
+    #[test]
+    fn batch_audit_on_empty_log_serves_genesis() {
+        use distrust_log::auditor::Auditor;
+        let mut fw = fresh_framework();
+        let mut auditor = Auditor::new(vec![checkpoint_vk()]);
+        let bundle = match fw.handle(Request::BatchAudit {
+            request_id: 7,
+            nonce: [7; 32],
+            verified_size: 0,
+        }) {
+            Response::AuditBundle(b) => b.bundle,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(bundle.checkpoints.len(), 1);
+        assert_eq!(bundle.checkpoints[0].body.size, 0);
+        assert!(auditor.observe_bundle(0, &bundle).is_consistent());
+        // First install: growth from the empty log is vacuously
+        // consistent.
+        fw.apply_update(&release(1)).unwrap();
+        let bundle = match fw.handle(Request::BatchAudit {
+            request_id: 8,
+            nonce: [8; 32],
+            verified_size: 0,
+        }) {
+            Response::AuditBundle(b) => b.bundle,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(auditor.observe_bundle(0, &bundle).is_consistent());
+        assert_eq!(auditor.latest(0).unwrap().body.size, 1);
     }
 
     #[test]

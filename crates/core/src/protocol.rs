@@ -6,6 +6,7 @@
 //! on both ends).
 
 use crate::manifest::{ReleaseManifest, SignedRelease};
+use distrust_log::batch::CheckpointBundle;
 use distrust_log::checkpoint::SignedCheckpoint;
 use distrust_log::merkle::ConsistencyProof;
 use distrust_tee::attest::Quote;
@@ -57,6 +58,22 @@ pub enum Request {
         /// First notice index of interest.
         since: u64,
     },
+    /// One-round-trip audit: attestation + latest checkpoint(s) + a range
+    /// consistency proof from `verified_size`, all in a single response
+    /// ([`Response::AuditBundle`]). Replaces the per-step
+    /// `Attest`/`GetCheckpoint`/`GetConsistency` sequence for servers that
+    /// understand it; old servers answer with an error and the client
+    /// falls back to the per-step path.
+    BatchAudit {
+        /// Client-chosen id echoed in the response, so several audits can
+        /// be pipelined over one connection and matched back.
+        request_id: u64,
+        /// Client-chosen freshness nonce (bound into the TEE quote).
+        nonce: [u8; 32],
+        /// Log size the client last verified (0 = nothing verified); the
+        /// proof bundle links from here to the current log head.
+        verified_size: u64,
+    },
 }
 
 impl Encode for Request {
@@ -89,6 +106,16 @@ impl Encode for Request {
                 7u8.encode(out);
                 since.encode(out);
             }
+            Request::BatchAudit {
+                request_id,
+                nonce,
+                verified_size,
+            } => {
+                8u8.encode(out);
+                request_id.encode(out);
+                nonce.encode(out);
+                verified_size.encode(out);
+            }
         }
     }
 }
@@ -116,6 +143,11 @@ impl Decode for Request {
             },
             7 => Request::GetNotices {
                 since: Decode::decode(input)?,
+            },
+            8 => Request::BatchAudit {
+                request_id: Decode::decode(input)?,
+                nonce: Decode::decode(input)?,
+                verified_size: Decode::decode(input)?,
             },
             other => return Err(DecodeError::InvalidTag(other)),
         })
@@ -182,6 +214,62 @@ wire_struct!(UpdateNotice {
     logical_time: u64,
 });
 
+/// The attestation half of an [`AuditBundle`]: how the domain vouches for
+/// the status snapshot it reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BundleAttestation {
+    /// TEE quote whose `user_data` carries the [`AttestationBinding`]
+    /// (nonce + status) — authoritative for TEE-backed domains.
+    Quote(Box<Quote>),
+    /// Plain status for trust domain 0, which has no secure hardware;
+    /// advisory, exactly like [`Response::Unattested`].
+    Unattested(DomainStatus),
+}
+
+impl Encode for BundleAttestation {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            BundleAttestation::Quote(q) => {
+                0u8.encode(out);
+                q.encode(out);
+            }
+            BundleAttestation::Unattested(s) => {
+                1u8.encode(out);
+                s.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for BundleAttestation {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(input)? {
+            0 => BundleAttestation::Quote(Box::new(Decode::decode(input)?)),
+            1 => BundleAttestation::Unattested(Decode::decode(input)?),
+            other => return Err(DecodeError::InvalidTag(other)),
+        })
+    }
+}
+
+/// Everything one audit round needs from one domain, in one response:
+/// attestation, the signed checkpoint(s) since the client's verified
+/// prefix, and the consistency proof bundle linking them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditBundle {
+    /// Echo of the request id, so pipelined audits match up.
+    pub request_id: u64,
+    /// Quote (TEE domains) or plain status (domain 0).
+    pub attestation: BundleAttestation,
+    /// Signed checkpoints + range proof from the client's verified size.
+    pub bundle: CheckpointBundle,
+}
+
+wire_struct!(AuditBundle {
+    request_id: u64,
+    attestation: BundleAttestation,
+    bundle: CheckpointBundle,
+});
+
 /// A response from a trust domain.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Response {
@@ -218,6 +306,9 @@ pub enum Response {
     Notices(Vec<UpdateNotice>),
     /// Generic error.
     Error(String),
+    /// Batched audit: attestation + checkpoints + range proof in one
+    /// round-trip (answers [`Request::BatchAudit`]).
+    AuditBundle(Box<AuditBundle>),
 }
 
 impl Encode for Response {
@@ -274,6 +365,24 @@ impl Encode for Response {
                 11u8.encode(out);
                 e.encode(out);
             }
+            Response::AuditBundle(b) => {
+                12u8.encode(out);
+                b.encode(out);
+            }
+        }
+    }
+}
+
+impl Response {
+    /// Cheaply extracts the echoed request id from an encoded
+    /// [`Response::AuditBundle`] frame without a full decode — the id is
+    /// the first field after the tag byte (see the `Encode` impl above;
+    /// keep the two in sync). Returns `None` for every other response
+    /// shape, including the error frames old servers answer with.
+    pub fn peek_audit_bundle_request_id(frame: &[u8]) -> Option<u64> {
+        match frame.split_first() {
+            Some((&12, rest)) => Some(u64::from_le_bytes(rest.get(..8)?.try_into().ok()?)),
+            _ => None,
         }
     }
 }
@@ -302,6 +411,7 @@ impl Decode for Response {
             9 => Response::LogEntries(decode_seq(input)?),
             10 => Response::Notices(decode_seq(input)?),
             11 => Response::Error(Decode::decode(input)?),
+            12 => Response::AuditBundle(Box::new(Decode::decode(input)?)),
             other => return Err(DecodeError::InvalidTag(other)),
         })
     }
@@ -341,6 +451,11 @@ mod tests {
             Request::GetConsistency { old_size: 3 },
             Request::GetLogEntries { from: 1 },
             Request::GetNotices { since: 2 },
+            Request::BatchAudit {
+                request_id: 42,
+                nonce: [7; 32],
+                verified_size: 5,
+            },
         ];
         for req in requests {
             let wire = req.to_wire();
@@ -380,10 +495,63 @@ mod tests {
                 logical_time: 10,
             }]),
             Response::Error("nope".into()),
+            Response::AuditBundle(Box::new(sample_audit_bundle())),
         ];
         for resp in responses {
             let wire = resp.to_wire();
             assert_eq!(Response::from_wire(&wire), Ok(resp));
+        }
+    }
+
+    fn sample_audit_bundle() -> AuditBundle {
+        use distrust_log::checkpoint::{CheckpointBody, SignedCheckpoint};
+        use distrust_log::merkle::MerkleLog;
+        let sk = SigningKey::derive(b"proto", b"cp");
+        let mut log = MerkleLog::new();
+        let mut checkpoints = Vec::new();
+        for i in 0..3u64 {
+            log.append(format!("v{i}").as_bytes());
+            checkpoints.push(SignedCheckpoint::sign(
+                CheckpointBody {
+                    log_id: [3; 32],
+                    size: log.len() as u64,
+                    head: log.root(),
+                    logical_time: i + 1,
+                },
+                &sk,
+            ));
+        }
+        let proof = log.prove_consistency_range(&[1, 2, 3]).unwrap();
+        AuditBundle {
+            request_id: 9,
+            attestation: BundleAttestation::Unattested(status()),
+            bundle: distrust_log::batch::CheckpointBundle { checkpoints, proof },
+        }
+    }
+
+    #[test]
+    fn request_id_peek_agrees_with_full_decode() {
+        let bundle = sample_audit_bundle();
+        let id = bundle.request_id;
+        let wire = Response::AuditBundle(Box::new(bundle)).to_wire();
+        assert_eq!(Response::peek_audit_bundle_request_id(&wire), Some(id));
+        // Non-bundle responses and short frames peek to None.
+        assert_eq!(
+            Response::peek_audit_bundle_request_id(&Response::Error("x".into()).to_wire()),
+            None
+        );
+        assert_eq!(Response::peek_audit_bundle_request_id(&[12, 1, 2]), None);
+        assert_eq!(Response::peek_audit_bundle_request_id(&[]), None);
+    }
+
+    #[test]
+    fn audit_bundle_truncation_rejected_at_every_cut() {
+        let wire = Response::AuditBundle(Box::new(sample_audit_bundle())).to_wire();
+        for cut in 0..wire.len() {
+            assert!(
+                Response::from_wire(&wire[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
         }
     }
 

@@ -9,7 +9,15 @@
 //! signatures, and cross-checks digest histories across domains. Outcomes
 //! are explicit: [`AuditOutcome::Consistent`], or a [`Misbehavior`] value
 //! carrying the strongest available evidence.
+//!
+//! Checkpoints can be ingested one at a time ([`Auditor::observe`], the
+//! per-step path) or as a whole [`CheckpointBundle`]
+//! ([`Auditor::observe_bundle`], the batched path): identical detection
+//! semantics, but the batched path costs one round-trip and — thanks to
+//! the per-domain [`VerifiedPrefixCache`] — never re-verifies signatures
+//! or proofs at or below the already-verified prefix.
 
+use crate::batch::{CheckpointBundle, VerifiedPrefixCache};
 use crate::checkpoint::{EquivocationProof, SignedCheckpoint};
 use crate::merkle::ConsistencyProof;
 use distrust_crypto::schnorr::VerifyingKey;
@@ -60,6 +68,15 @@ pub enum Misbehavior {
         /// The conflicting signed checkpoints, by domain index.
         views: Vec<(u32, SignedCheckpoint)>,
     },
+    /// A batched-audit bundle was structurally invalid (empty, descending
+    /// sizes, step/checkpoint mismatch). Not transferable evidence by
+    /// itself, but a served bundle a correct domain would never produce.
+    MalformedBundle {
+        /// Index of the offending domain.
+        domain: u32,
+        /// What was wrong with the bundle.
+        reason: String,
+    },
 }
 
 /// Result of feeding an audit round.
@@ -86,6 +103,9 @@ struct DomainState {
     /// All correctly signed checkpoints seen, by size — equivocation is
     /// detected by finding two different heads at one size.
     seen: HashMap<u64, SignedCheckpoint>,
+    /// Highest fully verified prefix plus performed/skipped verification
+    /// counters — what makes batched audits cheap on repeat.
+    cache: VerifiedPrefixCache,
 }
 
 /// A stateful cross-domain log auditor.
@@ -103,6 +123,7 @@ impl Auditor {
                     key,
                     latest: None,
                     seen: HashMap::new(),
+                    cache: VerifiedPrefixCache::new(),
                 })
                 .collect(),
         }
@@ -133,12 +154,20 @@ impl Auditor {
                 checkpoint,
             }));
         };
+        // Verified-prefix fast path: a checkpoint byte-identical to the
+        // latest verified one has nothing left to prove — no signature
+        // re-verification, no proof.
+        if state.latest.as_ref() == Some(&checkpoint) {
+            state.cache.note_skipped();
+            return AuditOutcome::Consistent;
+        }
         if !checkpoint.verify(&state.key) {
             return AuditOutcome::Misbehavior(Box::new(Misbehavior::BadSignature {
                 domain,
                 checkpoint,
             }));
         }
+        state.cache.note_signature();
         // Equivocation hunt: same size, different head, both signed.
         if let Some(prior) = state.seen.get(&checkpoint.body.size) {
             if prior.body.head != checkpoint.body.head
@@ -176,15 +205,20 @@ impl Auditor {
                     }));
                 }
             } else {
-                // Growth requires a valid consistency proof.
-                let ok = match proof {
-                    Some(p) => {
-                        p.old_size == trusted.body.size
-                            && p.new_size == checkpoint.body.size
-                            && p.verify(&trusted.body.head, &checkpoint.body.head)
-                    }
-                    None => false,
-                };
+                // Growth requires a valid consistency proof — except from
+                // size 0: the empty tree is a prefix of every tree, so
+                // growth from it is vacuously consistent (RFC 6962 defines
+                // no proof for old_size = 0).
+                let ok = trusted.body.size == 0
+                    || match proof {
+                        Some(p) => {
+                            state.cache.note_consistency();
+                            p.old_size == trusted.body.size
+                                && p.new_size == checkpoint.body.size
+                                && p.verify(&trusted.body.head, &checkpoint.body.head)
+                        }
+                        None => false,
+                    };
                 if !ok {
                     return AuditOutcome::Misbehavior(Box::new(Misbehavior::InconsistentGrowth {
                         domain,
@@ -194,9 +228,176 @@ impl Auditor {
                 }
             }
         }
+        state
+            .cache
+            .record(checkpoint.body.size, checkpoint.body.head);
         state.seen.insert(checkpoint.body.size, checkpoint.clone());
         state.latest = Some(checkpoint);
         AuditOutcome::Consistent
+    }
+
+    /// Ingests a whole [`CheckpointBundle`] from `domain` — the batched
+    /// equivalent of calling [`Auditor::observe`] once per checkpoint with
+    /// the pairwise consistency proofs, with identical accept/flag
+    /// behaviour, but without re-verifying anything at or below the
+    /// already-verified prefix (see [`VerifiedPrefixCache`]).
+    ///
+    /// Checks, in order: signatures on every checkpoint not already
+    /// verified byte-for-byte; equivocation both *inside* the bundle and
+    /// against all previously seen checkpoints (yielding a transferable
+    /// [`Misbehavior::Equivocation`] proof, exactly as in the per-step
+    /// path); structural validity (strictly ascending sizes); rollback of
+    /// the freshest checkpoint below the trusted size; and one
+    /// consistency-proof verification per size transition above the
+    /// verified prefix.
+    pub fn observe_bundle(&mut self, domain: u32, bundle: &CheckpointBundle) -> AuditOutcome {
+        let misb = |m: Misbehavior| AuditOutcome::Misbehavior(Box::new(m));
+        let Some(state) = self.domains.get_mut(domain as usize) else {
+            return misb(Misbehavior::MalformedBundle {
+                domain,
+                reason: "unknown domain index".into(),
+            });
+        };
+        let cps = &bundle.checkpoints;
+        if cps.is_empty() {
+            return misb(Misbehavior::MalformedBundle {
+                domain,
+                reason: "bundle carries no checkpoints".into(),
+            });
+        }
+        // 1. Signatures, skipping checkpoints byte-identical to ones this
+        //    auditor already verified (the common steady-state case).
+        for cp in cps {
+            let known = state
+                .seen
+                .get(&cp.body.size)
+                .is_some_and(|prior| prior == cp);
+            if known {
+                state.cache.note_skipped();
+                continue;
+            }
+            if !cp.verify(&state.key) {
+                return misb(Misbehavior::BadSignature {
+                    domain,
+                    checkpoint: cp.clone(),
+                });
+            }
+            state.cache.note_signature();
+        }
+        // 2. Equivocation inside the bundle: two correctly signed heads
+        //    for one size are transferable proof, same as per-step.
+        for (i, a) in cps.iter().enumerate() {
+            for b in &cps[i + 1..] {
+                if a.body.size == b.body.size
+                    && a.body.log_id == b.body.log_id
+                    && a.body.head != b.body.head
+                {
+                    return misb(Misbehavior::Equivocation {
+                        domain,
+                        proof: EquivocationProof {
+                            a: a.clone(),
+                            b: b.clone(),
+                        },
+                    });
+                }
+            }
+        }
+        // 3. Equivocation against history.
+        for cp in cps {
+            if let Some(prior) = state.seen.get(&cp.body.size) {
+                if prior.body.head != cp.body.head && prior.body.log_id == cp.body.log_id {
+                    return misb(Misbehavior::Equivocation {
+                        domain,
+                        proof: EquivocationProof {
+                            a: prior.clone(),
+                            b: cp.clone(),
+                        },
+                    });
+                }
+            }
+        }
+        // 4. Structure: ascending sizes. Same-size entries reaching this
+        //    point agree on the head (conflicts were flagged as
+        //    equivocation above) and are skipped as duplicates by the
+        //    chain walk — exactly how the per-step path treats a
+        //    re-served checkpoint.
+        for w in cps.windows(2) {
+            if w[1].body.size < w[0].body.size {
+                return misb(Misbehavior::MalformedBundle {
+                    domain,
+                    reason: "checkpoint sizes descending".into(),
+                });
+            }
+        }
+        // 5. Rollback: no checkpoint may be older than the verified
+        //    prefix — exactly what the per-step path flags when a served
+        //    checkpoint goes backwards (a stale cached bundle, or a stale
+        //    entry smuggled into an otherwise-fresh bundle).
+        let last = cps.last().expect("non-empty");
+        if let Some(trusted) = &state.latest {
+            for cp in cps {
+                if cp.body.size < trusted.body.size {
+                    return misb(Misbehavior::Rollback {
+                        domain,
+                        trusted_size: trusted.body.size,
+                        offered_size: cp.body.size,
+                    });
+                }
+            }
+        }
+        // 6. Chain verification above the verified prefix: one consistency
+        //    step per size transition, in order.
+        let mut cur: Option<SignedCheckpoint> = state.latest.clone();
+        let mut next_step = 0usize;
+        for cp in cps {
+            let Some(prev) = &cur else {
+                // First observation ever: nothing to link from.
+                cur = Some(cp.clone());
+                continue;
+            };
+            if cp.body.size == prev.body.size {
+                // Exactly the verified prefix (the rollback sweep above
+                // excluded anything older): the head was already
+                // cross-checked through the equivocation hunt; never
+                // re-verify.
+                state.cache.note_skipped();
+                continue;
+            }
+            if prev.body.size > 0 {
+                let expanded = bundle.proof.step(next_step);
+                next_step += 1;
+                let ok = match expanded {
+                    Some(p) => {
+                        state.cache.note_consistency();
+                        p.old_size == prev.body.size
+                            && p.new_size == cp.body.size
+                            && p.verify(&prev.body.head, &cp.body.head)
+                    }
+                    None => false,
+                };
+                if !ok {
+                    return misb(Misbehavior::InconsistentGrowth {
+                        domain,
+                        trusted: prev.clone(),
+                        offered: cp.clone(),
+                    });
+                }
+            }
+            cur = Some(cp.clone());
+        }
+        // 7. Commit.
+        for cp in cps {
+            state.seen.insert(cp.body.size, cp.clone());
+        }
+        state.cache.record(last.body.size, last.body.head);
+        state.latest = Some(last.clone());
+        AuditOutcome::Consistent
+    }
+
+    /// The verified-prefix cache for a domain: highest verified size and
+    /// the performed/skipped verification counters.
+    pub fn prefix_cache(&self, domain: u32) -> Option<&VerifiedPrefixCache> {
+        self.domains.get(domain as usize).map(|d| &d.cache)
     }
 
     /// Ingests a checkpoint relayed by *another client* (gossip).
@@ -622,6 +823,63 @@ mod tests {
         // A forged checkpoint must not frame the domain: no equivocation
         // state was recorded.
         assert!(auditor.cross_check().is_consistent());
+    }
+
+    #[test]
+    fn bundle_smuggling_stale_checkpoint_flagged_as_rollback() {
+        use crate::batch::{CheckpointBundle, ProofBundle};
+        // The per-step path flags any served checkpoint older than the
+        // verified prefix as Rollback; a stale entry hidden inside an
+        // otherwise-fresh bundle must be flagged identically.
+        let mut d = Domain::new(0);
+        let mut auditor = auditor_for(std::slice::from_ref(&d));
+        d.log.append(b"v1");
+        d.log.append(b"v2");
+        let cp2 = d.checkpoint();
+        assert!(auditor.observe(0, cp2.clone(), None).is_consistent());
+        let stale = SignedCheckpoint::sign(
+            CheckpointBody {
+                log_id: d.lid,
+                size: 1,
+                head: d.log.root_of_prefix(1),
+                logical_time: 50,
+            },
+            &d.sk,
+        );
+        let bundle = CheckpointBundle {
+            checkpoints: vec![stale, cp2],
+            proof: ProofBundle::default(),
+        };
+        match auditor.observe_bundle(0, &bundle) {
+            AuditOutcome::Misbehavior(m) => assert!(matches!(
+                *m,
+                Misbehavior::Rollback {
+                    trusted_size: 2,
+                    offered_size: 1,
+                    ..
+                }
+            )),
+            other => panic!("expected rollback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bundle_with_duplicate_checkpoint_is_tolerated() {
+        use crate::batch::{CheckpointBundle, ProofBundle};
+        // A re-served checkpoint (same size, same head) is accepted by
+        // the per-step path; a bundle containing the duplicate must be
+        // too — only conflicting heads are evidence.
+        let mut d = Domain::new(0);
+        let mut auditor = auditor_for(std::slice::from_ref(&d));
+        d.log.append(b"v1");
+        let cp = d.checkpoint();
+        let again = d.checkpoint(); // same size/head, fresh logical time
+        let bundle = CheckpointBundle {
+            checkpoints: vec![cp, again],
+            proof: ProofBundle::default(),
+        };
+        assert!(auditor.observe_bundle(0, &bundle).is_consistent());
+        assert_eq!(auditor.latest(0).unwrap().body.size, 1);
     }
 
     #[test]

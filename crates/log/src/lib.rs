@@ -16,14 +16,18 @@
 //! On top of either, [`checkpoint`] provides signed tree heads and
 //! transferable equivocation proofs, and [`auditor`] implements the client
 //! logic: verify each domain's log growth and cross-check digest histories
-//! across all `n` domains.
+//! across all `n` domains. [`batch`] amortises the audit hot path:
+//! multi-checkpoint proof bundles with deduplicated nodes and a
+//! verified-prefix cache so repeated audits never re-verify old history.
 
 pub mod auditor;
+pub mod batch;
 pub mod checkpoint;
 pub mod hashchain;
 pub mod merkle;
 
 pub use auditor::{digests_match, AuditOutcome, Auditor, Misbehavior};
+pub use batch::{BundleStep, CheckpointBundle, ProofBundle, VerifiedPrefixCache};
 pub use checkpoint::{log_id, CheckpointBody, EquivocationProof, SignedCheckpoint};
 pub use hashchain::HashChain;
 pub use merkle::{ConsistencyProof, InclusionProof, MerkleLog};

@@ -15,6 +15,7 @@
 pub mod codec;
 pub mod frame;
 pub mod frame_nb;
+pub mod pipeline;
 pub mod reactor;
 pub mod rpc;
 pub mod transport;
@@ -22,6 +23,7 @@ pub mod transport;
 pub use codec::{Decode, DecodeError, Encode};
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN, READ_CHUNK};
 pub use frame_nb::{FrameReader, WriteBuf};
+pub use pipeline::PipelinedClient;
 pub use reactor::{FrameService, Reactor, ReactorHandle};
 pub use rpc::{EventLoopRpcServer, RpcClient, RpcError, RpcHandler, RpcServer};
 pub use transport::{

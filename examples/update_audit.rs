@@ -92,11 +92,18 @@ fn main() {
         assert_eq!(client.log_entries(d, 0).unwrap(), reference);
     }
     println!("  digest histories identical across all 3 domains ✅");
-    // 3. The post-update audit (attestation + checkpoint + consistency
-    //    proof against the pre-update checkpoint) is clean.
+    // 3. The post-update audit is clean. Each domain answers with a single
+    //    BatchAudit round-trip: attestation + the new checkpoint + a
+    //    consistency proof linking it to the pre-update checkpoint this
+    //    client already verified (nothing below that prefix is re-checked).
     let report = client.audit(Some(&v2_digest));
     println!("  post-update audit clean: {} ✅", report.is_clean());
     assert!(report.is_clean());
+    let stats = client.audit_stats();
+    println!(
+        "  audits served batched: {} domain-rounds ({} legacy fallbacks)",
+        stats.batched_domains, stats.fallback_domains
+    );
 
     println!("\nusers never had to trust the developer's word: every step is auditable.");
 }

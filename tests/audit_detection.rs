@@ -104,6 +104,11 @@ fn equivocating_domain_yields_transferable_proof() {
         })
         .expect("equivocation detected");
 
+    // This mock predates BatchAudit: both audits must have fallen back to
+    // the legacy per-step path — detection works identically there.
+    assert_eq!(client.audit_stats().fallback_domains, 2);
+    assert_eq!(client.audit_stats().batched_domains, 0);
+
     // The proof is PUBLICLY verifiable: serialize, hand to a third party
     // knowing only the domain's public key, verify.
     let wire = equivocation.to_wire();
@@ -204,6 +209,91 @@ fn history_rewrite_without_proof_is_flagged() {
             .any(|m| matches!(m, Misbehavior::InconsistentGrowth { .. })),
         "rewrite must be flagged: {second:?}"
     );
+
+    host.shutdown();
+}
+
+/// An honest pre-BatchAudit server: answers the per-step protocol
+/// correctly and errors on everything newer, counting how often it gets
+/// probed with the batched request.
+struct LegacyOnlyDomain {
+    key: SigningKey,
+    log_id: [u8; 32],
+    batch_probes: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl EnclaveService for LegacyOnlyDomain {
+    fn handle(&mut self, request: Vec<u8>) -> Vec<u8> {
+        use distrust::core::protocol::Request::*;
+        let head = [0x77; 32];
+        let response = match Request::from_wire(&request) {
+            Ok(BatchAudit { .. }) => {
+                self.batch_probes
+                    .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                Response::Error("unknown request".into())
+            }
+            Ok(Attest { .. }) => Response::Unattested(distrust::core::DomainStatus {
+                domain_index: 0,
+                app_digest: [1; 32],
+                app_version: 1,
+                log_size: 1,
+                log_head: head,
+                framework_measurement: [2; 32],
+            }),
+            Ok(GetCheckpoint) => Response::Checkpoint(SignedCheckpoint::sign(
+                CheckpointBody {
+                    log_id: self.log_id,
+                    size: 1,
+                    head,
+                    logical_time: 1,
+                },
+                &self.key,
+            )),
+            Ok(_) => Response::Error("not implemented".into()),
+            Err(e) => Response::Error(format!("{e}")),
+        };
+        response.to_wire()
+    }
+}
+
+#[test]
+fn legacy_domain_is_probed_once_then_served_per_step() {
+    let key = SigningKey::derive(b"legacy-only", b"checkpoint");
+    let lid = log_id(b"legacy-deploy", 0);
+    let probes = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let mut host = DirectHost::spawn(LegacyOnlyDomain {
+        key,
+        log_id: lid,
+        batch_probes: std::sync::Arc::clone(&probes),
+    })
+    .expect("spawn");
+
+    let descriptor = DeploymentDescriptor {
+        app_name: "any".into(),
+        developer_key: SigningKey::derive(b"dev", b"k").verifying_key(),
+        vendor_roots: VendorRoots::new(vec![]),
+        domains: vec![DomainInfo {
+            index: 0,
+            addr: host.addr(),
+            vendor: None,
+            checkpoint_key: key.verifying_key(),
+        }],
+    };
+    let mut client = DeploymentClient::new(descriptor, Box::new(HmacDrbg::new(b"auditor", b"")));
+
+    // Three audit rounds against an honest legacy server: all succeed via
+    // the per-step fallback...
+    for _ in 0..3 {
+        let report = client.audit(None);
+        assert!(
+            report.domains[0].failure.is_none() && !report.domains[0].batched,
+            "{report:?}"
+        );
+    }
+    assert_eq!(client.audit_stats().fallback_domains, 3);
+    // ...but the batched probe was paid exactly once; later rounds on the
+    // same connection skip it.
+    assert_eq!(probes.load(std::sync::atomic::Ordering::SeqCst), 1);
 
     host.shutdown();
 }

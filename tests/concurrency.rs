@@ -9,6 +9,136 @@ use distrust::wire::rpc::{EventLoopRpcServer, RpcClient};
 use distrust::wire::transport::max_open_files;
 use std::sync::{Arc, Barrier};
 
+/// 500 independent auditors batch-auditing one trust domain through the
+/// readiness event loop, every request in flight at once, each response
+/// matched back by request id and fully verified client-side — extends
+/// PR 2's cross-connection regression to the batched audit path.
+#[test]
+fn event_loop_sustains_500_concurrent_batch_auditors() {
+    use distrust::core::abi::NoImports;
+    use distrust::core::framework::{EnclaveFramework, FrameworkConfig, FrameworkService};
+    use distrust::core::protocol::{Request, Response};
+    use distrust::core::server::DirectHost;
+    use distrust::core::SignedRelease;
+    use distrust::crypto::schnorr::SigningKey;
+    use distrust::log::auditor::Auditor;
+    use distrust::log::checkpoint::log_id;
+    use distrust::sandbox::guests::counter_module;
+    use distrust::sandbox::Limits;
+    use distrust::wire::transport::{TcpTransport, Transport};
+    use distrust::wire::{Decode, Encode};
+
+    let dev = SigningKey::derive(b"batch audit load", b"developer");
+    let checkpoint_key = SigningKey::derive(b"batch audit load", b"checkpoint");
+    let mut fw = EnclaveFramework::new(
+        FrameworkConfig {
+            domain_index: 0,
+            app_name: "audited".into(),
+            developer_key: dev.verifying_key(),
+            log_id: log_id(b"batch-load", 0),
+            limits: Limits::default(),
+        },
+        None,
+        checkpoint_key,
+        Box::new(NoImports),
+    );
+    let release = SignedRelease::create("audited", 1, "", &counter_module(1), &dev);
+    let expected_status = fw.apply_update(&release).expect("v1 installs");
+    // DirectHost serves through EventLoopRpcServer (raw-frame mode).
+    let mut host = DirectHost::spawn(FrameworkService::new(fw)).expect("spawn");
+    let addr = host.addr();
+    let vk = checkpoint_key.verifying_key();
+
+    let workers = 8usize;
+    let mut per_worker = 63usize; // 8 × 63 = 504 concurrent auditors
+    if let Some(limit) = max_open_files() {
+        let budget = limit.saturating_sub(200) / 2 / workers;
+        if budget < per_worker {
+            per_worker = budget.max(1);
+            eprintln!(
+                "fd limit {limit}: scaling to {} concurrent auditors",
+                workers * per_worker
+            );
+        }
+    }
+    let rounds = 2u64;
+    let barrier = Arc::new(Barrier::new(workers));
+
+    let mut joins = Vec::new();
+    for w in 0..workers {
+        let barrier = Arc::clone(&barrier);
+        let expected_status = expected_status.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut conns: Vec<(TcpTransport, Auditor)> = (0..per_worker)
+                .map(|_| {
+                    (
+                        TcpTransport::connect(addr).expect("connect"),
+                        Auditor::new(vec![vk]),
+                    )
+                })
+                .collect();
+            // All ~500 connections are open before any traffic flows.
+            barrier.wait();
+            for round in 0..rounds {
+                // Phase 1: every auditor's request is in flight before any
+                // response is read; ids are globally unique so a response
+                // delivered to the wrong connection cannot go unnoticed.
+                for (i, (t, auditor)) in conns.iter_mut().enumerate() {
+                    let global = (w * per_worker + i) as u64;
+                    let request_id = round * 1_000_000 + global + 1;
+                    let mut nonce = [0u8; 32];
+                    nonce[..8].copy_from_slice(&global.to_le_bytes());
+                    nonce[8..16].copy_from_slice(&round.to_le_bytes());
+                    let verified_size = auditor.latest(0).map(|cp| cp.body.size).unwrap_or(0);
+                    t.send(
+                        &Request::BatchAudit {
+                            request_id,
+                            nonce,
+                            verified_size,
+                        }
+                        .to_wire(),
+                    )
+                    .expect("send");
+                }
+                // Phase 2: collect and fully verify.
+                for (i, (t, auditor)) in conns.iter_mut().enumerate() {
+                    let global = (w * per_worker + i) as u64;
+                    let expected_id = round * 1_000_000 + global + 1;
+                    let frame = t.recv().expect("recv");
+                    let response = Response::from_wire(&frame).expect("decode");
+                    let Response::AuditBundle(bundle) = response else {
+                        panic!("expected audit bundle, got {response:?}");
+                    };
+                    assert_eq!(
+                        bundle.request_id, expected_id,
+                        "cross-client response mix-up (worker {w}, conn {i}, round {round})"
+                    );
+                    // The report is clean: bundle verifies and matches the
+                    // installed release's attested status.
+                    assert!(
+                        auditor.observe_bundle(0, &bundle.bundle).is_consistent(),
+                        "auditor {global} flagged an honest domain"
+                    );
+                    let last = bundle.bundle.checkpoints.last().expect("non-empty");
+                    assert_eq!(last.body.size, expected_status.log_size);
+                    assert_eq!(last.body.head, expected_status.log_head);
+                }
+            }
+            // Round 2 was served entirely from the verified prefix: one
+            // signature verified per auditor in total, never two.
+            for (_, auditor) in &conns {
+                let cache = auditor.prefix_cache(0).expect("domain 0");
+                assert_eq!(cache.signatures_verified(), 1);
+                assert!(cache.skipped() >= 1);
+            }
+        }));
+    }
+    for j in joins {
+        j.join().expect("worker panicked");
+    }
+    host.shutdown();
+}
+
 #[test]
 fn many_concurrent_submitters() {
     let n_domains = 3;

@@ -5,7 +5,9 @@
 use distrust::core::abi::NoImports;
 use distrust::core::framework::{EnclaveFramework, FrameworkConfig, FrameworkService};
 use distrust::core::protocol::{Request, Response};
+use distrust::core::SignedRelease;
 use distrust::crypto::schnorr::SigningKey;
+use distrust::sandbox::guests::counter_module;
 use distrust::sandbox::Limits;
 use distrust::tee::host::EnclaveService;
 use distrust::wire::{Decode, Encode};
@@ -27,6 +29,47 @@ fn service() -> FrameworkService {
     ))
 }
 
+/// A service with three installed releases, so batched audit responses
+/// carry real multi-checkpoint bundles with consistency steps.
+fn service_with_history() -> FrameworkService {
+    let dev = SigningKey::derive(b"protocol fuzz", b"dev");
+    let mut svc = service();
+    for v in 1..=3u64 {
+        let release = SignedRelease::create("fuzzed", v, "", &counter_module(v), &dev);
+        svc.framework_mut().apply_update(&release).expect("applies");
+    }
+    svc
+}
+
+/// A real server-produced `AuditBundle` response frame. Built once per
+/// process (release signing is expensive in debug builds) and cached for
+/// verified sizes 0..=5.
+fn batch_audit_response_frame(verified_size: u64) -> Vec<u8> {
+    use std::sync::OnceLock;
+    static FRAMES: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+    let frames = FRAMES.get_or_init(|| {
+        let mut svc = service_with_history();
+        (0..=5u64)
+            .map(|vs| {
+                let frame = svc.handle(
+                    Request::BatchAudit {
+                        request_id: 99,
+                        nonce: [9; 32],
+                        verified_size: vs,
+                    }
+                    .to_wire(),
+                );
+                assert!(matches!(
+                    Response::from_wire(&frame),
+                    Ok(Response::AuditBundle(_))
+                ));
+                frame
+            })
+            .collect()
+    });
+    frames[verified_size as usize].clone()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
@@ -45,7 +88,7 @@ proptest! {
     /// must agree byte-for-byte, since responses are hashed into quotes).
     #[test]
     fn structured_requests_round_trip(
-        tag in 0u8..8,
+        tag in 0u8..9,
         nonce in any::<[u8; 32]>(),
         method in any::<u64>(),
         payload in proptest::collection::vec(any::<u8>(), 0..64),
@@ -58,7 +101,12 @@ proptest! {
             3 => Request::GetCheckpoint,
             4 => Request::GetConsistency { old_size: number },
             5 => Request::GetLogEntries { from: number },
-            _ => Request::GetNotices { since: number },
+            6 => Request::GetNotices { since: number },
+            _ => Request::BatchAudit {
+                request_id: method,
+                nonce,
+                verified_size: number,
+            },
         };
         let wire = request.to_wire();
         prop_assert_eq!(Request::from_wire(&wire), Ok(request));
@@ -78,6 +126,102 @@ proptest! {
         let response_bytes = svc.handle(wire);
         prop_assert!(Response::from_wire(&response_bytes).is_ok());
     }
+
+    /// Truncating a real AuditBundle response at any point must error —
+    /// never panic, never decode to a different value.
+    #[test]
+    fn truncated_audit_bundle_rejected(verified_size in 0u64..5, cut_seed in any::<u64>()) {
+        let frame = batch_audit_response_frame(verified_size);
+        let cut = (cut_seed as usize) % frame.len();
+        prop_assert!(Response::from_wire(&frame[..cut]).is_err());
+    }
+
+    /// Flipping any single bit of an AuditBundle response either fails to
+    /// decode or decodes to a *different* value — a mutated frame can
+    /// never misparse back into the original (canonical encoding), so a
+    /// tampered bundle always reaches the verifier visibly changed.
+    #[test]
+    fn bit_flipped_audit_bundle_never_misparses(
+        verified_size in 0u64..5,
+        flip_seed in any::<u64>(),
+    ) {
+        let frame = batch_audit_response_frame(verified_size);
+        let original = Response::from_wire(&frame).expect("valid frame decodes");
+        let mut mutated = frame.clone();
+        let bit = (flip_seed as usize) % (frame.len() * 8);
+        mutated[bit / 8] ^= 1 << (bit % 8);
+        match Response::from_wire(&mutated) {
+            Err(_) => {}
+            Ok(decoded) => {
+                prop_assert_ne!(decoded, original);
+            }
+        }
+    }
+
+    /// Oversized trailing garbage after a complete AuditBundle is
+    /// rejected, not silently dropped.
+    #[test]
+    fn audit_bundle_with_trailing_bytes_rejected(
+        garbage in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let mut frame = batch_audit_response_frame(0);
+        frame.extend_from_slice(&garbage);
+        prop_assert!(Response::from_wire(&frame).is_err());
+    }
+}
+
+proptest! {
+    // Each case pays release-signing cost; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary BatchAudit parameters — including verified sizes far past
+    /// the log head — always get a decodable AuditBundle back, and the
+    /// request id is echoed faithfully.
+    #[test]
+    fn arbitrary_batch_audit_parameters_answered(
+        request_id in any::<u64>(),
+        nonce in any::<[u8; 32]>(),
+        verified_size in any::<u64>(),
+        with_history in any::<bool>(),
+    ) {
+        let mut svc = if with_history { service_with_history() } else { service() };
+        let response_bytes = svc.handle(Request::BatchAudit { request_id, nonce, verified_size }.to_wire());
+        match Response::from_wire(&response_bytes) {
+            Ok(Response::AuditBundle(b)) => {
+                prop_assert_eq!(b.request_id, request_id);
+                prop_assert!(!b.bundle.checkpoints.is_empty());
+            }
+            other => prop_assert!(false, "expected audit bundle, got {:?}", other),
+        }
+    }
+}
+
+#[test]
+fn audit_bundle_length_bombs_rejected_before_allocation() {
+    // A frame claiming a ludicrous checkpoint count must fail fast on the
+    // length guard, not attempt the allocation.
+    let frame = batch_audit_response_frame(0);
+    // The checkpoint sequence length prefix sits right after the tag(1) +
+    // request_id(8) + attestation tag(1) + DomainStatus(88) prefix of an
+    // unattested bundle; overwrite it with u32::MAX.
+    let status_len = distrust::core::DomainStatus {
+        domain_index: 0,
+        app_digest: [0; 32],
+        app_version: 0,
+        log_size: 0,
+        log_head: [0; 32],
+        framework_measurement: [0; 32],
+    }
+    .to_wire()
+    .len();
+    let off = 1 + 8 + 1 + status_len;
+    let mut bomb = frame.clone();
+    bomb[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(Response::from_wire(&bomb).is_err());
+    // Sanity: patching the same bytes back decodes again.
+    let mut intact = bomb;
+    intact[off..off + 4].copy_from_slice(&frame[off..off + 4]);
+    assert!(Response::from_wire(&intact).is_ok());
 }
 
 #[test]
