@@ -15,8 +15,8 @@
 //! = aggregate (response = `k` u64 totals), `3` = submission count.
 
 use distrust_core::abi::{AppHost, NoImports, OUTBOX_ADDR};
-use distrust_core::client::DeploymentClient;
 use distrust_core::deploy::AppSpec;
+use distrust_core::session::{FanoutCall, Session};
 use distrust_core::ClientError;
 use distrust_sandbox::{FuncBuilder, Instr, Limits, Module, ModuleBuilder};
 
@@ -200,19 +200,28 @@ impl AnalyticsClient {
 
     /// Submits one report, privately: each domain receives one additive
     /// share that individually carries zero information about `values`.
+    ///
+    /// All `n` shares are in flight before any acknowledgement is read
+    /// (one round-trip for the whole submission), and every domain must
+    /// accept: a partially landed report would skew the totals, so the
+    /// fan-out runs under [`distrust_core::QuorumPolicy::All`].
     pub fn submit<R: rand::RngCore + ?Sized>(
         &self,
-        client: &mut DeploymentClient,
+        session: &mut Session<'_>,
         values: &[u64],
         rng: &mut R,
     ) -> Result<(), ClientError> {
         assert_eq!(values.len(), self.dims);
-        let n = client.descriptor().domains.len();
+        let n = session.domain_count();
         let shares = share_values(values, n, rng);
-        for (d, share) in shares.iter().enumerate() {
-            let payload: Vec<u8> = share.iter().flat_map(|v| v.to_le_bytes()).collect();
-            let resp = client.call(d as u32, METHOD_SUBMIT, &payload)?;
-            if resp != vec![0] {
+        let payloads: Vec<Vec<u8>> = shares
+            .iter()
+            .map(|share| share.iter().flat_map(|v| v.to_le_bytes()).collect())
+            .collect();
+        let report = session.fanout(&FanoutCall::per_domain(METHOD_SUBMIT, payloads))?;
+        report.require()?;
+        for (d, resp) in report.successes() {
+            if resp != [0] {
                 return Err(ClientError::Unexpected(format!(
                     "submit rejected by domain {d}: {resp:?}"
                 )));
@@ -223,14 +232,15 @@ impl AnalyticsClient {
 
     /// Analyst: sums per-domain accumulators; shares cancel, revealing
     /// only the totals. Also cross-checks that every domain saw the same
-    /// number of submissions.
-    pub fn aggregate(&self, client: &mut DeploymentClient) -> Result<(Vec<u64>, u64), ClientError> {
-        let n = client.descriptor().domains.len() as u32;
+    /// number of submissions. Both queries are broadcast fan-outs — every
+    /// accumulator is needed for the masks to cancel, so the quorum is
+    /// [`distrust_core::QuorumPolicy::All`].
+    pub fn aggregate(&self, session: &mut Session<'_>) -> Result<(Vec<u64>, u64), ClientError> {
+        let acc_report = session.fanout(&FanoutCall::broadcast(METHOD_AGGREGATE, Vec::new()))?;
+        acc_report.require()?;
         let mut totals = vec![0u64; self.dims];
-        let mut counts = Vec::new();
-        for d in 0..n {
-            let resp = client.call(d, METHOD_AGGREGATE, b"")?;
-            let acc = decode_u64s(&resp)?;
+        for (d, resp) in acc_report.successes() {
+            let acc = decode_u64s(resp)?;
             if acc.len() != self.dims {
                 return Err(ClientError::Unexpected(format!(
                     "domain {d} returned {} dims, expected {}",
@@ -241,8 +251,12 @@ impl AnalyticsClient {
             for (t, v) in totals.iter_mut().zip(acc) {
                 *t = t.wrapping_add(v);
             }
-            let count = decode_u64s(&client.call(d, METHOD_COUNT, b"")?)?;
-            counts.push(count.first().copied().unwrap_or(0));
+        }
+        let count_report = session.fanout(&FanoutCall::broadcast(METHOD_COUNT, Vec::new()))?;
+        count_report.require()?;
+        let mut counts = Vec::new();
+        for (_, resp) in count_report.successes() {
+            counts.push(decode_u64s(resp)?.first().copied().unwrap_or(0));
         }
         let count = counts.first().copied().unwrap_or(0);
         if counts.iter().any(|&c| c != count) {

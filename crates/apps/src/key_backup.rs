@@ -16,8 +16,8 @@
 //! stored.
 
 use distrust_core::abi::{AppHost, OUTBOX_ADDR};
-use distrust_core::client::DeploymentClient;
 use distrust_core::deploy::AppSpec;
+use distrust_core::session::{FanoutCall, Session};
 use distrust_core::ClientError;
 use distrust_crypto::gf256::{self, ByteShare};
 use distrust_crypto::sha256::Digest;
@@ -271,25 +271,36 @@ impl KeyBackupClient {
 
     /// Splits `secret` and stores one share per domain. Returns the
     /// integrity commitment the user keeps to validate recovery.
+    ///
+    /// All `n` store requests are pipelined (in flight before any
+    /// acknowledgement is read); every domain must accept — a backup some
+    /// domains never received would silently lower the recovery margin.
     pub fn backup<R: rand::RngCore + ?Sized>(
         &self,
-        client: &mut DeploymentClient,
+        session: &mut Session<'_>,
         user_id: u64,
         token: &[u8; 32],
         secret: &[u8],
         rng: &mut R,
     ) -> Result<Digest, ClientError> {
-        let n = client.descriptor().domains.len();
+        let n = session.domain_count();
         let shares = gf256::split(secret, self.threshold, n, rng)
             .map_err(|e| ClientError::Unexpected(format!("split failed: {e}")))?;
         let token_hash = distrust_crypto::sha256(token);
-        for (d, share) in shares.iter().enumerate() {
-            let mut payload = Vec::with_capacity(40 + share.data.len());
-            payload.extend_from_slice(&user_id.to_le_bytes());
-            payload.extend_from_slice(&token_hash);
-            payload.extend_from_slice(&share.data);
-            let resp = client.call(d as u32, METHOD_STORE, &payload)?;
-            match parse_response(&resp)? {
+        let payloads: Vec<Vec<u8>> = shares
+            .iter()
+            .map(|share| {
+                let mut payload = Vec::with_capacity(40 + share.data.len());
+                payload.extend_from_slice(&user_id.to_le_bytes());
+                payload.extend_from_slice(&token_hash);
+                payload.extend_from_slice(&share.data);
+                payload
+            })
+            .collect();
+        let report = session.fanout(&FanoutCall::per_domain(METHOD_STORE, payloads))?;
+        report.require()?;
+        for (d, resp) in report.successes() {
+            match parse_response(resp)? {
                 RecoverStatus::Ok(_) => {}
                 other => {
                     return Err(ClientError::Unexpected(format!(
@@ -304,41 +315,43 @@ impl KeyBackupClient {
     /// Attempts recovery from one domain.
     pub fn recover_share(
         &self,
-        client: &mut DeploymentClient,
+        session: &mut Session<'_>,
         domain: u32,
         user_id: u64,
         token: &[u8; 32],
     ) -> Result<RecoverStatus, ClientError> {
-        let mut payload = Vec::with_capacity(40);
-        payload.extend_from_slice(&user_id.to_le_bytes());
-        payload.extend_from_slice(token);
-        let resp = client.call(domain, METHOD_RECOVER, &payload)?;
+        let resp = session.call(domain, METHOD_RECOVER, &recover_request(user_id, token))?;
         parse_response(&resp)
     }
 
     /// Full recovery: collect `t` shares, recombine, verify against the
     /// commitment from [`Self::backup`].
+    ///
+    /// The recovery request is broadcast under
+    /// [`distrust_core::QuorumPolicy::Threshold`]`(t)` (via
+    /// [`Session::fanout_collect`]): the fan-out returns as soon as `t`
+    /// domains answer, so dead or slow domains cost nothing as long as
+    /// `t` are alive. Domains that answered but refused (bad token,
+    /// unknown user, malformed reply) do not yield shares and are not
+    /// re-asked; only abandoned stragglers are.
     pub fn recover(
         &self,
-        client: &mut DeploymentClient,
+        session: &mut Session<'_>,
         user_id: u64,
         token: &[u8; 32],
         commitment: &Digest,
     ) -> Result<Vec<u8>, ClientError> {
-        let n = client.descriptor().domains.len() as u32;
-        let mut shares: Vec<ByteShare> = Vec::with_capacity(self.threshold);
-        for d in 0..n {
-            if shares.len() >= self.threshold {
-                break;
-            }
-            match self.recover_share(client, d, user_id, token)? {
-                RecoverStatus::Ok(data) => shares.push(ByteShare {
-                    x: (d + 1) as u8,
-                    data,
-                }),
-                _ => continue,
-            }
-        }
+        let request = recover_request(user_id, token);
+        let shares =
+            session.fanout_collect(METHOD_RECOVER, request, self.threshold, |d, resp| {
+                match parse_response(resp) {
+                    Ok(RecoverStatus::Ok(data)) => Some(ByteShare {
+                        x: (d + 1) as u8,
+                        data,
+                    }),
+                    _ => None,
+                }
+            })?;
         let secret = gf256::combine(&shares, self.threshold)
             .map_err(|e| ClientError::Unexpected(format!("combine failed: {e}")))?;
         if &distrust_crypto::sha256(&secret) != commitment {
@@ -348,6 +361,14 @@ impl KeyBackupClient {
         }
         Ok(secret)
     }
+}
+
+/// The wire payload of a recovery attempt (same bytes for every domain).
+fn recover_request(user_id: u64, token: &[u8; 32]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(40);
+    payload.extend_from_slice(&user_id.to_le_bytes());
+    payload.extend_from_slice(token);
+    payload
 }
 
 #[cfg(test)]

@@ -19,8 +19,8 @@
 //! compressed partial signature), `2` = share index (1 byte).
 
 use distrust_core::abi::{AppHost, OUTBOX_ADDR};
-use distrust_core::client::DeploymentClient;
 use distrust_core::deploy::AppSpec;
+use distrust_core::session::Session;
 use distrust_core::ClientError;
 use distrust_crypto::bls::{PublicKey, Signature};
 use distrust_crypto::fp::Fp;
@@ -442,15 +442,18 @@ impl ThresholdSigningClient {
     /// share index `d + 1`).
     pub fn partial_from_domain(
         &self,
-        client: &mut DeploymentClient,
+        session: &mut Session<'_>,
         domain: u32,
         message: &[u8],
     ) -> Result<PartialSignature, SignError> {
-        let payload = client
+        let payload = session
             .call(domain, METHOD_SIGN, message)
             .map_err(SignError::Client)?;
+        Self::parse_partial(domain, &payload)
+    }
+
+    fn parse_partial(domain: u32, payload: &[u8]) -> Result<PartialSignature, SignError> {
         let bytes: [u8; 48] = payload
-            .as_slice()
             .try_into()
             .map_err(|_| SignError::Client(ClientError::Unexpected("bad sig length".into())))?;
         let value = Signature::from_bytes(&bytes)
@@ -462,27 +465,25 @@ impl ThresholdSigningClient {
     }
 
     /// Full signing flow across the deployment.
-    pub fn sign(
-        &self,
-        client: &mut DeploymentClient,
-        message: &[u8],
-    ) -> Result<Signature, SignError> {
-        let n = client.descriptor().domains.len() as u32;
+    ///
+    /// The message is broadcast to every domain in one pipelined fan-out
+    /// under [`distrust_core::QuorumPolicy::Threshold`]`(t)` (via
+    /// [`Session::fanout_collect`]): all `n` sign requests are in flight
+    /// at once and the call returns as soon as `t` valid partials arrive
+    /// — a slow or dead domain does not delay the signature as long as
+    /// `t` domains are healthy. Each collected partial is verified
+    /// against the Feldman commitments before it counts; domains whose
+    /// responses were abandoned are re-asked if some partials fail
+    /// verification.
+    pub fn sign(&self, session: &mut Session<'_>, message: &[u8]) -> Result<Signature, SignError> {
         let t = self.public.threshold;
-        let mut partials = Vec::with_capacity(t);
-        for d in 0..n {
-            if partials.len() >= t {
-                break;
-            }
-            match self.partial_from_domain(client, d, message) {
-                Ok(p) => {
-                    if threshold::verify_partial(&self.public.commitments, message, &p) {
-                        partials.push(p);
-                    }
-                }
-                Err(_) => continue, // tolerate up to n - t failures
-            }
-        }
+        let partials = session
+            .fanout_collect(METHOD_SIGN, message.to_vec(), t, |d, payload| {
+                Self::parse_partial(d, payload)
+                    .ok()
+                    .filter(|p| threshold::verify_partial(&self.public.commitments, message, p))
+            })
+            .map_err(SignError::Client)?;
         if partials.len() < t {
             return Err(SignError::NotEnoughPartials {
                 got: partials.len(),

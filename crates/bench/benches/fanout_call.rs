@@ -1,0 +1,233 @@
+//! Fan-out latency benchmark (ISSUE 4 acceptance): the legacy sequential
+//! per-domain call loop vs. the session's pipelined fan-out, at n = 3 / 8
+//! / 16 trust domains with one artificially slow domain.
+//!
+//! Every app in `crates/apps` used to hand-roll `for d in 0..n {
+//! client.call(d, ...) }`, so one slow domain was paid *in series with*
+//! every other domain's round-trip, and total latency grew as
+//! `Σ latency(d)`. The session's fan-out puts all n requests in flight
+//! before reading any response (`max latency(d)`), and a `Threshold(t)`
+//! quorum returns without waiting for stragglers at all.
+//!
+//! The deployment is real — domain 0 behind the event-loop `DirectHost`,
+//! domains 1..n behind TEE enclave proxies — and the app's guest calls a
+//! `bench.delay` host import on every request: the host for one domain
+//! (index 1) sleeps [`SLOW_DELAY`]; every other domain sleeps
+//! [`BASE_DELAY`], modelling ordinary per-request work. Custom harness
+//! (`harness = false`), same shape as `audit_throughput`; results are
+//! printed as a table and written to `bench_results/fanout_call.json`.
+
+use distrust_core::abi::AppHost;
+use distrust_core::deploy::AppSpec;
+use distrust_core::session::{FanoutCall, QuorumPolicy, TrustPolicy};
+use distrust_core::Deployment;
+use distrust_sandbox::vm::Memory;
+use distrust_sandbox::{FuncBuilder, Limits, Module, ModuleBuilder};
+use std::time::{Duration, Instant};
+
+/// Per-request "work" on ordinary domains.
+const BASE_DELAY: Duration = Duration::from_millis(2);
+/// Per-request latency of the one slow domain (index 1): an overloaded
+/// replica, a cross-region hop, a TEE under contention.
+const SLOW_DELAY: Duration = Duration::from_millis(20);
+/// Deployment sizes measured.
+const DOMAIN_COUNTS: &[usize] = &[3, 8, 16];
+const WARMUP_ROUNDS: usize = 2;
+const MEASURED_ROUNDS: usize = 25;
+/// Method id of the only guest method (delay, then answer one byte).
+const METHOD_PING: u64 = 1;
+
+/// Guest: every request crosses into the host's `bench.delay` once, then
+/// answers a single status byte — the cheapest possible app whose
+/// latency is all service time.
+fn delay_module() -> Module {
+    let mut mb = ModuleBuilder::new(1, 1);
+    let delay = mb.import("bench.delay", 0, 0);
+    let mut f = FuncBuilder::new(3, 0, 1);
+    f.host(delay);
+    f.constant(distrust_core::abi::OUTBOX_ADDR)
+        .constant(0)
+        .store8(0);
+    f.constant(1).ret();
+    let idx = mb.function(f.build().expect("delay guest builds"));
+    mb.export(distrust_core::abi::HANDLE_EXPORT, idx);
+    mb.build()
+}
+
+/// Host side of `bench.delay`: sleeps this domain's configured delay.
+struct DelayHost {
+    delay: Duration,
+}
+
+impl AppHost for DelayHost {
+    fn call(
+        &mut self,
+        name: &str,
+        _args: &[u64],
+        _memory: &mut Memory,
+    ) -> Result<Vec<u64>, String> {
+        match name {
+            "bench.delay" => {
+                std::thread::sleep(self.delay);
+                Ok(vec![])
+            }
+            other => Err(format!("unknown import {other:?}")),
+        }
+    }
+}
+
+fn launch(n: usize) -> Deployment {
+    let hosts: Vec<Box<dyn AppHost>> = (0..n)
+        .map(|d| {
+            let delay = if d == 1 { SLOW_DELAY } else { BASE_DELAY };
+            Box::new(DelayHost { delay }) as Box<dyn AppHost>
+        })
+        .collect();
+    let spec = AppSpec {
+        name: "fanout-bench".to_string(),
+        module: delay_module(),
+        notes: "v1: delay echo for fan-out benchmarking".to_string(),
+        hosts,
+        limits: Limits::default(),
+    };
+    Deployment::launch(spec, b"fanout bench seed").expect("launch")
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    /// The pre-session idiom: one blocking round-trip per domain, in
+    /// series.
+    SequentialLoop,
+    /// Pipelined fan-out, all domains required.
+    FanoutAll,
+    /// Pipelined fan-out returning at n-1 successes: the slow domain is
+    /// never waited for.
+    FanoutThreshold,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::SequentialLoop => "sequential legacy loop",
+            Mode::FanoutAll => "session fanout (All)",
+            Mode::FanoutThreshold => "session fanout (Threshold n-1)",
+        }
+    }
+}
+
+struct Row {
+    mode: &'static str,
+    domains: usize,
+    p50: Duration,
+    p99: Duration,
+    mean: Duration,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    Duration::from_nanos(sorted[idx])
+}
+
+fn run(deployment: &Deployment, n: usize, mode: Mode) -> Row {
+    let mut client = deployment.client(format!("bench {}", mode.label()).as_bytes());
+    let mut session = client.session(TrustPolicy::audited());
+    let mut latencies = Vec::with_capacity(MEASURED_ROUNDS);
+    for round in 0..WARMUP_ROUNDS + MEASURED_ROUNDS {
+        let started = Instant::now();
+        match mode {
+            Mode::SequentialLoop => {
+                // What every app client used to do by hand (via the
+                // un-gated shim, exactly like the old code).
+                let client = session.client();
+                for d in 0..n as u32 {
+                    let out = client.call(d, METHOD_PING, b"").expect("call");
+                    assert_eq!(out, vec![0]);
+                }
+            }
+            Mode::FanoutAll => {
+                let report = session
+                    .fanout(&FanoutCall::broadcast(METHOD_PING, Vec::new()))
+                    .expect("fanout");
+                report.require().expect("all domains answer");
+            }
+            Mode::FanoutThreshold => {
+                let report = session
+                    .fanout(
+                        &FanoutCall::broadcast(METHOD_PING, Vec::new())
+                            .quorum(QuorumPolicy::Threshold(n - 1)),
+                    )
+                    .expect("fanout");
+                report.require().expect("quorum met");
+            }
+        }
+        if round >= WARMUP_ROUNDS {
+            latencies.push(started.elapsed().as_nanos() as u64);
+        }
+    }
+    latencies.sort_unstable();
+    let mean = Duration::from_nanos(latencies.iter().sum::<u64>() / latencies.len() as u64);
+    Row {
+        mode: mode.label(),
+        domains: n,
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+        mean,
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    println!(
+        "{:<32} {:>8} {:>12} {:>12} {:>12}",
+        "mode", "domains", "p50", "p99", "mean"
+    );
+    for &n in DOMAIN_COUNTS {
+        let mut deployment = launch(n);
+        for mode in [Mode::SequentialLoop, Mode::FanoutAll, Mode::FanoutThreshold] {
+            let row = run(&deployment, n, mode);
+            println!(
+                "{:<32} {:>8} {:>10.2?} {:>10.2?} {:>10.2?}",
+                row.mode, row.domains, row.p50, row.p99, row.mean
+            );
+            rows.push(row);
+        }
+        deployment.shutdown();
+    }
+    for &n in DOMAIN_COUNTS {
+        let find = |label: &str| rows.iter().find(|r| r.domains == n && r.mode == label);
+        if let (Some(seq), Some(all), Some(thresh)) = (
+            find(Mode::SequentialLoop.label()),
+            find(Mode::FanoutAll.label()),
+            find(Mode::FanoutThreshold.label()),
+        ) {
+            println!(
+                "speedup @ n={}: fanout(All) {:.2}x, fanout(Threshold n-1) {:.2}x vs sequential (p50)",
+                n,
+                seq.p50.as_secs_f64() / all.p50.as_secs_f64(),
+                seq.p50.as_secs_f64() / thresh.p50.as_secs_f64(),
+            );
+        }
+    }
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"mode\": \"{}\", \"domains\": {}, \"rounds\": {}, \"base_delay_ms\": {}, \"slow_delay_ms\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"mean_us\": {:.1}}}",
+                r.mode,
+                r.domains,
+                MEASURED_ROUNDS,
+                BASE_DELAY.as_millis(),
+                SLOW_DELAY.as_millis(),
+                r.p50.as_secs_f64() * 1e6,
+                r.p99.as_secs_f64() * 1e6,
+                r.mean.as_secs_f64() * 1e6
+            )
+        })
+        .collect();
+    let json = format!("[\n{}\n]\n", entries.join(",\n"));
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    std::fs::create_dir_all(&dir).expect("mkdir bench_results");
+    let path = dir.join("fanout_call.json");
+    std::fs::write(&path, json).expect("write results");
+    println!("\nwrote {}", path.display());
+}

@@ -19,6 +19,11 @@ use distrust_wire::transport::TcpTransport;
 use rand::RngCore;
 use std::net::SocketAddr;
 
+/// A connection carrying more abandoned-but-undrained responses than this
+/// is reset instead of reused: the straggling server behind it owes so
+/// many answers that a fresh connection is cheaper than draining them.
+const MAX_ABANDONED_PER_CONN: u64 = 32;
+
 /// What a client needs to know about one trust domain.
 #[derive(Clone, Debug)]
 pub struct DomainInfo {
@@ -56,12 +61,15 @@ impl DeploymentDescriptor {
 /// Client-side failures.
 #[derive(Debug)]
 pub enum ClientError {
-    /// Socket-level failure.
+    /// Socket-level failure (typically: the domain could not be reached at
+    /// all — connect refused, no route).
     Io(std::io::Error),
-    /// Transport-level failure on an established connection (disconnect,
-    /// framing violation) — the structured error, so callers can tell a
-    /// retriable disconnect from a protocol violation.
-    Transport(distrust_wire::TransportError),
+    /// An *established* pipelined connection to the domain was lost
+    /// (disconnect, framing violation). Distinct from [`Self::App`]: the
+    /// domain did not answer this request, and any other requests that
+    /// were in flight on the same connection are gone with it. The client
+    /// reconnects on the next use.
+    ConnectionLost(distrust_wire::TransportError),
     /// Could not decode the response.
     Decode(distrust_wire::DecodeError),
     /// The domain answered, but not with the expected variant.
@@ -72,18 +80,48 @@ pub enum ClientError {
     UpdateRejected(String),
     /// Unknown domain index.
     NoSuchDomain(u32),
+    /// The session's trust policy refuses this domain (it failed the most
+    /// recent audit, or never passed one).
+    Untrusted {
+        /// The refused domain.
+        domain: u32,
+        /// Why the trust policy refuses it.
+        reason: String,
+    },
+    /// The trust-gating audit failed outright: no usable domain survived
+    /// it, or misbehavior evidence was collected. App calls are refused
+    /// until an audit passes.
+    AuditFailed(String),
+    /// A fan-out finished without satisfying its quorum policy.
+    QuorumNotMet {
+        /// Domains that satisfied the policy's success criterion.
+        satisfied: usize,
+        /// Domains the policy required.
+        required: usize,
+    },
 }
 
 impl core::fmt::Display for ClientError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             Self::Io(e) => write!(f, "i/o error: {e}"),
-            Self::Transport(e) => write!(f, "transport error: {e}"),
+            Self::ConnectionLost(e) => write!(f, "connection lost: {e}"),
             Self::Decode(e) => write!(f, "decode error: {e}"),
             Self::Unexpected(what) => write!(f, "unexpected response: {what}"),
             Self::App(e) => write!(f, "application error: {e}"),
             Self::UpdateRejected(e) => write!(f, "update rejected: {e}"),
             Self::NoSuchDomain(i) => write!(f, "no such domain {i}"),
+            Self::Untrusted { domain, reason } => {
+                write!(f, "domain {domain} refused by trust policy: {reason}")
+            }
+            Self::AuditFailed(why) => write!(f, "trust-gating audit failed: {why}"),
+            Self::QuorumNotMet {
+                satisfied,
+                required,
+            } => write!(
+                f,
+                "quorum not met: {satisfied} of {required} required domains answered"
+            ),
         }
     }
 }
@@ -98,7 +136,7 @@ impl From<std::io::Error> for ClientError {
 
 impl From<distrust_wire::TransportError> for ClientError {
     fn from(e: distrust_wire::TransportError) -> Self {
-        Self::Transport(e)
+        Self::ConnectionLost(e)
     }
 }
 
@@ -232,22 +270,89 @@ impl DeploymentClient {
         Ok(self.connections[idx].as_mut().expect("just connected"))
     }
 
+    /// Sends one already-encoded request frame to one domain without
+    /// waiting for the response — the building block of pipelined fan-out.
+    /// On failure the connection is dropped (reopened on next use) and any
+    /// responses still in flight on it are lost.
+    pub(crate) fn send_raw(&mut self, domain: u32, wire: &[u8]) -> Result<(), ClientError> {
+        let idx = domain as usize;
+        // A connection drowning in abandoned responses (a repeatedly
+        // outpaced straggler) is cheaper to replace than to drain.
+        if self.connections.get(idx).is_some_and(|c| {
+            c.as_ref()
+                .is_some_and(|c| c.abandoned_pending() > MAX_ABANDONED_PER_CONN)
+        }) {
+            self.connections[idx] = None;
+        }
+        match self.connection(domain)?.send(wire) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.connections[idx] = None;
+                Err(ClientError::ConnectionLost(e))
+            }
+        }
+    }
+
+    /// Receives the next response frame from `domain` (blocking), after
+    /// draining any responses the caller previously abandoned.
+    pub(crate) fn recv_raw(&mut self, domain: u32) -> Result<Response, ClientError> {
+        let idx = domain as usize;
+        let conn = self.connections[idx]
+            .as_mut()
+            .ok_or(ClientError::NoSuchDomain(domain))?;
+        match conn.recv_next() {
+            Ok(frame) => Response::from_wire(&frame).map_err(ClientError::Decode),
+            Err(e) => {
+                self.connections[idx] = None;
+                Err(ClientError::ConnectionLost(e))
+            }
+        }
+    }
+
+    /// Like [`Self::recv_raw`] but waits at most `timeout`; `Ok(None)`
+    /// means no complete response arrived in time (partial bytes are
+    /// retained by the transport — nothing desynchronises).
+    pub(crate) fn try_recv_raw(
+        &mut self,
+        domain: u32,
+        timeout: std::time::Duration,
+    ) -> Result<Option<Response>, ClientError> {
+        let idx = domain as usize;
+        let conn = self.connections[idx]
+            .as_mut()
+            .ok_or(ClientError::NoSuchDomain(domain))?;
+        match conn.recv_next_timeout(timeout) {
+            Ok(Some(frame)) => Response::from_wire(&frame)
+                .map(Some)
+                .map_err(ClientError::Decode),
+            Ok(None) => Ok(None),
+            Err(e) => {
+                self.connections[idx] = None;
+                Err(ClientError::ConnectionLost(e))
+            }
+        }
+    }
+
+    /// Declares that the in-flight response from `domain` will never be
+    /// collected (a quorum was satisfied without it); it is discarded when
+    /// it eventually arrives, keeping the connection usable.
+    pub(crate) fn abandon_response(&mut self, domain: u32) {
+        if let Some(conn) = self.connections[domain as usize].as_mut() {
+            conn.abandon_next_response();
+        }
+    }
+
     /// Sends one request to one domain.
     pub fn exchange(&mut self, domain: u32, request: &Request) -> Result<Response, ClientError> {
-        let wire = request.to_wire();
-        let conn = self.connection(domain)?;
-        let bytes = match conn.call(&wire) {
-            Ok(b) => b,
-            Err(e) => {
-                // Drop the broken connection so the next call reconnects.
-                self.connections[domain as usize] = None;
-                return Err(ClientError::Transport(e));
-            }
-        };
-        Response::from_wire(&bytes).map_err(ClientError::Decode)
+        self.send_raw(domain, &request.to_wire())?;
+        self.recv_raw(domain)
     }
 
     /// Calls the application on one domain.
+    ///
+    /// Thin un-gated shim; prefer [`crate::session::Session`] (via
+    /// [`Self::session`]) for application traffic — it audits before the
+    /// first call and fans out to all domains in one round-trip.
     pub fn call(
         &mut self,
         domain: u32,
@@ -267,20 +372,31 @@ impl DeploymentClient {
         }
     }
 
+    /// Opens a trust-gated session over this client (see
+    /// [`crate::session::Session`]): the policy's audit runs before the
+    /// first application call, by construction.
+    pub fn session(&mut self, policy: crate::session::TrustPolicy) -> crate::session::Session<'_> {
+        crate::session::Session::new(self, policy)
+    }
+
     /// Pushes a signed release to every domain (the developer's update
     /// flow, Figure 2 left). Returns per-domain results.
+    ///
+    /// The release — module bytes included — is encoded exactly once and
+    /// the same frame is fanned out to all `n` domains, every request in
+    /// flight before any acknowledgement is read.
     pub fn push_update(
         &mut self,
         release: &crate::manifest::SignedRelease,
     ) -> Vec<Result<(u64, Digest), ClientError>> {
-        (0..self.descriptor.domains.len() as u32)
-            .map(|d| {
-                match self.exchange(
-                    d,
-                    &Request::Update {
-                        release: release.clone(),
-                    },
-                )? {
+        let wire = Request::encode_update(release);
+        let n = self.descriptor.domains.len() as u32;
+        let sent: Vec<Result<(), ClientError>> = (0..n).map(|d| self.send_raw(d, &wire)).collect();
+        sent.into_iter()
+            .enumerate()
+            .map(|(d, sent)| {
+                sent?;
+                match self.recv_raw(d as u32)? {
                     Response::UpdateAck { log_size, digest } => Ok((log_size, digest)),
                     Response::UpdateRejected(e) => Err(ClientError::UpdateRejected(e)),
                     other => Err(ClientError::Unexpected(format!("{other:?}"))),

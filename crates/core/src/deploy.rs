@@ -243,6 +243,14 @@ impl Deployment {
         )
     }
 
+    /// Stops one domain's server (fault-injection for partial-failure
+    /// tests and benches: the deployment keeps serving from the others).
+    pub fn shutdown_domain(&mut self, index: usize) {
+        if let Some(host) = self.hosts.get_mut(index) {
+            host.shutdown();
+        }
+    }
+
     /// Stops all domain servers.
     pub fn shutdown(&mut self) {
         for host in &mut self.hosts {

@@ -30,6 +30,7 @@
 //! * [`framework`] — the application-independent framework (§4.1).
 //! * [`server`] — direct hosting for trust domain 0.
 //! * [`client`] — the client/auditor library (§3.3 guarantees).
+//! * [`session`] — trust-gated, pipelined multi-domain fan-out sessions.
 //! * [`deploy`] — one-call bootstrap of a full deployment.
 
 pub mod abi;
@@ -39,6 +40,7 @@ pub mod framework;
 pub mod manifest;
 pub mod protocol;
 pub mod server;
+pub mod session;
 
 pub use abi::{app_call, AppCallError, AppHost, NoImports};
 pub use client::{AuditReport, ClientError, DeploymentClient, DeploymentDescriptor, DomainInfo};
@@ -47,3 +49,6 @@ pub use framework::{framework_measurement, EnclaveFramework, FrameworkConfig, Fr
 pub use manifest::{ReleaseError, ReleaseManifest, SignedRelease};
 pub use protocol::{DomainStatus, Request, Response, UpdateNotice};
 pub use server::DirectHost;
+pub use session::{
+    DomainOutcome, FanoutCall, FanoutPayloads, FanoutReport, QuorumPolicy, Session, TrustPolicy,
+};

@@ -120,6 +120,19 @@ impl Encode for Request {
     }
 }
 
+impl Request {
+    /// Encodes an [`Request::Update`] frame for `release` without cloning
+    /// the release into a `Request` first — update fan-out sends the same
+    /// bytes to every domain, and module bytes dwarf everything else.
+    /// Kept in lockstep with the `Encode` impl above (asserted by test).
+    pub fn encode_update(release: &SignedRelease) -> Vec<u8> {
+        let mut out = Vec::new();
+        3u8.encode(&mut out);
+        release.encode(&mut out);
+        out
+    }
+}
+
 impl Decode for Request {
     fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
         Ok(match u8::decode(input)? {
@@ -527,6 +540,17 @@ mod tests {
             attestation: BundleAttestation::Unattested(status()),
             bundle: distrust_log::batch::CheckpointBundle { checkpoints, proof },
         }
+    }
+
+    #[test]
+    fn encode_update_matches_enum_encoding() {
+        let dev = SigningKey::derive(b"proto", b"dev2");
+        let release =
+            crate::manifest::SignedRelease::create("app", 3, "notes", &counter_module(2), &dev);
+        assert_eq!(
+            Request::encode_update(&release),
+            Request::Update { release }.to_wire()
+        );
     }
 
     #[test]

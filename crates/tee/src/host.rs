@@ -45,6 +45,35 @@ pub struct EnclaveHost {
     internal_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
+    /// Handles to every *live* accepted socket, so shutdown can sever
+    /// established connections — a per-connection thread parked in a
+    /// blocking read would otherwise serve one more request after the
+    /// stop flag flips. Keyed so each connection thread deregisters its
+    /// own sockets on exit; the map stays bounded by the number of live
+    /// connections, not by lifetime connection churn.
+    conns: ConnRegistry,
+}
+
+/// Live sockets keyed by registration id.
+type ConnRegistry = Arc<Mutex<std::collections::HashMap<u64, TcpStream>>>;
+
+/// Registration-id source for [`ConnRegistry`] entries.
+static NEXT_CONN_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Registers a socket for severing at shutdown; the returned id must be
+/// passed to [`untrack_conn`] when the connection's thread exits.
+fn track_conn(conns: &ConnRegistry, stream: &TcpStream) -> Option<u64> {
+    let clone = stream.try_clone().ok()?;
+    let id = NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed);
+    conns.lock().insert(id, clone);
+    Some(id)
+}
+
+/// Drops a socket from the shutdown registry (its thread is done).
+fn untrack_conn(conns: &ConnRegistry, id: Option<u64>) {
+    if let Some(id) = id {
+        conns.lock().remove(&id);
+    }
 }
 
 impl EnclaveHost {
@@ -52,12 +81,14 @@ impl EnclaveHost {
     pub fn spawn<S: EnclaveService>(service: S) -> std::io::Result<Self> {
         let stop = Arc::new(AtomicBool::new(false));
         let service = Arc::new(Mutex::new(service));
+        let conns: ConnRegistry = Arc::new(Mutex::new(std::collections::HashMap::new()));
 
         // Socket 2: the "vsock" between host proxy and enclave interior.
         let internal_listener = TcpListener::bind(("127.0.0.1", 0))?;
         let internal_addr = internal_listener.local_addr()?;
         let stop_i = Arc::clone(&stop);
         let service_i = Arc::clone(&service);
+        let conns_i = Arc::clone(&conns);
         let internal_thread = std::thread::Builder::new()
             .name("enclave-interior".to_string())
             .spawn(move || {
@@ -69,19 +100,24 @@ impl EnclaveHost {
                     let _ = conn.set_nodelay(true);
                     let service = Arc::clone(&service_i);
                     let stop_c = Arc::clone(&stop_i);
+                    let conns_c = Arc::clone(&conns_i);
                     let _ = std::thread::Builder::new()
                         .name("enclave-conn".to_string())
-                        .spawn(move || loop {
-                            if stop_c.load(Ordering::SeqCst) {
-                                break;
+                        .spawn(move || {
+                            let id = track_conn(&conns_c, &conn);
+                            loop {
+                                if stop_c.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                                let Ok(request) = read_frame(&mut conn) else {
+                                    break;
+                                };
+                                let response = service.lock().handle(request);
+                                if write_frame(&mut conn, &response).is_err() {
+                                    break;
+                                }
                             }
-                            let Ok(request) = read_frame(&mut conn) else {
-                                break;
-                            };
-                            let response = service.lock().handle(request);
-                            if write_frame(&mut conn, &response).is_err() {
-                                break;
-                            }
+                            untrack_conn(&conns_c, id);
                         });
                 }
             })?;
@@ -90,6 +126,7 @@ impl EnclaveHost {
         let external_listener = TcpListener::bind(("127.0.0.1", 0))?;
         let external_addr = external_listener.local_addr()?;
         let stop_e = Arc::clone(&stop);
+        let conns_e = Arc::clone(&conns);
         let proxy_thread = std::thread::Builder::new()
             .name("enclave-proxy".to_string())
             .spawn(move || {
@@ -100,14 +137,18 @@ impl EnclaveHost {
                     let Ok(mut client) = conn else { break };
                     let _ = client.set_nodelay(true);
                     let stop_c = Arc::clone(&stop_e);
+                    let conns_c = Arc::clone(&conns_e);
                     let _ = std::thread::Builder::new()
                         .name("enclave-proxy-conn".to_string())
                         .spawn(move || {
+                            let client_id = track_conn(&conns_c, &client);
                             // One upstream connection per client connection.
                             let Ok(mut upstream) = TcpStream::connect(internal_addr) else {
+                                untrack_conn(&conns_c, client_id);
                                 return;
                             };
                             let _ = upstream.set_nodelay(true);
+                            let upstream_id = track_conn(&conns_c, &upstream);
                             loop {
                                 if stop_c.load(Ordering::SeqCst) {
                                     break;
@@ -126,6 +167,8 @@ impl EnclaveHost {
                                     break;
                                 }
                             }
+                            untrack_conn(&conns_c, client_id);
+                            untrack_conn(&conns_c, upstream_id);
                         });
                 }
             })?;
@@ -135,6 +178,7 @@ impl EnclaveHost {
             internal_addr,
             stop,
             threads: vec![internal_thread, proxy_thread],
+            conns,
         })
     }
 
@@ -146,6 +190,12 @@ impl EnclaveHost {
     /// Stops accepting and joins the listener threads.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        // Sever every established connection: per-connection threads
+        // parked in a blocking read exit immediately instead of serving
+        // one last request.
+        for (_, conn) in self.conns.lock().drain() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
         // Poke both accept loops awake.
         for addr in [self.external_addr, self.internal_addr] {
             if let Ok(mut s) = TcpStream::connect(addr) {
@@ -233,6 +283,22 @@ mod tests {
             h.join().unwrap();
         }
         host.shutdown();
+    }
+
+    #[test]
+    fn shutdown_severs_established_connections() {
+        let mut host = EnclaveHost::spawn(|req: Vec<u8>| req).unwrap();
+        let mut client = EnclaveClient::connect(host.addr()).unwrap();
+        // Warm the connection so its per-connection threads exist and are
+        // parked in blocking reads.
+        assert_eq!(client.exchange(b"up").unwrap(), b"up");
+        host.shutdown();
+        // A request after shutdown must fail — the connection was severed,
+        // not left idling until its thread's next stop-flag check.
+        assert!(
+            client.exchange(b"after").is_err(),
+            "shutdown host served a request"
+        );
     }
 
     #[test]

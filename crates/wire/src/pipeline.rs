@@ -17,6 +17,7 @@
 
 use crate::transport::{Transport, TransportError};
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// Cap on parked out-of-order responses; beyond this the peer is not
 /// pipelining, it is flooding.
@@ -28,6 +29,11 @@ pub struct PipelinedClient<T: Transport> {
     transport: T,
     next_id: u64,
     parked: HashMap<u64, Vec<u8>>,
+    /// Responses the caller gave up waiting for (a quorum was satisfied
+    /// without them). Responses arrive in request order per connection, so
+    /// the next `skip` incoming frames answer abandoned requests and are
+    /// discarded before anything is handed to the caller.
+    skip: u64,
 }
 
 impl<T: Transport> PipelinedClient<T> {
@@ -37,7 +43,21 @@ impl<T: Transport> PipelinedClient<T> {
             transport,
             next_id: 1,
             parked: HashMap::new(),
+            skip: 0,
         }
+    }
+
+    /// Declares that the response to the oldest unanswered request will
+    /// never be collected; the next incoming frame that would have
+    /// answered it is silently discarded. Call once per abandoned request,
+    /// in request order, before reusing the connection.
+    pub fn abandon_next_response(&mut self) {
+        self.skip += 1;
+    }
+
+    /// Number of abandoned responses not yet drained off the wire.
+    pub fn abandoned_pending(&self) -> u64 {
+        self.skip
     }
 
     /// Hands out the next request id (monotonic, never zero).
@@ -55,7 +75,48 @@ impl<T: Transport> PipelinedClient<T> {
     /// Plain one-request/one-response exchange for the sequential paths.
     pub fn call(&mut self, frame: &[u8]) -> Result<Vec<u8>, TransportError> {
         self.transport.send(frame)?;
-        self.transport.recv()
+        self.recv_next()
+    }
+
+    /// Receives the next frame addressed to the caller, draining any
+    /// abandoned responses first.
+    pub fn recv_next(&mut self) -> Result<Vec<u8>, TransportError> {
+        loop {
+            let frame = self.transport.recv()?;
+            if self.skip > 0 {
+                self.skip -= 1;
+                continue;
+            }
+            return Ok(frame);
+        }
+    }
+
+    /// Like [`Self::recv_next`], but gives up after `timeout` with
+    /// `Ok(None)`. Abandoned responses drained while waiting count against
+    /// the same timeout budget (the deadline is fixed up front, not
+    /// restarted per drained frame). Requires a transport that implements
+    /// [`Transport::recv_timeout`] non-blockingly (TCP does); others fall
+    /// back to a blocking receive.
+    pub fn recv_next_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<Vec<u8>>, TransportError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut remaining = timeout;
+        loop {
+            let Some(frame) = self.transport.recv_timeout(remaining)? else {
+                return Ok(None);
+            };
+            if self.skip > 0 {
+                self.skip -= 1;
+                remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                if remaining.is_zero() {
+                    return Ok(None);
+                }
+                continue;
+            }
+            return Ok(Some(frame));
+        }
     }
 
     /// Receives until the frame whose id (per `id_of`) equals `want`.
@@ -75,6 +136,12 @@ impl<T: Transport> PipelinedClient<T> {
         }
         loop {
             let frame = self.transport.recv()?;
+            // Frames answering abandoned requests arrive before anything
+            // newer on this connection; drop them before classifying.
+            if self.skip > 0 {
+                self.skip -= 1;
+                continue;
+            }
             match id_of(&frame) {
                 Some(id) if id == want => return Ok(frame),
                 Some(id) => {
@@ -188,5 +255,58 @@ mod tests {
             client.recv_matching(1, id_of),
             Err(TransportError::Disconnected)
         ));
+    }
+
+    #[test]
+    fn abandoned_responses_are_drained_before_fresh_ones() {
+        let (a, mut b) = ChannelTransport::pair();
+        let mut client = PipelinedClient::new(a);
+        // Two requests in flight; the caller gives up on the first.
+        client.send(&frame(1, b"abandoned")).unwrap();
+        client.send(&frame(2, b"wanted")).unwrap();
+        client.abandon_next_response();
+        assert_eq!(client.abandoned_pending(), 1);
+        // The server answers both, in order.
+        for _ in 0..2 {
+            let req = b.recv().unwrap();
+            b.send(&req).unwrap();
+        }
+        // recv_next skips the stale response and yields the fresh one.
+        assert_eq!(client.recv_next().unwrap(), frame(2, b"wanted"));
+        assert_eq!(client.abandoned_pending(), 0);
+    }
+
+    #[test]
+    fn recv_matching_skips_abandoned_frames() {
+        let (a, mut b) = ChannelTransport::pair();
+        let mut client = PipelinedClient::new(a);
+        client.send(&frame(7, b"old")).unwrap();
+        client.abandon_next_response();
+        client.send(&frame(8, b"new")).unwrap();
+        for _ in 0..2 {
+            let req = b.recv().unwrap();
+            b.send(&req).unwrap();
+        }
+        // Without the skip, the id-7 frame would be parked forever (or
+        // mis-surfaced for an id-less protocol); with it, id 8 matches.
+        assert_eq!(client.recv_matching(8, id_of).unwrap(), frame(8, b"new"));
+        assert_eq!(client.parked_len(), 0);
+    }
+
+    #[test]
+    fn recv_next_timeout_times_out_then_delivers() {
+        let (a, mut b) = ChannelTransport::pair();
+        let mut client = PipelinedClient::new(a);
+        assert!(client
+            .recv_next_timeout(std::time::Duration::from_millis(5))
+            .unwrap()
+            .is_none());
+        b.send(b"late").unwrap();
+        assert_eq!(
+            client
+                .recv_next_timeout(std::time::Duration::from_millis(100))
+                .unwrap(),
+            Some(b"late".to_vec())
+        );
     }
 }

@@ -7,10 +7,14 @@
 //! measures); unit tests that don't care about socket cost use
 //! [`ChannelTransport`].
 
-use crate::frame::{read_frame, write_frame, FrameError};
+use crate::frame::{write_frame, FrameError, READ_CHUNK};
+use crate::frame_nb::FrameReader;
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
 
 /// Transport-level errors.
 #[derive(Debug)]
@@ -47,11 +51,37 @@ pub trait Transport: Send {
     fn send(&mut self, payload: &[u8]) -> Result<(), TransportError>;
     /// Blocks until one message arrives.
     fn recv(&mut self) -> Result<Vec<u8>, TransportError>;
+    /// Waits at most `timeout` for one message. `Ok(None)` means the
+    /// timeout elapsed with no complete message; any partially received
+    /// bytes are retained, so a later `recv`/`recv_timeout` resumes where
+    /// this one left off (quorum fan-out polls several transports in
+    /// rounds without losing frame synchronisation).
+    ///
+    /// The default implementation ignores the timeout and blocks — correct
+    /// for transports whose `recv` cannot park mid-message, but real
+    /// socket transports should override it.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, TransportError> {
+        let _ = timeout;
+        self.recv().map(Some)
+    }
 }
 
 /// A [`Transport`] over a connected TCP stream.
+///
+/// Reads go through a resumable [`FrameReader`], so a timed-out
+/// [`Transport::recv_timeout`] can leave half a frame buffered and the next
+/// receive picks it up — the stream never desynchronises.
 pub struct TcpTransport {
     stream: TcpStream,
+    reader: FrameReader,
+    /// Complete frames decoded ahead of the caller (one `read` can
+    /// complete several small frames).
+    ready: VecDeque<Vec<u8>>,
+    scratch: Vec<u8>,
+    /// What the socket's read timeout is currently set to, so switching
+    /// between blocking and timed receives costs a syscall only when the
+    /// mode actually changes.
+    timeout_set: bool,
 }
 
 impl TcpTransport {
@@ -59,7 +89,13 @@ impl TcpTransport {
     /// frames are not delayed — the workload is RPC-shaped.
     pub fn new(stream: TcpStream) -> std::io::Result<Self> {
         stream.set_nodelay(true)?;
-        Ok(Self { stream })
+        Ok(Self {
+            stream,
+            reader: FrameReader::new(),
+            ready: VecDeque::new(),
+            scratch: vec![0u8; READ_CHUNK],
+            timeout_set: false,
+        })
     }
 
     /// Connects to a listener.
@@ -78,6 +114,64 @@ impl TcpTransport {
     pub fn try_clone_stream(&self) -> std::io::Result<TcpStream> {
         self.stream.try_clone()
     }
+
+    fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), TransportError> {
+        if timeout.is_some() != self.timeout_set {
+            self.stream
+                .set_read_timeout(timeout)
+                .map_err(|e| TransportError::Frame(FrameError::Io(e)))?;
+            self.timeout_set = timeout.is_some();
+        } else if timeout.is_some() {
+            // Timed mode stays on but the duration may differ per call.
+            self.stream
+                .set_read_timeout(timeout)
+                .map_err(|e| TransportError::Frame(FrameError::Io(e)))?;
+        }
+        Ok(())
+    }
+
+    /// Reads until a complete frame is available. `timed` controls whether
+    /// a `WouldBlock`/`TimedOut` read surfaces as `Ok(None)` (the socket
+    /// read timeout expired) or is treated as an error.
+    fn fill_one(&mut self, timed: bool) -> Result<Option<Vec<u8>>, TransportError> {
+        loop {
+            if let Some(frame) = self.ready.pop_front() {
+                return Ok(Some(frame));
+            }
+            match self.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    return Err(if self.reader.at_boundary() {
+                        TransportError::Disconnected
+                    } else {
+                        TransportError::Frame(FrameError::Io(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "eof inside frame",
+                        )))
+                    });
+                }
+                Ok(n) => {
+                    let mut out = Vec::new();
+                    let fed = self.reader.feed(&self.scratch[..n], &mut out);
+                    self.ready.extend(out);
+                    if let Err(e) = fed {
+                        return Err(match e {
+                            FrameError::Closed => TransportError::Disconnected,
+                            other => TransportError::Frame(other),
+                        });
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if timed
+                        && (e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut) =>
+                {
+                    return Ok(None)
+                }
+                Err(e) => return Err(TransportError::Frame(FrameError::Io(e))),
+            }
+        }
+    }
 }
 
 impl Transport for TcpTransport {
@@ -87,7 +181,17 @@ impl Transport for TcpTransport {
     }
 
     fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
-        Ok(read_frame(&mut self.stream)?)
+        self.set_timeout(None)?;
+        Ok(self.fill_one(false)?.expect("untimed read yields a frame"))
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, TransportError> {
+        if let Some(frame) = self.ready.pop_front() {
+            return Ok(Some(frame));
+        }
+        // A zero timeout would mean "blocking" to the OS; clamp up.
+        self.set_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+        self.fill_one(true)
     }
 }
 
@@ -143,6 +247,21 @@ impl Transport for ChannelTransport {
 
     fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
         self.rx.recv().map_err(|_| TransportError::Disconnected)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, TransportError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.rx.try_recv() {
+                Ok(msg) => return Ok(Some(msg)),
+                // The shim's try_recv does not distinguish "empty" from
+                // "disconnected"; a blocking recv would. Poll until the
+                // deadline, then report the timeout — a genuinely dead
+                // channel is caught by the next blocking receive or send.
+                Err(_) if Instant::now() >= deadline => return Ok(None),
+                Err(_) => std::thread::sleep(Duration::from_micros(100)),
+            }
+        }
     }
 }
 
@@ -249,6 +368,81 @@ mod tests {
             assert_eq!(*resp.last().unwrap(), b'!');
         }
         server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_recv_timeout_preserves_partial_frames() {
+        let acceptor = TcpAcceptor::bind_loopback().unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let (started_tx, started_rx) = crossbeam::channel::unbounded();
+        let (go_tx, go_rx) = crossbeam::channel::unbounded::<()>();
+        let server = thread::spawn(move || {
+            let t = acceptor.accept().unwrap();
+            // Send half a frame (header + partial payload), then stall
+            // until the client has observed a timeout, then finish it.
+            let payload = vec![0x5au8; 100];
+            let mut wire = (payload.len() as u32).to_le_bytes().to_vec();
+            wire.extend_from_slice(&payload);
+            use std::io::Write;
+            let stream = t.try_clone_stream().unwrap();
+            let mut raw = stream;
+            raw.write_all(&wire[..40]).unwrap();
+            raw.flush().unwrap();
+            started_tx.send(()).unwrap();
+            go_rx.recv().unwrap();
+            raw.write_all(&wire[40..]).unwrap();
+            raw.flush().unwrap();
+            // Keep the transport alive until the client is done.
+            go_rx.recv().ok();
+            drop(t);
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        started_rx.recv().unwrap();
+        // Times out mid-frame without losing the buffered half.
+        assert!(client
+            .recv_timeout(Duration::from_millis(20))
+            .unwrap()
+            .is_none());
+        go_tx.send(()).unwrap();
+        // The completed frame arrives intact — no desynchronisation.
+        assert_eq!(client.recv().unwrap(), vec![0x5au8; 100]);
+        drop(go_tx);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_recv_timeout_returns_buffered_frames_immediately() {
+        let acceptor = TcpAcceptor::bind_loopback().unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let mut t = acceptor.accept().unwrap();
+            // Two frames in one burst: one read may complete both.
+            t.send(b"first").unwrap();
+            t.send(b"second").unwrap();
+            let _ = t.recv(); // park until the client closes
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        assert_eq!(
+            client.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Some(b"first".to_vec())
+        );
+        assert_eq!(
+            client.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Some(b"second".to_vec())
+        );
+        drop(client);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn channel_recv_timeout() {
+        let (mut a, mut b) = ChannelTransport::pair();
+        assert!(a.recv_timeout(Duration::from_millis(5)).unwrap().is_none());
+        b.send(b"hello").unwrap();
+        assert_eq!(
+            a.recv_timeout(Duration::from_secs(1)).unwrap(),
+            Some(b"hello".to_vec())
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! ```
 
 use distrust::core::abi::AppHost;
-use distrust::core::{AppSpec, Deployment, NoImports};
+use distrust::core::{AppSpec, Deployment, FanoutCall, NoImports, TrustPolicy};
 use distrust::sandbox::{assemble, Limits};
 
 /// The application source a (non-Rust) developer would write and publish.
@@ -125,16 +125,14 @@ fn main() {
     let deployment = Deployment::launch(spec, b"custom app seed").expect("launch");
     let mut client = deployment.client(b"user");
 
-    // 3. Audit: the attested digest must equal the digest of the source we
-    //    just compiled ourselves.
-    let report = client.audit(Some(&deployment.initial_app_digest));
-    assert!(report.is_clean());
-    assert_eq!(deployment.initial_app_digest, report.app_digest.unwrap());
-    println!("audit clean; attested digest matches locally compiled source ✅\n");
+    // 3. Open a session pinned to the digest of the source we just
+    //    compiled ourselves: the audit runs before the first call and the
+    //    attested digest must equal our local build, or nothing is served.
+    let mut session = client.session(TrustPolicy::pinned(digest));
 
     // 4. Use it.
     let payload = b"hello distributed trust";
-    let checksum = client.call(1, 1, payload).expect("checksum");
+    let checksum = session.call(1, 1, payload).expect("checksum");
     let expected: u8 = payload.iter().fold(0u8, |a, b| a.wrapping_add(*b));
     println!(
         "checksum({:?}) = {} (expected {})",
@@ -143,14 +141,22 @@ fn main() {
         expected
     );
     assert_eq!(checksum, vec![expected]);
+    let report = session.last_audit().expect("audit ran before the call");
+    assert!(report.is_clean());
+    assert_eq!(deployment.initial_app_digest, report.app_digest.unwrap());
+    println!("gating audit clean; attested digest matches locally compiled source ✅\n");
 
-    let reversed = client.call(2, 2, payload).expect("reverse");
+    let reversed = session.call(2, 2, payload).expect("reverse");
     println!("reverse  = {:?}", String::from_utf8_lossy(&reversed));
     assert_eq!(reversed, payload.iter().rev().copied().collect::<Vec<u8>>());
 
-    // All domains agree, of course.
-    for d in 0..3 {
-        assert_eq!(client.call(d, 1, payload).unwrap(), vec![expected]);
+    // All domains agree, of course — one pipelined fan-out asks them all.
+    let fanout = session
+        .fanout(&FanoutCall::broadcast(1, payload.to_vec()))
+        .expect("fanout");
+    fanout.require().expect("all domains answered");
+    for (d, resp) in fanout.successes() {
+        assert_eq!(resp, &[expected], "domain {d}");
     }
     println!("\nall 3 domains serve identical, audited code ✅");
 }

@@ -6,7 +6,7 @@
 //! ```
 
 use distrust::apps::key_backup::{self, KeyBackupClient, RecoverStatus};
-use distrust::core::Deployment;
+use distrust::core::{Deployment, TrustPolicy};
 use distrust::crypto::drbg::HmacDrbg;
 use distrust::crypto::gf256;
 
@@ -16,21 +16,26 @@ fn main() {
     // n = 4 trust domains, recovery threshold t = 3.
     let deployment =
         Deployment::launch(key_backup::app_spec(4), b"key backup example").expect("launch");
+    // Alice's session audits the deployment before her first request —
+    // she never stores a share on an unverified domain.
     let mut user = deployment.client(b"alice");
+    let mut alice = user.session(TrustPolicy::pinned(deployment.initial_app_digest));
     let backup = KeyBackupClient::new(3);
 
-    // Alice backs up her messaging identity key.
+    // Alice backs up her messaging identity key: all 4 store requests are
+    // pipelined in one round-trip.
     let secret = b"alice e2ee identity key material";
     let token = [0x5a; 32];
     let mut rng = HmacDrbg::new(b"alice entropy", b"");
     let commitment = backup
-        .backup(&mut user, 1001, &token, secret, &mut rng)
+        .backup(&mut alice, 1001, &token, secret, &mut rng)
         .expect("backup");
     println!("alice split her key across 4 domains (any 3 recover)");
 
-    // Recovery works for Alice.
+    // Recovery works for Alice — a Threshold(3) fan-out, so one dead
+    // domain would not stop her.
     let recovered = backup
-        .recover(&mut user, 1001, &token, &commitment)
+        .recover(&mut alice, 1001, &token, &commitment)
         .expect("recover");
     assert_eq!(recovered, secret);
     println!("alice recovered her key with her token ✅");
@@ -71,7 +76,8 @@ fn main() {
 
     // The honest domains' sandboxed guest code refuses recovery without
     // the token, then rate-limits.
-    let mut attacker = deployment.client(b"attacker");
+    let mut attacker_client = deployment.client(b"attacker");
+    let mut attacker = attacker_client.session(TrustPolicy::audited());
     let mut denied = 0;
     for attempt in 0..key_backup::MAX_ATTEMPTS {
         for d in 1..4u32 {
@@ -94,11 +100,11 @@ fn main() {
 
 fn attacker_guess(
     backup: &KeyBackupClient,
-    client: &mut distrust::core::DeploymentClient,
+    session: &mut distrust::core::Session<'_>,
     domain: u32,
     guess_byte: u8,
 ) -> RecoverStatus {
     backup
-        .recover_share(client, domain, 1001, &[guess_byte; 32])
+        .recover_share(session, domain, 1001, &[guess_byte; 32])
         .expect("protocol")
 }

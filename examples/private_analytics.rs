@@ -6,7 +6,7 @@
 //! ```
 
 use distrust::apps::analytics::{self, AnalyticsClient, METHOD_AGGREGATE};
-use distrust::core::Deployment;
+use distrust::core::{Deployment, TrustPolicy};
 use distrust::crypto::drbg::HmacDrbg;
 
 fn main() {
@@ -18,8 +18,11 @@ fn main() {
     let dims = 3; // e.g. [crashed?, used_feature_x?, startup_ms]
     let analytics_client = AnalyticsClient::new(dims);
 
-    // 100 simulated browsers submit telemetry.
+    // 100 simulated browsers submit telemetry through one trust-gated
+    // session: the deployment is audited before the first report leaves
+    // the client, and each submission fans its two shares out together.
     let mut client = deployment.client(b"browsers");
+    let mut session = client.session(TrustPolicy::pinned(deployment.initial_app_digest));
     let mut rng = HmacDrbg::new(b"population", b"");
     let mut expected = [0u64; 3];
     for i in 0..100u64 {
@@ -32,13 +35,14 @@ fn main() {
             *e += v;
         }
         analytics_client
-            .submit(&mut client, &report, &mut rng)
+            .submit(&mut session, &report, &mut rng)
             .expect("submit");
     }
     println!("100 clients submitted privately");
 
     // What each domain sees: a uniformly masked accumulator.
-    let mut analyst = deployment.client(b"analyst");
+    let mut analyst_client = deployment.client(b"analyst");
+    let mut analyst = analyst_client.session(TrustPolicy::audited());
     for d in 0..2u32 {
         let acc = analyst.call(d, METHOD_AGGREGATE, b"").expect("acc");
         let acc: Vec<u64> = acc

@@ -1,12 +1,13 @@
 //! Quickstart: bootstrap an auditable distributed-trust deployment in a
-//! few lines, audit it, and call the application.
+//! few lines and use it through a trust-gated session — the audit happens
+//! before the first application call, *by construction*.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use distrust::apps::analytics::{self, AnalyticsClient};
-use distrust::core::Deployment;
+use distrust::core::{Deployment, TrustPolicy};
 use distrust::crypto::drbg::HmacDrbg;
 
 fn main() {
@@ -28,12 +29,33 @@ fn main() {
         }
     }
 
-    // 2. A user audits before trusting: every TEE domain must attest the
-    //    framework measurement and all domains must agree on the digest of
-    //    the running application code.
+    // 2. A user opens a trust-gated session. The policy pins the digest of
+    //    the code the user (re)built from published source; the session
+    //    will not let a single application byte through until every TEE
+    //    domain attests the framework measurement, all domains agree on
+    //    that digest, and the transparency-log checkpoints verify. No
+    //    separate "remember to audit" step exists to forget.
     let mut client = deployment.client(b"quickstart user");
-    let report = client.audit(Some(&deployment.initial_app_digest));
-    println!("\naudit clean: {}", report.is_clean());
+    let mut session = client.session(TrustPolicy::pinned(deployment.initial_app_digest));
+
+    // 3. Use the application: submit private reports, aggregate. The
+    //    first `submit` triggers the audit; each submission then fans its
+    //    3 shares out in one round-trip (every domain's request in flight
+    //    before any acknowledgement is read).
+    let analytics_client = AnalyticsClient::new(3);
+    let mut rng = HmacDrbg::new(b"user entropy", b"");
+    for values in [[1u64, 0, 10], [0, 1, 20], [1, 1, 30]] {
+        analytics_client
+            .submit(&mut session, &values, &mut rng)
+            .expect("submit");
+    }
+    let (totals, count) = analytics_client.aggregate(&mut session).expect("aggregate");
+    println!("\naggregated {count} private reports → totals {totals:?}");
+    assert_eq!(totals, vec![2, 2, 60]);
+
+    // 4. The gating audit is inspectable after the fact.
+    let report = session.last_audit().expect("audit ran before first call");
+    println!("\ngating audit was clean: {}", report.is_clean());
     for d in &report.domains {
         println!(
             "  domain {}: attested={} app_digest={}",
@@ -46,20 +68,9 @@ fn main() {
         );
     }
     assert!(report.is_clean());
+    assert_eq!(session.trusted_domains(), vec![0, 1, 2]);
 
-    // 3. Use the application: submit a private report, aggregate.
-    let analytics_client = AnalyticsClient::new(3);
-    let mut rng = HmacDrbg::new(b"user entropy", b"");
-    for values in [[1u64, 0, 10], [0, 1, 20], [1, 1, 30]] {
-        analytics_client
-            .submit(&mut client, &values, &mut rng)
-            .expect("submit");
-    }
-    let (totals, count) = analytics_client.aggregate(&mut client).expect("aggregate");
-    println!("\naggregated {count} private reports → totals {totals:?}");
-    assert_eq!(totals, vec![2, 2, 60]);
-
-    println!("\nquickstart complete: deployed, audited, used. ✅");
+    println!("\nquickstart complete: deployed, audited-by-construction, used. ✅");
 }
 
 fn hex(bytes: &[u8]) -> String {

@@ -7,7 +7,7 @@
 //! ```
 
 use distrust::apps::threshold_signer::{self, ThresholdSigningClient};
-use distrust::core::Deployment;
+use distrust::core::{Deployment, TrustPolicy};
 use distrust::crypto::drbg::HmacDrbg;
 use std::time::Instant;
 
@@ -23,20 +23,24 @@ fn main() {
     );
 
     let deployment = Deployment::launch(spec, b"threshold example seed").expect("launch");
+    // The session's trust policy audits before the first sign request and
+    // pins the published code digest — signing cannot happen against an
+    // unverified deployment.
     let mut client = deployment.client(b"signing client");
+    let mut session = client.session(TrustPolicy::pinned(deployment.initial_app_digest));
 
-    // Audit first.
-    let report = client.audit(Some(&deployment.initial_app_digest));
-    println!("audit clean: {}", report.is_clean());
-    assert!(report.is_clean());
-
-    // Collect partial signatures and aggregate.
+    // Collect partial signatures and aggregate: one pipelined fan-out,
+    // returning as soon as t = 3 valid partials are in (the gating audit
+    // runs inside this first call).
     let signer = ThresholdSigningClient::new(public.clone());
     let message = b"release v2.1.0 of the wallet firmware";
 
     let start = Instant::now();
-    let signature = signer.sign(&mut client, message).expect("signing");
+    let signature = signer.sign(&mut session, message).expect("signing");
     let elapsed = start.elapsed();
+    let report = session.last_audit().expect("audit ran");
+    println!("gating audit clean: {}", report.is_clean());
+    assert!(report.is_clean());
 
     println!(
         "\nsigned {:?}\n  signature: {}…\n  end-to-end latency (t=3 partials through TEE proxies): {:?}",
@@ -50,7 +54,7 @@ fn main() {
     // Show the t-of-n property: each partial alone is NOT a valid group
     // signature.
     let partial = signer
-        .partial_from_domain(&mut client, 1, message)
+        .partial_from_domain(&mut session, 1, message)
         .expect("partial");
     assert!(!public.public_key.verify(message, &partial.value));
     println!("  a single domain's partial does not verify alone ✅");

@@ -38,20 +38,27 @@ fn main() {
         limits: Limits::default(),
     };
     let deployment = Deployment::launch(spec, b"update audit example").expect("launch");
-    let mut client = deployment.client(b"auditing user");
+    let mut user = deployment.client(b"auditing user");
+    // The user talks to the app through a trust-gated session: the audit
+    // runs before the first call below, by construction. Developer-side
+    // operations (update pushes, raw log queries) go through the un-gated
+    // client underneath, deliberately.
+    let mut session = user.session(distrust::core::TrustPolicy::audited());
 
     println!(
         "v1 deployed to 3 domains; app answers: {:?}",
-        client.call(1, 1, b"").unwrap()
+        session.call(1, 1, b"").unwrap()
     );
-    let report = client.audit(Some(&deployment.initial_app_digest));
-    println!("initial audit clean: {}\n", report.is_clean());
+    println!(
+        "initial (gating) audit clean: {}\n",
+        session.last_audit().unwrap().is_clean()
+    );
 
     // -- A malicious actor (without the developer key) tries to push code.
     println!("-- mallory pushes an unsigned update --");
     let mallory = SigningKey::derive(b"mallory", b"key");
     let evil = distrust::core::SignedRelease::create("greeter", 2, "fix", &greeter(66), &mallory);
-    for (d, result) in client.push_update(&evil).into_iter().enumerate() {
+    for (d, result) in session.client().push_update(&evil).into_iter().enumerate() {
         println!(
             "  domain {d}: {}",
             match result {
@@ -60,20 +67,22 @@ fn main() {
             }
         );
     }
-    assert_eq!(client.call(1, 1, b"").unwrap(), vec![1], "still v1");
+    assert_eq!(session.call(1, 1, b"").unwrap(), vec![1], "still v1");
 
-    // -- The real developer pushes v2.
+    // -- The real developer pushes v2. The release is encoded once and
+    //    the same frame is fanned out to all 3 domains, pipelined.
     println!("\n-- the developer pushes signed v2 --");
     let v2 = deployment.sign_release(2, "v2: better greetings", &greeter(2));
     let v2_digest = v2.digest();
-    for (d, result) in client.push_update(&v2).into_iter().enumerate() {
+    for (d, result) in session.client().push_update(&v2).into_iter().enumerate() {
         let (log_size, _) = result.expect("accepted");
         println!("  domain {d}: accepted, log now has {log_size} entries");
     }
-    println!("app now answers: {:?}", client.call(1, 1, b"").unwrap());
+    println!("app now answers: {:?}", session.call(1, 1, b"").unwrap());
 
     // -- What the client can verify afterwards.
     println!("\n-- client-side verification --");
+    let client = session.client();
     // 1. Update notices were issued (before the new code served anything).
     let notices = client.notices(0, 0).unwrap();
     for n in &notices {

@@ -21,7 +21,7 @@
 //!
 //! ```no_run
 //! use distrust::apps::threshold_signer;
-//! use distrust::core::Deployment;
+//! use distrust::core::{Deployment, TrustPolicy};
 //! use distrust::crypto::drbg::HmacDrbg;
 //!
 //! let mut rng = HmacDrbg::new(b"demo seed", b"");
@@ -29,14 +29,17 @@
 //! let deployment = Deployment::launch(spec, b"demo seed").unwrap();
 //! let mut client = deployment.client(b"client seed");
 //!
-//! // Audit before trusting: every domain must attest the framework and
-//! // agree on the running code digest.
-//! let report = client.audit(Some(&deployment.initial_app_digest));
-//! assert!(report.is_clean());
+//! // Audit before trusting — by construction: the session's trust policy
+//! // runs the audit before the first application call and refuses
+//! // domains that fail it (every TEE domain must attest the framework
+//! // and all domains must agree on the pinned code digest).
+//! let mut session = client.session(TrustPolicy::pinned(deployment.initial_app_digest));
 //!
-//! // Jointly sign with t-of-n trust domains.
+//! // Jointly sign with t-of-n trust domains: one pipelined fan-out,
+//! // returning as soon as t valid partial signatures arrive.
 //! let signer = threshold_signer::ThresholdSigningClient::new(public);
-//! let sig = signer.sign(&mut client, b"hello distributed trust").unwrap();
+//! let sig = signer.sign(&mut session, b"hello distributed trust").unwrap();
+//! assert!(session.last_audit().unwrap().is_clean());
 //! ```
 
 pub use distrust_apps as apps;

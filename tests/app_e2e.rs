@@ -3,7 +3,7 @@
 
 use distrust::apps::analytics::{self, AnalyticsClient};
 use distrust::apps::key_backup::{self, KeyBackupClient, RecoverStatus};
-use distrust::core::Deployment;
+use distrust::core::{Deployment, TrustPolicy};
 use distrust::crypto::drbg::HmacDrbg;
 
 #[test]
@@ -11,36 +11,37 @@ fn key_backup_full_cycle() {
     let deployment =
         Deployment::launch(key_backup::app_spec(4), b"backup e2e seed").expect("launch");
     let mut client = deployment.client(b"user");
+    // The session audits before the first call — the user's whole reason
+    // to trust the deployment, now enforced by construction.
+    let mut session = client.session(TrustPolicy::pinned(deployment.initial_app_digest));
     let backup = KeyBackupClient::new(3);
     let mut rng = HmacDrbg::new(b"user rng", b"");
-
-    // Audit first — the user's whole reason to trust the deployment.
-    let report = client.audit(Some(&deployment.initial_app_digest));
-    assert!(report.is_clean(), "{report:?}");
 
     let secret = b"0123456789abcdef0123456789abcdef"; // 32-byte key
     let token = [0x42u8; 32];
     let commitment = backup
-        .backup(&mut client, 1001, &token, secret, &mut rng)
+        .backup(&mut session, 1001, &token, secret, &mut rng)
         .expect("backup");
+    let report = session.last_audit().expect("gating audit ran");
+    assert!(report.is_clean(), "{report:?}");
 
     // Recovery with the right token succeeds and matches.
     let recovered = backup
-        .recover(&mut client, 1001, &token, &commitment)
+        .recover(&mut session, 1001, &token, &commitment)
         .expect("recover");
     assert_eq!(recovered, secret.to_vec());
 
     // Wrong token denied on every domain.
     for d in 0..4u32 {
         let status = backup
-            .recover_share(&mut client, d, 1001, &[0u8; 32])
+            .recover_share(&mut session, d, 1001, &[0u8; 32])
             .expect("protocol");
         assert_eq!(status, RecoverStatus::BadToken);
     }
 
     // Unknown users get a distinct (non-oracle) answer.
     let status = backup
-        .recover_share(&mut client, 0, 99999, &token)
+        .recover_share(&mut session, 0, 99999, &token)
         .expect("protocol");
     assert_eq!(status, RecoverStatus::UnknownUser);
 
@@ -48,15 +49,15 @@ fn key_backup_full_cycle() {
     let token2 = [0x43u8; 32];
     let secret2 = b"another users key...............";
     let c2 = backup
-        .backup(&mut client, 2002, &token2, secret2, &mut rng)
+        .backup(&mut session, 2002, &token2, secret2, &mut rng)
         .expect("backup 2");
     assert_eq!(
-        backup.recover(&mut client, 2002, &token2, &c2).unwrap(),
+        backup.recover(&mut session, 2002, &token2, &c2).unwrap(),
         secret2.to_vec()
     );
     assert_eq!(
         backup
-            .recover(&mut client, 1001, &token, &commitment)
+            .recover(&mut session, 1001, &token, &commitment)
             .unwrap(),
         secret.to_vec()
     );
@@ -67,27 +68,30 @@ fn key_backup_rate_limit_over_the_wire() {
     let deployment =
         Deployment::launch(key_backup::app_spec(3), b"ratelimit e2e seed").expect("launch");
     let mut client = deployment.client(b"user");
+    let mut session = client.session(TrustPolicy::audited());
     let backup = KeyBackupClient::new(2);
     let mut rng = HmacDrbg::new(b"user rng", b"");
     let token = [9u8; 32];
     backup
-        .backup(&mut client, 5, &token, b"sixteen byte key", &mut rng)
+        .backup(&mut session, 5, &token, b"sixteen byte key", &mut rng)
         .expect("backup");
 
     // Hammer domain 1 with wrong tokens until it locks.
     for _ in 0..key_backup::MAX_ATTEMPTS {
         assert_eq!(
-            backup.recover_share(&mut client, 1, 5, &[1u8; 32]).unwrap(),
+            backup
+                .recover_share(&mut session, 1, 5, &[1u8; 32])
+                .unwrap(),
             RecoverStatus::BadToken
         );
     }
     assert_eq!(
-        backup.recover_share(&mut client, 1, 5, &token).unwrap(),
+        backup.recover_share(&mut session, 1, 5, &token).unwrap(),
         RecoverStatus::RateLimited
     );
     // Other domains are unaffected (independent guest state).
     assert!(matches!(
-        backup.recover_share(&mut client, 2, 5, &token).unwrap(),
+        backup.recover_share(&mut session, 2, 5, &token).unwrap(),
         RecoverStatus::Ok(_)
     ));
 }
@@ -105,7 +109,8 @@ fn analytics_aggregates_without_revealing_individuals() {
         .map(|i| [i as u64, (i % 2) as u64, 100 + i as u64, 1])
         .collect();
     let mut expected = [0u64; 4];
-    let mut submitter = deployment.client(b"submitter");
+    let mut submitter_client = deployment.client(b"submitter");
+    let mut submitter = submitter_client.session(TrustPolicy::audited());
     for report in &reports {
         analytics_client
             .submit(&mut submitter, report, &mut rng)
@@ -116,7 +121,8 @@ fn analytics_aggregates_without_revealing_individuals() {
     }
 
     // The analyst aggregates: totals match, count matches.
-    let mut analyst = deployment.client(b"analyst");
+    let mut analyst_client = deployment.client(b"analyst");
+    let mut analyst = analyst_client.session(TrustPolicy::audited());
     let (totals, count) = analytics_client.aggregate(&mut analyst).expect("aggregate");
     assert_eq!(totals, expected.to_vec());
     assert_eq!(count, 10);
@@ -141,17 +147,20 @@ fn analytics_audit_stays_clean_under_load() {
         Deployment::launch(analytics::app_spec(2), b"analytics audit seed").expect("launch");
     let analytics_client = AnalyticsClient::new(2);
     let mut client = deployment.client(b"user");
+    // max_staleness 4: every fifth call round re-runs the audit — the
+    // session interleaves audits with traffic the way the old test did by
+    // hand, and refuses traffic the moment an audit stops being clean.
+    let mut session =
+        client.session(TrustPolicy::pinned(deployment.initial_app_digest).with_max_staleness(4));
     let mut rng = HmacDrbg::new(b"load", b"");
     for i in 0..20u64 {
         analytics_client
-            .submit(&mut client, &[i, 1], &mut rng)
+            .submit(&mut session, &[i, 1], &mut rng)
             .expect("submit");
-        if i % 5 == 0 {
-            let report = client.audit(Some(&deployment.initial_app_digest));
-            assert!(report.is_clean(), "round {i}: {report:?}");
-        }
+        let report = session.last_audit().expect("gating audit ran");
+        assert!(report.is_clean(), "round {i}: {report:?}");
     }
-    let (totals, count) = analytics_client.aggregate(&mut client).expect("aggregate");
+    let (totals, count) = analytics_client.aggregate(&mut session).expect("aggregate");
     assert_eq!(count, 20);
     assert_eq!(totals[1], 20);
     assert_eq!(totals[0], (0..20).sum::<u64>());

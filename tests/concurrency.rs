@@ -3,7 +3,7 @@
 //! multiple threads.
 
 use distrust::apps::analytics::{self, AnalyticsClient};
-use distrust::core::Deployment;
+use distrust::core::{Deployment, TrustPolicy};
 use distrust::crypto::drbg::HmacDrbg;
 use distrust::wire::rpc::{EventLoopRpcServer, RpcClient};
 use distrust::wire::transport::max_open_files;
@@ -154,11 +154,12 @@ fn many_concurrent_submitters() {
         let deployment = Arc::clone(&deployment);
         joins.push(std::thread::spawn(move || {
             let mut client = deployment.client(format!("client {t}").as_bytes());
+            let mut session = client.session(TrustPolicy::audited());
             let analytics_client = AnalyticsClient::new(dims);
             let mut rng = HmacDrbg::new(b"thread rng", &[t as u8]);
             for i in 0..per_thread {
                 analytics_client
-                    .submit(&mut client, &[1, i], &mut rng)
+                    .submit(&mut session, &[1, i], &mut rng)
                     .expect("submit");
             }
         }));
@@ -168,7 +169,8 @@ fn many_concurrent_submitters() {
     }
 
     // All submissions landed exactly once on every domain.
-    let mut analyst = deployment.client(b"analyst");
+    let mut analyst_client = deployment.client(b"analyst");
+    let mut analyst = analyst_client.session(TrustPolicy::audited());
     let analytics_client = AnalyticsClient::new(dims);
     let (totals, count) = analytics_client.aggregate(&mut analyst).expect("aggregate");
     assert_eq!(count, threads as u64 * per_thread);
@@ -199,11 +201,12 @@ fn concurrent_audits_and_calls() {
         let deployment = Arc::clone(&deployment);
         joins.push(std::thread::spawn(move || {
             let mut client = deployment.client(format!("submitter {t}").as_bytes());
+            let mut session = client.session(TrustPolicy::audited());
             let analytics_client = AnalyticsClient::new(1);
             let mut rng = HmacDrbg::new(b"s", &[t as u8]);
             for _ in 0..10 {
                 analytics_client
-                    .submit(&mut client, &[1], &mut rng)
+                    .submit(&mut session, &[1], &mut rng)
                     .expect("submit");
             }
         }));
@@ -262,6 +265,84 @@ fn event_loop_sustains_1000_concurrent_clients() {
         j.join().expect("worker panicked");
     }
     server.shutdown();
+}
+
+/// Fan-out under partial failure: one domain dies mid-session. A
+/// `Threshold(t)` quorum keeps succeeding from the survivors; an `All`
+/// fan-out reports exactly the dead domain (as a connection loss, not an
+/// application error) while still returning every live domain's answer.
+#[test]
+fn fanout_tolerates_domain_death_mid_session() {
+    use distrust::core::session::{DomainOutcome, FanoutCall, QuorumPolicy};
+
+    let mut deployment =
+        Deployment::launch(analytics::app_spec(4), b"fanout partial failure seed").expect("launch");
+    let mut client = deployment.client(b"fanout user");
+    let mut session = client.session(TrustPolicy::pinned(deployment.initial_app_digest));
+
+    // Healthy deployment: an All fan-out reaches all four domains. (This
+    // also runs the gating audit while everyone is still alive.)
+    let report = session
+        .fanout(&FanoutCall::broadcast(analytics::METHOD_COUNT, Vec::new()))
+        .expect("fanout");
+    assert!(report.satisfied, "{report:?}");
+    assert_eq!(report.ok_count(), 4);
+
+    // Kill domain 2 mid-session.
+    deployment.shutdown_domain(2);
+
+    // Threshold(3) still succeeds: the three survivors answer and the
+    // dead domain's silence costs nothing but its own outcome slot.
+    let report = session
+        .fanout(
+            &FanoutCall::broadcast(analytics::METHOD_COUNT, Vec::new())
+                .quorum(QuorumPolicy::Threshold(3)),
+        )
+        .expect("fanout");
+    assert!(report.satisfied, "{report:?}");
+    assert!(report.ok_count() >= 3, "{report:?}");
+    assert!(
+        !report.outcomes[2].is_ok(),
+        "dead domain cannot have answered: {report:?}"
+    );
+
+    // All reports exactly the dead domain — per-domain outcomes, not a
+    // first-error bail-out, and the loss is distinguishable from an
+    // application error.
+    let report = session
+        .fanout(&FanoutCall::broadcast(analytics::METHOD_COUNT, Vec::new()))
+        .expect("fanout");
+    assert!(!report.satisfied);
+    assert!(matches!(
+        report.require(),
+        Err(distrust::core::ClientError::QuorumNotMet {
+            satisfied: 3,
+            required: 4
+        })
+    ));
+    for d in [0u32, 1, 3] {
+        assert!(
+            report.outcomes[d as usize].is_ok(),
+            "live domain {d}: {report:?}"
+        );
+    }
+    assert!(
+        matches!(
+            &report.outcomes[2],
+            DomainOutcome::ConnectionLost(_) | DomainOutcome::Failed(_)
+        ),
+        "dead domain outcome: {:?}",
+        report.outcomes[2]
+    );
+
+    // The session as a whole keeps working for quorum-tolerant apps.
+    let report = session
+        .fanout(
+            &FanoutCall::broadcast(analytics::METHOD_COUNT, Vec::new())
+                .quorum(QuorumPolicy::First(1)),
+        )
+        .expect("fanout");
+    assert!(report.satisfied);
 }
 
 #[test]

@@ -6,7 +6,7 @@
 //! public key.
 
 use distrust::apps::threshold_signer::{self, ThresholdSigningClient};
-use distrust::core::Deployment;
+use distrust::core::{Deployment, TrustPolicy};
 use distrust::crypto::drbg::HmacDrbg;
 
 #[test]
@@ -17,9 +17,21 @@ fn five_domain_threshold_signing() {
     assert_eq!(deployment.domain_count(), 5);
 
     let mut client = deployment.client(b"client-1");
+    // The audit must be clean before the client trusts the deployment —
+    // the session runs it before the first sign request.
+    let mut session = client.session(TrustPolicy::pinned(deployment.initial_app_digest));
 
-    // The audit must be clean before the client trusts the deployment.
-    let report = client.audit(Some(&deployment.initial_app_digest));
+    // Sign (a Threshold(3) fan-out across all 5 domains).
+    let signer = ThresholdSigningClient::new(public.clone());
+    let msg = b"transfer 10 tokens to alice";
+    let sig = signer.sign(&mut session, msg).expect("signing");
+    assert!(public.public_key.verify(msg, &sig));
+    // Not valid for another message.
+    assert!(!public
+        .public_key
+        .verify(b"transfer 1000 tokens to mallory", &sig));
+
+    let report = session.last_audit().expect("gating audit ran");
     assert!(report.is_clean(), "audit failed: {report:?}");
     // Domain 0 is the developer's (unattested); the other four attested.
     assert!(!report.domains[0].attested);
@@ -27,21 +39,13 @@ fn five_domain_threshold_signing() {
         assert!(d.attested, "domain {} not attested", d.index);
     }
 
-    // Sign.
-    let signer = ThresholdSigningClient::new(public.clone());
-    let msg = b"transfer 10 tokens to alice";
-    let sig = signer.sign(&mut client, msg).expect("signing");
-    assert!(public.public_key.verify(msg, &sig));
-    // Not valid for another message.
-    assert!(!public
-        .public_key
-        .verify(b"transfer 1000 tokens to mallory", &sig));
-
     // Deterministic: BLS signatures are unique, so signing twice over any
-    // t-subset yields the identical signature.
-    let sig2 = signer.sign(&mut client, msg).expect("signing again");
+    // t-subset yields the identical signature — even though the quorum
+    // race may collect partials from a different subset each time.
+    let sig2 = signer.sign(&mut session, msg).expect("signing again");
     assert_eq!(sig, sig2);
 
+    drop(session);
     deployment.shutdown();
 }
 
@@ -51,7 +55,9 @@ fn signing_survives_minority_domain_failure() {
     let (spec, public) = threshold_signer::setup(2, 4, &mut rng).expect("setup");
     let deployment = Deployment::launch(spec, b"e2e tolerance seed").expect("launch");
     // Corrupt the descriptor so two domains are unreachable — the client
-    // must still collect t = 2 valid partials from the remaining two.
+    // must still collect t = 2 valid partials from the remaining two. The
+    // session's gating audit marks the dead domains untrusted; the
+    // Threshold(2) fan-out succeeds from the survivors.
     {
         // Rebuild a client whose descriptor points two domains at dead
         // addresses.
@@ -62,10 +68,12 @@ fn signing_survives_minority_domain_failure() {
             descriptor,
             Box::new(HmacDrbg::new(b"degraded", b"")),
         );
+        let mut session = degraded.session(TrustPolicy::audited());
         let signer = ThresholdSigningClient::new(public.clone());
         let msg = b"resilient signing";
-        let sig = signer.sign(&mut degraded, msg).expect("t-of-n resilience");
+        let sig = signer.sign(&mut session, msg).expect("t-of-n resilience");
         assert!(public.public_key.verify(msg, &sig));
+        assert_eq!(session.trusted_domains(), vec![0, 2]);
     }
 
     // Below threshold, signing must fail: three domains dead.
@@ -78,8 +86,9 @@ fn signing_survives_minority_domain_failure() {
             descriptor,
             Box::new(HmacDrbg::new(b"starved", b"")),
         );
+        let mut session = starved.session(TrustPolicy::audited());
         let signer = ThresholdSigningClient::new(public.clone());
-        let err = signer.sign(&mut starved, b"no quorum").unwrap_err();
+        let err = signer.sign(&mut session, b"no quorum").unwrap_err();
         let msg = format!("{err}");
         assert!(msg.contains("partial"), "unexpected error: {msg}");
     }
@@ -91,12 +100,13 @@ fn partial_signatures_verify_against_feldman_commitments() {
     let (spec, public) = threshold_signer::setup(2, 3, &mut rng).expect("setup");
     let deployment = Deployment::launch(spec, b"e2e partials seed").expect("launch");
     let mut client = deployment.client(b"client-3");
+    let mut session = client.session(TrustPolicy::audited());
     let signer = ThresholdSigningClient::new(public.clone());
 
     let msg = b"audited partial";
     for domain in 0..3 {
         let partial = signer
-            .partial_from_domain(&mut client, domain, msg)
+            .partial_from_domain(&mut session, domain, msg)
             .expect("partial");
         assert_eq!(partial.index, (domain + 1) as u8);
         assert!(distrust::crypto::threshold::verify_partial(
