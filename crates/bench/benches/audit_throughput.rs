@@ -51,6 +51,7 @@ fn spawn_domain() -> DirectHost {
             developer_key: dev.verifying_key(),
             log_id: log_id(b"audit-bench", 0),
             limits: Limits::default(),
+            log_shards: 1,
         },
         None,
         checkpoint_key(),

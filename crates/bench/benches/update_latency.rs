@@ -41,6 +41,7 @@ fn fresh_framework(dev: &SigningKey) -> EnclaveFramework {
             developer_key: dev.verifying_key(),
             log_id: [9; 32],
             limits: Limits::default(),
+            log_shards: 1,
         },
         None,
         SigningKey::derive(b"update bench", b"checkpoint"),

@@ -7,7 +7,7 @@
 use crate::framework::framework_measurement;
 use crate::protocol::{
     AttestationBinding, AuditBundle, BundleAttestation, DomainStatus, Request, Response,
-    UpdateNotice,
+    ShardAuditBundle, UpdateNotice,
 };
 use distrust_crypto::schnorr::VerifyingKey;
 use distrust_crypto::sha256::Digest;
@@ -169,6 +169,17 @@ pub struct AuditStats {
     pub fallback_domains: u64,
 }
 
+/// What one domain answered a pipelined `BatchAudit` with.
+enum BatchAuditAnswer {
+    /// The legacy single-tree bundle (1-shard logs; byte-compatible with
+    /// pre-shard servers).
+    Legacy(Box<AuditBundle>),
+    /// The sharded bundle (multi-shard logs).
+    Sharded(Box<ShardAuditBundle>),
+    /// No bundle at all — fall back to the per-step audit.
+    Fallback,
+}
+
 /// The outcome of one full audit round.
 #[derive(Debug)]
 pub struct AuditReport {
@@ -247,6 +258,14 @@ impl DeploymentClient {
     /// Cumulative batched-vs-fallback audit accounting.
     pub fn audit_stats(&self) -> AuditStats {
         self.stats
+    }
+
+    /// The auditor's verified-prefix cache for one domain: highest
+    /// verified (total and per-shard) sizes plus performed/skipped
+    /// verification counters — what tests and benches use to prove audit
+    /// amortisation is real.
+    pub fn auditor_prefix_cache(&self, domain: u32) -> Option<&distrust_log::VerifiedPrefixCache> {
+        self.auditor.prefix_cache(domain)
     }
 
     /// The persistent connection to `domain`, opened on first use.
@@ -421,6 +440,31 @@ impl DeploymentClient {
         }
     }
 
+    /// Fetches raw log leaves of one **shard** from a domain. Old servers
+    /// do not understand the request; for shard 0 the client transparently
+    /// falls back to the legacy whole-log fetch (on a 1-shard log the two
+    /// are identical), for any other shard the server's error surfaces.
+    pub fn shard_entries(
+        &mut self,
+        domain: u32,
+        shard: u32,
+        from: u64,
+    ) -> Result<Vec<Vec<u8>>, ClientError> {
+        match self.exchange(domain, &Request::GetShardEntries { shard, from })? {
+            Response::LogEntries(entries) => Ok(entries),
+            // An old server cannot decode the request tag and answers the
+            // dispatcher's "malformed request" frame; shard 0 of its
+            // (necessarily 1-shard) log IS the log. Any *other* error is a
+            // real answer from a shard-aware server — an out-of-range
+            // shard or offset — and must surface, not be papered over
+            // with globally-flattened entries.
+            Response::Error(e) if shard == 0 && e.starts_with("malformed request") => {
+                self.log_entries(domain, from)
+            }
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
     /// Exports this client's latest verified checkpoints for gossiping to
     /// other clients (split-view detection, CT-style).
     pub fn gossip_payload(&self) -> Vec<(u32, distrust_log::SignedCheckpoint)> {
@@ -513,7 +557,7 @@ impl DeploymentClient {
         for d in 0..n {
             let audit = match inflight[d as usize] {
                 Some((id, nonce)) => match self.collect_batch_audit(d, id) {
-                    Some(bundle) => {
+                    BatchAuditAnswer::Legacy(bundle) => {
                         self.stats.batched_domains += 1;
                         self.process_audit_bundle(
                             d,
@@ -523,7 +567,17 @@ impl DeploymentClient {
                             &mut misbehavior,
                         )
                     }
-                    None => {
+                    BatchAuditAnswer::Sharded(bundle) => {
+                        self.stats.batched_domains += 1;
+                        self.process_shard_audit_bundle(
+                            d,
+                            nonce,
+                            *bundle,
+                            &expected_measurement,
+                            &mut misbehavior,
+                        )
+                    }
+                    BatchAuditAnswer::Fallback => {
                         self.stats.fallback_domains += 1;
                         self.audit_domain_legacy(d, &expected_measurement, &mut misbehavior)
                     }
@@ -565,30 +619,38 @@ impl DeploymentClient {
         }
     }
 
-    /// Reads the response to an in-flight `BatchAudit`. `None` means "use
-    /// the legacy path": the server answered with something other than an
-    /// audit bundle (an old server's error frame — remembered, so the
-    /// domain is not probed again on this connection) or the connection
-    /// died.
-    fn collect_batch_audit(&mut self, domain: u32, id: u64) -> Option<Box<AuditBundle>> {
-        let conn = self.connections[domain as usize].as_mut()?;
-        let frame = match conn.recv_matching(id, Response::peek_audit_bundle_request_id) {
+    /// Reads the response to an in-flight `BatchAudit`. A server may
+    /// answer with the legacy single-tree bundle (tag 12) or the sharded
+    /// one (tag 13) — both carry the echoed request id in the same
+    /// position, so one peek matches either. `Fallback` means "use the
+    /// per-step path": the server answered with something else entirely
+    /// (an old server's error frame — remembered, so the domain is not
+    /// probed again on this connection) or the connection died.
+    fn collect_batch_audit(&mut self, domain: u32, id: u64) -> BatchAuditAnswer {
+        let Some(conn) = self.connections[domain as usize].as_mut() else {
+            return BatchAuditAnswer::Fallback;
+        };
+        let frame = match conn.recv_matching(id, Response::peek_request_id) {
             Ok(frame) => frame,
             Err(_) => {
                 self.connections[domain as usize] = None;
-                return None;
+                return BatchAuditAnswer::Fallback;
             }
         };
         match Response::from_wire(&frame) {
             Ok(Response::AuditBundle(bundle)) => {
                 debug_assert_eq!(bundle.request_id, id, "recv_matching matched by this id");
-                Some(bundle)
+                BatchAuditAnswer::Legacy(bundle)
+            }
+            Ok(Response::ShardAuditBundle(bundle)) => {
+                debug_assert_eq!(bundle.request_id, id, "recv_matching matched by this id");
+                BatchAuditAnswer::Sharded(bundle)
             }
             _ => {
                 // The server answered, just not with a bundle: an old
                 // server. Stop probing it every round.
                 self.batch_capable[domain as usize] = false;
-                None
+                BatchAuditAnswer::Fallback
             }
         }
     }
@@ -643,6 +705,52 @@ impl DeploymentClient {
                 }
             }
         }
+    }
+
+    /// Verifies one domain's **sharded** batched audit response:
+    /// attestation first, then the shard bundle through the auditor
+    /// (per-epoch commitment recomputation, per-shard consistency runs,
+    /// per-shard verified prefixes).
+    fn process_shard_audit_bundle(
+        &mut self,
+        domain: u32,
+        nonce: [u8; 32],
+        response: ShardAuditBundle,
+        expected_measurement: &Digest,
+        misbehavior: &mut Vec<Misbehavior>,
+    ) -> DomainAudit {
+        let mut audit = DomainAudit {
+            index: domain,
+            attested: false,
+            status: None,
+            failure: None,
+            batched: true,
+        };
+        self.apply_attestation(
+            response.attestation,
+            nonce,
+            expected_measurement,
+            &mut audit,
+        );
+        if let Some(status) = audit.status.clone() {
+            let matches_status = response.bundle.epochs.last().is_some_and(|e| {
+                e.checkpoint.body.size == status.log_size
+                    && e.checkpoint.body.head == status.log_head
+            });
+            match self.auditor.observe_shard_bundle(domain, &response.bundle) {
+                AuditOutcome::Consistent => {
+                    if !matches_status {
+                        audit.failure =
+                            Some("checkpoint disagrees with attested status".to_string());
+                    }
+                }
+                AuditOutcome::Misbehavior(m) => {
+                    audit.failure = Some(format!("log misbehavior: {m:?}"));
+                    misbehavior.push(*m);
+                }
+            }
+        }
+        audit
     }
 
     /// Verifies one domain's batched audit response: attestation first,
@@ -743,20 +851,49 @@ impl DeploymentClient {
                     // matches the claimed status — this is what turns
                     // equivocation into a transferable proof.
                     let prior = self.auditor.latest(d).cloned();
-                    let proof = match prior {
-                        Some(p) if p.body.size > 0 && p.body.size < cp.body.size => {
-                            match self.exchange(
-                                d,
-                                &Request::GetConsistency {
-                                    old_size: p.body.size,
-                                },
-                            ) {
-                                Ok(Response::Consistency(proof)) => Some(proof),
-                                _ => None,
-                            }
+                    let needs_proof = matches!(&prior,
+                        Some(p) if p.body.size > 0 && p.body.size < cp.body.size);
+                    let proof = if needs_proof {
+                        let p = prior.as_ref().expect("needs_proof implies prior");
+                        match self.exchange(
+                            d,
+                            &Request::GetConsistency {
+                                old_size: p.body.size,
+                            },
+                        ) {
+                            Ok(Response::Consistency(proof)) => Some(proof),
+                            _ => None,
                         }
-                        _ => None,
+                    } else {
+                        None
                     };
+                    let known_sharded = self
+                        .auditor
+                        .prefix_cache(d)
+                        .and_then(|c| c.shard_prefixes())
+                        .is_some();
+                    if needs_proof && proof.is_none() && known_sharded {
+                        // The log grew and no proof came back — but this
+                        // domain has already proven itself *sharded*, and
+                        // sharded logs have no top-level consistency
+                        // proofs to serve on the per-step path (they are
+                        // audited via BatchAudit). Not feeding the auditor
+                        // keeps this honest-but-unprovable degraded round
+                        // from being booked as `InconsistentGrowth`
+                        // misbehavior (which would refuse the whole
+                        // deployment); the domain still fails this audit
+                        // round, and the next batched round re-links from
+                        // the verified prefix. A domain that never showed
+                        // a shard decomposition gets no such benefit of
+                        // the doubt: a plain server refusing a growth
+                        // proof is exactly the history-rewrite signature.
+                        audit.failure = Some(
+                            "sharded log grew; no per-step consistency proof exists — \
+                             re-audit via the batched path"
+                                .to_string(),
+                        );
+                        return audit;
+                    }
                     let matches_status =
                         cp.body.size == status.log_size && cp.body.head == status.log_head;
                     match self.auditor.observe(d, cp, proof.as_ref()) {

@@ -101,8 +101,22 @@ impl From<std::io::Error> for DeployError {
 
 impl Deployment {
     /// Bootstraps the full deployment. `seed` makes the whole topology
-    /// reproducible (vendor roots, device keys, developer key).
+    /// reproducible (vendor roots, device keys, developer key). The
+    /// append-only logs use the legacy wire-compatible 1-shard layout;
+    /// see [`Deployment::launch_sharded`] for multi-shard logs.
     pub fn launch(spec: AppSpec, seed: &[u8]) -> Result<Self, DeployError> {
+        Self::launch_sharded(spec, seed, 1)
+    }
+
+    /// [`Deployment::launch`] with `log_shards` shards per domain log
+    /// (`0`/`1` = the byte-compatible single-tree layout). Multi-shard
+    /// domains sign shard-head commitments and serve sharded audit
+    /// bundles; clients handle both transparently.
+    pub fn launch_sharded(
+        spec: AppSpec,
+        seed: &[u8],
+        log_shards: u32,
+    ) -> Result<Self, DeployError> {
         let n = spec.hosts.len();
         if n == 0 {
             return Err(DeployError::NoDomains);
@@ -137,6 +151,7 @@ impl Deployment {
                         developer_key: developer_pub,
                         log_id: lid,
                         limits: spec.limits,
+                        log_shards,
                     },
                     None,
                     checkpoint_key,
@@ -164,6 +179,7 @@ impl Deployment {
                         developer_key: developer_pub,
                         log_id: lid,
                         limits: spec.limits,
+                        log_shards,
                     },
                     Some(enclave),
                     checkpoint_key,

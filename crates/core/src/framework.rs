@@ -22,13 +22,13 @@ use crate::abi::{app_call, import_names, AppHost};
 use crate::manifest::{ReleaseError, ReleaseManifest, SignedRelease};
 use crate::protocol::{
     AttestationBinding, AuditBundle, BundleAttestation, DomainStatus, Request, Response,
-    UpdateNotice,
+    ShardAuditBundle, UpdateNotice,
 };
 use distrust_crypto::schnorr::{SigningKey, VerifyingKey};
 use distrust_crypto::sha256::Digest;
 use distrust_log::batch::{CheckpointBundle, ProofBundle};
 use distrust_log::checkpoint::{CheckpointBody, SignedCheckpoint};
-use distrust_log::merkle::MerkleLog;
+use distrust_log::shard::{ShardBundle, ShardEpoch, ShardSnapshot, ShardedLog};
 use distrust_sandbox::{Instance, Limits};
 use distrust_tee::enclave::Enclave;
 use distrust_wire::codec::{Decode, Encode};
@@ -58,6 +58,18 @@ pub struct FrameworkConfig {
     pub log_id: [u8; 32],
     /// Sandbox execution limits applied to every application instance.
     pub limits: Limits,
+    /// Shards of the append-only log (appends route by the releasing
+    /// app's id). `1` (or `0`, normalized to `1`) keeps the legacy
+    /// single-tree layout — checkpoints, proofs, and audit bundles stay
+    /// byte-compatible with pre-shard deployments. With more shards,
+    /// checkpoints sign the top-level shard-head commitment and audits
+    /// are served as [`Response::ShardAuditBundle`]. Note that a
+    /// framework is pinned to one app, so *its own* appends all route to
+    /// that app's shard — multi-shard configs lay the commitment/audit
+    /// groundwork (and are what multi-app or key-range routing will
+    /// spread load across), but today's parallel-append win lives at the
+    /// `ShardedLog` layer, not in a single-app framework.
+    pub log_shards: u32,
 }
 
 struct RunningApp {
@@ -83,8 +95,10 @@ struct AuditCache {
     epoch: u64,
     /// Signed size-0 checkpoint for audits of a still-empty log.
     genesis: Option<SignedCheckpoint>,
-    /// Bundles keyed by the client-reported verified size.
+    /// Bundles keyed by the client-reported verified size (1-shard logs).
     bundles: HashMap<u64, CheckpointBundle>,
+    /// Sharded bundles keyed the same way (multi-shard logs).
+    shard_bundles: HashMap<u64, ShardBundle>,
     hits: u64,
     misses: u64,
 }
@@ -99,13 +113,19 @@ pub struct EnclaveFramework {
     /// the enclave from the sealing secret; on domain 0 it is a plain host
     /// key. Clients pin the corresponding public keys at deployment.
     checkpoint_key: SigningKey,
-    /// The code-digest log (Merkle, so growth is provable in O(log n)).
-    log: MerkleLog,
+    /// The code-digest log: Merkle shards (appends routed by app id) under
+    /// a top-level shard-head commitment. One shard reproduces the legacy
+    /// single-tree wire format bit for bit.
+    log: ShardedLog,
     /// Update notices, one per activated release.
     notices: Vec<UpdateNotice>,
     /// One signed checkpoint per log append ("epoch"), signed at update
     /// time so audits are served from cache instead of signing per client.
     epoch_checkpoints: Vec<SignedCheckpoint>,
+    /// The per-shard snapshot behind each epoch checkpoint, parallel to
+    /// `epoch_checkpoints` — what sharded audit bundles serve and what
+    /// maps a client's verified total size back to per-shard baselines.
+    epoch_snapshots: Vec<ShardSnapshot>,
     /// Shared proof/bundle cache for [`Request::BatchAudit`].
     audit_cache: AuditCache,
     app: Option<RunningApp>,
@@ -124,13 +144,15 @@ impl EnclaveFramework {
         checkpoint_key: SigningKey,
         app_host: Box<dyn AppHost>,
     ) -> Self {
+        let log = ShardedLog::new(config.log_shards.max(1) as usize);
         Self {
             config,
             enclave,
             checkpoint_key,
-            log: MerkleLog::new(),
+            log,
             notices: Vec::new(),
             epoch_checkpoints: Vec::new(),
+            epoch_snapshots: Vec::new(),
             audit_cache: AuditCache::default(),
             app: None,
             app_host,
@@ -155,12 +177,13 @@ impl EnclaveFramework {
             Some(app) => (app.manifest.code_digest, app.manifest.version),
             None => ([0u8; 32], 0),
         };
+        let snapshot = self.log.snapshot();
         DomainStatus {
             domain_index: self.config.domain_index,
             app_digest,
             app_version,
-            log_size: self.log.len() as u64,
-            log_head: self.log.root(),
+            log_size: snapshot.total(),
+            log_head: snapshot.commitment(),
             framework_measurement: framework_measurement(
                 &self.config.developer_key,
                 &self.config.app_name,
@@ -194,8 +217,13 @@ impl EnclaveFramework {
         // rejected without touching the log.
         let instance = Instance::new(module.clone(), self.config.limits)
             .map_err(|t| ReleaseError::InvalidModule(t.to_string()))?;
-        // 1. Log the digest (the permanent record).
-        let log_index = self.log.append(&release.manifest.log_leaf()) as u64;
+        // 1. Log the digest (the permanent record), routed to the shard
+        //    the releasing app's id hashes to (shard 0 on 1-shard logs).
+        let shard = self.log.shard_for(release.manifest.app_name.as_bytes());
+        let log_index = self
+            .log
+            .append(shard, &release.manifest.log_leaf())
+            .expect("routed shard exists");
         // 2. Record the notice — visible to clients before the new code
         //    serves any request (we hold the domain lock throughout).
         self.logical_time += 1;
@@ -205,18 +233,23 @@ impl EnclaveFramework {
             logical_time: self.logical_time,
         });
         // Sign this epoch's checkpoint once, here — every BatchAudit until
-        // the next update is served from it without touching the key.
+        // the next update is served from it without touching the key. The
+        // checkpoint signs the shard-head commitment (= the single tree's
+        // root on 1-shard logs) over the epoch's shard snapshot.
         self.logical_time += 1;
+        let snapshot = self.log.snapshot();
         self.epoch_checkpoints.push(SignedCheckpoint::sign(
             CheckpointBody {
                 log_id: self.config.log_id,
-                size: self.log.len() as u64,
-                head: self.log.root(),
+                size: snapshot.total(),
+                head: snapshot.commitment(),
                 logical_time: self.logical_time,
             },
             &self.checkpoint_key,
         ));
+        self.epoch_snapshots.push(snapshot);
         self.audit_cache.bundles.clear();
+        self.audit_cache.shard_bundles.clear();
         // 3. Activate (and lock, if this is a final release).
         self.app = Some(RunningApp {
             import_names: import_names(&module),
@@ -229,14 +262,16 @@ impl EnclaveFramework {
         Ok(self.status())
     }
 
-    /// Signs a checkpoint of the current log.
+    /// Signs a checkpoint of the current log (the shard-head commitment;
+    /// on a 1-shard log, byte-identical to the legacy single-tree form).
     pub fn checkpoint(&mut self) -> SignedCheckpoint {
         self.logical_time += 1;
+        let snapshot = self.log.snapshot();
         SignedCheckpoint::sign(
             CheckpointBody {
                 log_id: self.config.log_id,
-                size: self.log.len() as u64,
-                head: self.log.root(),
+                size: snapshot.total(),
+                head: snapshot.commitment(),
                 logical_time: self.logical_time,
             },
             &self.checkpoint_key,
@@ -249,17 +284,43 @@ impl EnclaveFramework {
         (self.audit_cache.hits, self.audit_cache.misses)
     }
 
-    /// Serves the checkpoint/proof half of a batched audit from the shared
-    /// per-epoch cache, building (and caching) it on first demand.
-    fn audit_bundle(&mut self, verified_size: u64) -> CheckpointBundle {
-        let current = self.log.len() as u64;
+    /// Ensures the audit cache describes the current log size, clearing
+    /// stale bundles, and returns `(cache_key, current_size)` for
+    /// `verified_size`: anything at or past the head needs only the
+    /// latest checkpoint, so those collapse onto one slot.
+    fn audit_cache_key(&mut self, verified_size: u64) -> (u64, u64) {
+        let current = self.log.total_len();
         if self.audit_cache.epoch != current {
             self.audit_cache.bundles.clear();
+            self.audit_cache.shard_bundles.clear();
             self.audit_cache.epoch = current;
         }
-        // Anything at or past the head needs only the latest checkpoint;
-        // collapse those onto one cache slot.
-        let key = verified_size.min(current);
+        (verified_size.min(current), current)
+    }
+
+    /// Signs (once) and returns the size-0 checkpoint served while the
+    /// log is still empty.
+    fn genesis_checkpoint(&mut self) -> SignedCheckpoint {
+        if self.audit_cache.genesis.is_none() {
+            self.logical_time += 1;
+            self.audit_cache.genesis = Some(SignedCheckpoint::sign(
+                CheckpointBody {
+                    log_id: self.config.log_id,
+                    size: 0,
+                    head: self.log.commitment(),
+                    logical_time: self.logical_time,
+                },
+                &self.checkpoint_key,
+            ));
+        }
+        self.audit_cache.genesis.clone().expect("just signed")
+    }
+
+    /// Serves the checkpoint/proof half of a batched audit from the shared
+    /// per-epoch cache, building (and caching) it on first demand
+    /// (1-shard logs: the legacy byte-compatible bundle).
+    fn audit_bundle(&mut self, verified_size: u64) -> CheckpointBundle {
+        let (key, current) = self.audit_cache_key(verified_size);
         if let Some(bundle) = self.audit_cache.bundles.get(&key) {
             self.audit_cache.hits += 1;
             return bundle.clone();
@@ -275,21 +336,8 @@ impl EnclaveFramework {
         if self.epoch_checkpoints.is_empty() {
             // Nothing installed yet: serve a (cached) signed view of the
             // empty log.
-            if self.audit_cache.genesis.is_none() {
-                self.logical_time += 1;
-                self.audit_cache.genesis = Some(SignedCheckpoint::sign(
-                    CheckpointBody {
-                        log_id: self.config.log_id,
-                        size: 0,
-                        head: self.log.root(),
-                        logical_time: self.logical_time,
-                    },
-                    &self.checkpoint_key,
-                ));
-            }
-            let genesis = self.audit_cache.genesis.clone().expect("just signed");
             return CheckpointBundle {
-                checkpoints: vec![genesis],
+                checkpoints: vec![self.genesis_checkpoint()],
                 proof: empty,
             };
         }
@@ -317,8 +365,99 @@ impl EnclaveFramework {
             sizes.push(verified_size as usize);
         }
         sizes.extend(checkpoints.iter().map(|cp| cp.body.size as usize));
-        let proof = self.log.prove_consistency_range(&sizes).unwrap_or_default();
+        let proof = self
+            .log
+            .lock_shard(0)
+            .prove_consistency_range(&sizes)
+            .unwrap_or_default();
         CheckpointBundle { checkpoints, proof }
+    }
+
+    /// The multi-shard counterpart of [`Self::audit_bundle`]: epoch shard
+    /// snapshots plus per-shard consistency runs from the client's
+    /// verified epoch, served from the same per-epoch cache.
+    fn shard_audit_bundle(&mut self, verified_size: u64) -> ShardBundle {
+        let (key, _) = self.audit_cache_key(verified_size);
+        if let Some(bundle) = self.audit_cache.shard_bundles.get(&key) {
+            self.audit_cache.hits += 1;
+            return bundle.clone();
+        }
+        self.audit_cache.misses += 1;
+        let bundle = self.build_shard_audit_bundle(key);
+        self.audit_cache.shard_bundles.insert(key, bundle.clone());
+        bundle
+    }
+
+    fn build_shard_audit_bundle(&mut self, verified_size: u64) -> ShardBundle {
+        let shard_count = self.log.shard_count();
+        let empty_runs = |log: &ShardedLog| {
+            log.prove_shard_runs(&vec![0; shard_count], &[])
+                .expect("empty runs always provable")
+        };
+        if self.epoch_checkpoints.is_empty() {
+            let checkpoint = self.genesis_checkpoint();
+            return ShardBundle {
+                epochs: vec![ShardEpoch {
+                    checkpoint,
+                    shards: self.log.snapshot(),
+                }],
+                proof: empty_runs(&self.log),
+            };
+        }
+        // The client's verified total maps back to the epoch it verified
+        // (clients only ever verify signed epoch checkpoints); its shard
+        // sizes are the proof baseline. An unknown total gets the
+        // from-scratch baseline — the client's own per-shard cache decides
+        // what it accepts.
+        let baseline_epoch = self
+            .epoch_snapshots
+            .iter()
+            .position(|s| s.total() == verified_size);
+        let baseline: Vec<u64> = baseline_epoch
+            .map(|i| self.epoch_snapshots[i].sizes.clone())
+            .unwrap_or_else(|| vec![0; shard_count]);
+        let mut included: Vec<usize> = (0..self.epoch_checkpoints.len())
+            .filter(|&i| self.epoch_checkpoints[i].body.size > verified_size)
+            .collect();
+        if included.is_empty() {
+            // Client already at the head: the latest epoch alone, no runs.
+            let last = self.epoch_checkpoints.len() - 1;
+            return ShardBundle {
+                epochs: vec![ShardEpoch {
+                    checkpoint: self.epoch_checkpoints[last].clone(),
+                    shards: self.epoch_snapshots[last].clone(),
+                }],
+                proof: empty_runs(&self.log),
+            };
+        }
+        if included.len() > MAX_BUNDLE_CHECKPOINTS {
+            included.drain(..included.len() - MAX_BUNDLE_CHECKPOINTS);
+        }
+        let snapshots: Vec<&ShardSnapshot> =
+            included.iter().map(|&i| &self.epoch_snapshots[i]).collect();
+        let proof = self
+            .log
+            .prove_shard_runs(&baseline, &snapshots)
+            .unwrap_or_else(|| empty_runs(&self.log));
+        // Lead with the client's verified epoch itself (when it names
+        // one): a verifier that trusts the `(size, head)` but has never
+        // seen its per-shard decomposition — a client whose last round
+        // fell back to the per-step path, say — re-learns the baseline
+        // from this epoch (the binding is checked against the signed
+        // head) and can then walk the runs. Costs one skipped-signature
+        // checkpoint for everyone else.
+        let mut epochs = Vec::with_capacity(included.len() + 1);
+        if let Some(b) = baseline_epoch {
+            epochs.push(ShardEpoch {
+                checkpoint: self.epoch_checkpoints[b].clone(),
+                shards: self.epoch_snapshots[b].clone(),
+            });
+        }
+        epochs.extend(included.iter().map(|&i| ShardEpoch {
+            checkpoint: self.epoch_checkpoints[i].clone(),
+            shards: self.epoch_snapshots[i].clone(),
+        }));
+        ShardBundle { epochs, proof }
     }
 
     /// Handles one protocol request.
@@ -357,26 +496,55 @@ impl EnclaveFramework {
             },
             Request::GetCheckpoint => Response::Checkpoint(self.checkpoint()),
             Request::GetConsistency { old_size } => {
-                match self
-                    .log
-                    .prove_consistency(old_size as usize, self.log.len())
-                {
+                // Top-level consistency proofs exist only for the 1-shard
+                // (single-tree) layout; a sharded commitment is not
+                // append-only and is audited per shard via `BatchAudit`.
+                if self.log.shard_count() != 1 {
+                    return Response::Error(
+                        "sharded log has no top-level consistency proof; audit via BatchAudit"
+                            .into(),
+                    );
+                }
+                let current = self.log.total_len();
+                match self.log.prove_shard_consistency(0, old_size, current) {
                     Some(proof) => Response::Consistency(proof),
                     None => Response::Error(format!(
-                        "no consistency proof from {old_size} to {}",
-                        self.log.len()
+                        "no consistency proof from {old_size} to {current}"
                     )),
                 }
             }
             Request::GetLogEntries { from } => {
-                let from = from as usize;
-                if from > self.log.len() {
-                    return Response::Error("log range out of bounds".into());
+                // The multi-shard flattening (shards concatenated in
+                // shard order) is NOT append-only — an append to a lower
+                // shard inserts mid-sequence — so incremental polling
+                // with a remembered offset would silently skip entries.
+                // Full dumps are fine; incremental reads are per-shard
+                // ([`Request::GetShardEntries`], append-only within a
+                // shard). On 1-shard logs the legacy semantics hold
+                // exactly.
+                if self.log.shard_count() != 1 && from != 0 {
+                    return Response::Error(
+                        "sharded log: incremental reads are per-shard; use GetShardEntries \
+                         (GetLogEntries supports only from=0 on multi-shard logs)"
+                            .into(),
+                    );
                 }
-                let leaves = (from..self.log.len())
-                    .map(|i| self.log.leaf(i).expect("in range").to_vec())
-                    .collect();
-                Response::LogEntries(leaves)
+                match self.log.all_entries_from(from) {
+                    Some(leaves) => Response::LogEntries(leaves),
+                    None => Response::Error("log range out of bounds".into()),
+                }
+            }
+            Request::GetShardEntries { shard, from } => {
+                if shard as usize >= self.log.shard_count() {
+                    return Response::Error(format!(
+                        "no shard {shard} (log has {})",
+                        self.log.shard_count()
+                    ));
+                }
+                match self.log.entries_from(shard, from) {
+                    Some(leaves) => Response::LogEntries(leaves),
+                    None => Response::Error("shard range out of bounds".into()),
+                }
             }
             Request::GetNotices { since } => Response::Notices(
                 self.notices
@@ -400,12 +568,25 @@ impl EnclaveFramework {
                     }
                     None => BundleAttestation::Unattested(binding.status),
                 };
-                let bundle = self.audit_bundle(verified_size);
-                Response::AuditBundle(Box::new(AuditBundle {
-                    request_id,
-                    attestation,
-                    bundle,
-                }))
+                // 1-shard logs answer with the legacy byte-compatible
+                // bundle; multi-shard logs with the sharded one. The
+                // request is the same either way — clients discover the
+                // layout from the response tag.
+                if self.log.shard_count() == 1 {
+                    let bundle = self.audit_bundle(verified_size);
+                    Response::AuditBundle(Box::new(AuditBundle {
+                        request_id,
+                        attestation,
+                        bundle,
+                    }))
+                } else {
+                    let bundle = self.shard_audit_bundle(verified_size);
+                    Response::ShardAuditBundle(Box::new(ShardAuditBundle {
+                        request_id,
+                        attestation,
+                        bundle,
+                    }))
+                }
             }
         }
     }
@@ -458,6 +639,7 @@ mod tests {
                 developer_key: developer.verifying_key(),
                 log_id: [7; 32],
                 limits: Limits::default(),
+                log_shards: 1,
             },
             None,
             SigningKey::derive(b"framework tests", b"checkpoint"),

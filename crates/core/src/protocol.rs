@@ -9,6 +9,7 @@ use crate::manifest::{ReleaseManifest, SignedRelease};
 use distrust_log::batch::CheckpointBundle;
 use distrust_log::checkpoint::SignedCheckpoint;
 use distrust_log::merkle::ConsistencyProof;
+use distrust_log::shard::ShardBundle;
 use distrust_tee::attest::Quote;
 use distrust_wire::codec::{decode_seq, encode_seq, Decode, DecodeError, Encode};
 use distrust_wire::wire_struct;
@@ -48,7 +49,13 @@ pub enum Request {
         /// Size the client last verified.
         old_size: u64,
     },
-    /// Fetch log leaves `[from, current)` for replay/inspection.
+    /// Fetch log leaves `[from, current)` for replay/inspection. On
+    /// multi-shard domains the response is the shard-order flattening and
+    /// only `from = 0` is served (the flattening is not append-only, so
+    /// incremental offsets would silently skip entries — incremental
+    /// readers use [`Request::GetShardEntries`], which is append-only
+    /// within its shard). 1-shard domains keep the legacy semantics
+    /// exactly.
     GetLogEntries {
         /// First index to return.
         from: u64,
@@ -73,6 +80,16 @@ pub enum Request {
         /// Log size the client last verified (0 = nothing verified); the
         /// proof bundle links from here to the current log head.
         verified_size: u64,
+    },
+    /// Fetch leaves `[from, len)` of one **shard** of a sharded log.
+    /// Single-shard domains treat shard 0 exactly like
+    /// [`Request::GetLogEntries`]; old servers answer with an error and
+    /// the client falls back to the legacy request for shard 0.
+    GetShardEntries {
+        /// Shard index.
+        shard: u32,
+        /// First in-shard index to return.
+        from: u64,
     },
 }
 
@@ -115,6 +132,11 @@ impl Encode for Request {
                 request_id.encode(out);
                 nonce.encode(out);
                 verified_size.encode(out);
+            }
+            Request::GetShardEntries { shard, from } => {
+                9u8.encode(out);
+                shard.encode(out);
+                from.encode(out);
             }
         }
     }
@@ -161,6 +183,10 @@ impl Decode for Request {
                 request_id: Decode::decode(input)?,
                 nonce: Decode::decode(input)?,
                 verified_size: Decode::decode(input)?,
+            },
+            9 => Request::GetShardEntries {
+                shard: Decode::decode(input)?,
+                from: Decode::decode(input)?,
             },
             other => return Err(DecodeError::InvalidTag(other)),
         })
@@ -215,7 +241,11 @@ wire_struct!(AttestationBinding {
 pub struct UpdateNotice {
     /// Manifest of the release that was activated.
     pub manifest: ReleaseManifest,
-    /// Index of the release's leaf in the code-digest log.
+    /// Index of the release's leaf in the code-digest log — within the
+    /// shard the releasing app routes to. Appends route by app id, so one
+    /// app's notices carry strictly increasing indices into one shard
+    /// (`ShardedLog::shard_for(app_name)` recovers which); on a 1-shard
+    /// log this is the plain global index, as it always was.
     pub log_index: u64,
     /// Domain-local logical time of activation.
     pub logical_time: u64,
@@ -283,6 +313,29 @@ wire_struct!(AuditBundle {
     bundle: CheckpointBundle,
 });
 
+/// The sharded-log answer to [`Request::BatchAudit`]: attestation plus a
+/// [`ShardBundle`] (per-epoch shard snapshots and per-shard consistency
+/// runs). Served only by domains whose log has more than one shard —
+/// 1-shard domains answer with the byte-compatible [`AuditBundle`], so
+/// old clients never see this variant unless they audit a multi-shard
+/// deployment (which no old deployment can be).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardAuditBundle {
+    /// Echo of the request id, so pipelined audits match up.
+    pub request_id: u64,
+    /// Quote (TEE domains) or plain status (domain 0).
+    pub attestation: BundleAttestation,
+    /// Epoch snapshots + per-shard proof runs from the client's verified
+    /// epoch.
+    pub bundle: ShardBundle,
+}
+
+wire_struct!(ShardAuditBundle {
+    request_id: u64,
+    attestation: BundleAttestation,
+    bundle: ShardBundle,
+});
+
 /// A response from a trust domain.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Response {
@@ -322,6 +375,10 @@ pub enum Response {
     /// Batched audit: attestation + checkpoints + range proof in one
     /// round-trip (answers [`Request::BatchAudit`]).
     AuditBundle(Box<AuditBundle>),
+    /// Sharded batched audit: attestation + epoch shard snapshots +
+    /// per-shard proof runs (answers [`Request::BatchAudit`] on domains
+    /// whose log has more than one shard).
+    ShardAuditBundle(Box<ShardAuditBundle>),
 }
 
 impl Encode for Response {
@@ -382,19 +439,29 @@ impl Encode for Response {
                 12u8.encode(out);
                 b.encode(out);
             }
+            Response::ShardAuditBundle(b) => {
+                13u8.encode(out);
+                b.encode(out);
+            }
         }
     }
 }
 
 impl Response {
-    /// Cheaply extracts the echoed request id from an encoded
-    /// [`Response::AuditBundle`] frame without a full decode — the id is
-    /// the first field after the tag byte (see the `Encode` impl above;
-    /// keep the two in sync). Returns `None` for every other response
-    /// shape, including the error frames old servers answer with.
-    pub fn peek_audit_bundle_request_id(frame: &[u8]) -> Option<u64> {
+    /// Cheaply extracts the echoed request id from an encoded audit
+    /// answer without a full decode — [`Response::AuditBundle`] (tag 12)
+    /// and [`Response::ShardAuditBundle`] (tag 13) lay out `request_id`
+    /// identically right after the tag byte (see the `Encode` impl above;
+    /// keep them in sync). This is the peek pipelined audit clients match
+    /// responses with: a client cannot know in advance whether a domain's
+    /// log is sharded, so matching only one tag would park the other
+    /// shape's frames forever. Returns `None` for every other response,
+    /// including the error frames old servers answer with.
+    pub fn peek_request_id(frame: &[u8]) -> Option<u64> {
         match frame.split_first() {
-            Some((&12, rest)) => Some(u64::from_le_bytes(rest.get(..8)?.try_into().ok()?)),
+            Some((&12, rest)) | Some((&13, rest)) => {
+                Some(u64::from_le_bytes(rest.get(..8)?.try_into().ok()?))
+            }
             _ => None,
         }
     }
@@ -425,6 +492,7 @@ impl Decode for Response {
             10 => Response::Notices(decode_seq(input)?),
             11 => Response::Error(Decode::decode(input)?),
             12 => Response::AuditBundle(Box::new(Decode::decode(input)?)),
+            13 => Response::ShardAuditBundle(Box::new(Decode::decode(input)?)),
             other => return Err(DecodeError::InvalidTag(other)),
         })
     }
@@ -469,6 +537,7 @@ mod tests {
                 nonce: [7; 32],
                 verified_size: 5,
             },
+            Request::GetShardEntries { shard: 3, from: 9 },
         ];
         for req in requests {
             let wire = req.to_wire();
@@ -509,6 +578,7 @@ mod tests {
             }]),
             Response::Error("nope".into()),
             Response::AuditBundle(Box::new(sample_audit_bundle())),
+            Response::ShardAuditBundle(Box::new(sample_shard_audit_bundle())),
         ];
         for resp in responses {
             let wire = resp.to_wire();
@@ -542,6 +612,40 @@ mod tests {
         }
     }
 
+    fn sample_shard_audit_bundle() -> ShardAuditBundle {
+        use distrust_log::checkpoint::{CheckpointBody, SignedCheckpoint};
+        use distrust_log::shard::{ShardEpoch, ShardedLog};
+        let sk = SigningKey::derive(b"proto", b"shard-cp");
+        let log = ShardedLog::new(3);
+        let mut epochs = Vec::new();
+        let mut snaps = Vec::new();
+        for i in 0..4u64 {
+            log.append((i % 3) as u32, format!("v{i}").as_bytes())
+                .unwrap();
+            let snap = log.snapshot();
+            epochs.push(ShardEpoch {
+                checkpoint: SignedCheckpoint::sign(
+                    CheckpointBody {
+                        log_id: [3; 32],
+                        size: snap.total(),
+                        head: snap.commitment(),
+                        logical_time: i + 1,
+                    },
+                    &sk,
+                ),
+                shards: snap.clone(),
+            });
+            snaps.push(snap);
+        }
+        let refs: Vec<&distrust_log::shard::ShardSnapshot> = snaps.iter().collect();
+        let proof = log.prove_shard_runs(&[0, 0, 0], &refs).unwrap();
+        ShardAuditBundle {
+            request_id: 11,
+            attestation: BundleAttestation::Unattested(status()),
+            bundle: ShardBundle { epochs, proof },
+        }
+    }
+
     #[test]
     fn encode_update_matches_enum_encoding() {
         let dev = SigningKey::derive(b"proto", b"dev2");
@@ -558,19 +662,36 @@ mod tests {
         let bundle = sample_audit_bundle();
         let id = bundle.request_id;
         let wire = Response::AuditBundle(Box::new(bundle)).to_wire();
-        assert_eq!(Response::peek_audit_bundle_request_id(&wire), Some(id));
+        assert_eq!(Response::peek_request_id(&wire), Some(id));
+        // The sharded answer peeks identically.
+        let sharded = sample_shard_audit_bundle();
+        let sid = sharded.request_id;
+        let swire = Response::ShardAuditBundle(Box::new(sharded)).to_wire();
+        assert_eq!(Response::peek_request_id(&swire), Some(sid));
         // Non-bundle responses and short frames peek to None.
         assert_eq!(
-            Response::peek_audit_bundle_request_id(&Response::Error("x".into()).to_wire()),
+            Response::peek_request_id(&Response::Error("x".into()).to_wire()),
             None
         );
-        assert_eq!(Response::peek_audit_bundle_request_id(&[12, 1, 2]), None);
-        assert_eq!(Response::peek_audit_bundle_request_id(&[]), None);
+        assert_eq!(Response::peek_request_id(&[12, 1, 2]), None);
+        assert_eq!(Response::peek_request_id(&[13, 1, 2]), None);
+        assert_eq!(Response::peek_request_id(&[]), None);
     }
 
     #[test]
     fn audit_bundle_truncation_rejected_at_every_cut() {
         let wire = Response::AuditBundle(Box::new(sample_audit_bundle())).to_wire();
+        for cut in 0..wire.len() {
+            assert!(
+                Response::from_wire(&wire[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_audit_bundle_truncation_rejected_at_every_cut() {
+        let wire = Response::ShardAuditBundle(Box::new(sample_shard_audit_bundle())).to_wire();
         for cut in 0..wire.len() {
             assert!(
                 Response::from_wire(&wire[..cut]).is_err(),

@@ -26,7 +26,7 @@ use crate::client::{AuditReport, ClientError, DeploymentClient};
 use crate::protocol::{Request, Response};
 use distrust_crypto::sha256::Digest;
 use distrust_wire::codec::Encode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How many per-domain successes a fan-out needs before it is satisfied.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -133,8 +133,8 @@ pub enum FanoutPayloads {
     PerDomain(Vec<Vec<u8>>),
 }
 
-/// One application fan-out: method, payload(s), quorum, and (optionally) a
-/// subset of domains to target.
+/// One application fan-out: method, payload(s), quorum, deadline, and
+/// (optionally) a subset of domains to target.
 #[derive(Clone, Debug)]
 pub struct FanoutCall {
     /// Method selector passed to the guest.
@@ -145,6 +145,13 @@ pub struct FanoutCall {
     pub quorum: QuorumPolicy,
     /// Domains to target; `None` targets the whole deployment.
     pub targets: Option<Vec<u32>>,
+    /// Wall-clock budget for the whole fan-out. A domain that accepted
+    /// its request but has not answered when the budget runs out is given
+    /// up on ([`DomainOutcome::Failed`], its response abandoned on the
+    /// wire) instead of stalling the collection — without a budget, a
+    /// hung-but-connected domain blocks an [`QuorumPolicy::All`] quorum
+    /// forever. `None` (the default) waits indefinitely.
+    pub deadline: Option<Duration>,
 }
 
 impl FanoutCall {
@@ -155,6 +162,7 @@ impl FanoutCall {
             payloads: FanoutPayloads::Broadcast(payload),
             quorum: QuorumPolicy::All,
             targets: None,
+            deadline: None,
         }
     }
 
@@ -165,12 +173,19 @@ impl FanoutCall {
             payloads: FanoutPayloads::PerDomain(payloads),
             quorum: QuorumPolicy::All,
             targets: None,
+            deadline: None,
         }
     }
 
     /// Sets the quorum policy.
     pub fn quorum(mut self, quorum: QuorumPolicy) -> Self {
         self.quorum = quorum;
+        self
+    }
+
+    /// Sets the fan-out's wall-clock budget (see [`FanoutCall::deadline`]).
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
         self
     }
 
@@ -601,75 +616,76 @@ impl<'c> Session<'c> {
             .filter(|o| o.is_ok() || (count_any_answer && matches!(o, DomainOutcome::AppError(_))))
             .count();
 
-        match call.quorum {
-            QuorumPolicy::All => {
-                // No early exit possible: drain every pending domain, in
-                // parallel on the wire, blocking per domain only for its
-                // own response.
-                for d in pending {
-                    let outcome = Self::response_outcome(self.client.recv_raw(d));
-                    if outcome.is_ok() {
-                        satisfied_count += 1;
-                    }
-                    outcomes[d as usize] = outcome;
+        // Round-robin over pending domains with short timeouts so one
+        // straggler cannot block a quorum the others already satisfy.
+        // Threshold/First exit as soon as the quorum is met, abandoning
+        // stragglers; `All` (and an unreachable quorum) keeps collecting
+        // so the report carries every domain's actual answer. A deadline,
+        // when set, bounds the whole collection: domains still silent at
+        // expiry are given one final non-blocking read, then failed and
+        // their responses abandoned — a hung-but-connected domain costs
+        // the budget, never an indefinite stall.
+        let deadline_at = call.deadline.map(|budget| Instant::now() + budget);
+        let early_exit = matches!(
+            call.quorum,
+            QuorumPolicy::Threshold(_) | QuorumPolicy::First(_)
+        );
+        let mut poll = POLL_START;
+        while !pending.is_empty() {
+            if early_exit && satisfied_count >= required {
+                // Quorum satisfied with responses still in flight:
+                // abandon them (drained off the wire on the connection's
+                // next use). These are the domains a retry round may
+                // re-ask ([`FanoutReport::abandoned`]).
+                for d in pending.drain(..) {
+                    self.client.abandon_response(d);
+                    outcomes[d as usize] = DomainOutcome::Abandoned;
                 }
+                break;
             }
-            QuorumPolicy::Threshold(_) | QuorumPolicy::First(_) => {
-                // Round-robin over pending domains with short timeouts so
-                // one straggler cannot block a quorum the others already
-                // satisfy. The polling race also stops once the quorum
-                // becomes mathematically unreachable (too many domains
-                // already failed) — the verdict cannot change, so the
-                // stragglers are drained below instead of raced.
-                let mut poll = POLL_START;
-                while satisfied_count < required && satisfied_count + pending.len() >= required {
-                    let mut progressed = false;
-                    let mut still_pending = Vec::with_capacity(pending.len());
-                    for d in pending {
-                        if satisfied_count >= required {
-                            still_pending.push(d);
-                            continue;
-                        }
-                        match self.client.try_recv_raw(d, poll) {
-                            Ok(Some(response)) => {
-                                progressed = true;
-                                let outcome = Self::response_outcome(Ok(response));
-                                if outcome.is_ok()
-                                    || (count_any_answer
-                                        && matches!(outcome, DomainOutcome::AppError(_)))
-                                {
-                                    satisfied_count += 1;
-                                }
-                                outcomes[d as usize] = outcome;
+            let expired = deadline_at.is_some_and(|at| Instant::now() >= at);
+            if expired {
+                // Budget exhausted: one last non-blocking look at each
+                // straggler (its answer may already be buffered), then
+                // give up on whoever stayed silent.
+                for d in pending.drain(..) {
+                    match self.client.try_recv_raw(d, Duration::ZERO) {
+                        Ok(Some(response)) => {
+                            let outcome = Self::response_outcome(Ok(response));
+                            if outcome.is_ok()
+                                || (count_any_answer
+                                    && matches!(outcome, DomainOutcome::AppError(_)))
+                            {
+                                satisfied_count += 1;
                             }
-                            Ok(None) => still_pending.push(d),
-                            Err(e) => {
-                                progressed = true;
-                                outcomes[d as usize] = Self::error_outcome(e);
-                            }
+                            outcomes[d as usize] = outcome;
                         }
-                    }
-                    pending = still_pending;
-                    if !progressed {
-                        poll = (poll * 2).min(POLL_MAX);
+                        Ok(None) => {
+                            self.client.abandon_response(d);
+                            outcomes[d as usize] = DomainOutcome::Failed(
+                                "fanout deadline exceeded before the domain answered".into(),
+                            );
+                        }
+                        Err(e) => outcomes[d as usize] = Self::error_outcome(e),
                     }
                 }
-                if satisfied_count >= required {
-                    // Quorum satisfied with responses still in flight:
-                    // abandon them (drained off the wire on the
-                    // connection's next use). These are the domains a
-                    // retry round may re-ask ([`FanoutReport::abandoned`]).
-                    for d in pending {
-                        self.client.abandon_response(d);
-                        outcomes[d as usize] = DomainOutcome::Abandoned;
-                    }
-                } else {
-                    // Quorum unreachable: collect what remains anyway so
-                    // the report carries every domain's actual answer
-                    // (and `abandoned()` stays the pure retry set — an
-                    // unreachable quorum must not be retried).
-                    for d in pending {
-                        let outcome = Self::response_outcome(self.client.recv_raw(d));
+                break;
+            }
+            let mut progressed = false;
+            let mut still_pending = Vec::with_capacity(pending.len());
+            for d in pending {
+                if early_exit && satisfied_count >= required {
+                    still_pending.push(d);
+                    continue;
+                }
+                let wait = match deadline_at {
+                    Some(at) => poll.min(at.saturating_duration_since(Instant::now())),
+                    None => poll,
+                };
+                match self.client.try_recv_raw(d, wait) {
+                    Ok(Some(response)) => {
+                        progressed = true;
+                        let outcome = Self::response_outcome(Ok(response));
                         if outcome.is_ok()
                             || (count_any_answer && matches!(outcome, DomainOutcome::AppError(_)))
                         {
@@ -677,7 +693,16 @@ impl<'c> Session<'c> {
                         }
                         outcomes[d as usize] = outcome;
                     }
+                    Ok(None) => still_pending.push(d),
+                    Err(e) => {
+                        progressed = true;
+                        outcomes[d as usize] = Self::error_outcome(e);
+                    }
                 }
+            }
+            pending = still_pending;
+            if !progressed {
+                poll = (poll * 2).min(POLL_MAX);
             }
         }
 

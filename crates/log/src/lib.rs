@@ -19,15 +19,21 @@
 //! across all `n` domains. [`batch`] amortises the audit hot path:
 //! multi-checkpoint proof bundles with deduplicated nodes and a
 //! verified-prefix cache so repeated audits never re-verify old history.
+//! [`shard`] scales the write path: a [`shard::ShardedLog`] keeps `N`
+//! independently locked Merkle shards under one top-level shard-head
+//! commitment — byte-compatible with the single-tree format at one shard,
+//! parallel append throughput beyond it.
 
 pub mod auditor;
 pub mod batch;
 pub mod checkpoint;
 pub mod hashchain;
 pub mod merkle;
+pub mod shard;
 
 pub use auditor::{digests_match, AuditOutcome, Auditor, Misbehavior};
 pub use batch::{BundleStep, CheckpointBundle, ProofBundle, VerifiedPrefixCache};
 pub use checkpoint::{log_id, CheckpointBody, EquivocationProof, SignedCheckpoint};
 pub use hashchain::HashChain;
 pub use merkle::{ConsistencyProof, InclusionProof, MerkleLog};
+pub use shard::{ShardBundle, ShardEpoch, ShardProofBundle, ShardSnapshot, ShardedLog};

@@ -37,11 +37,74 @@ fn split_point(n: usize) -> usize {
     k
 }
 
+/// Root of a Merkle tree whose **leaf hashes** are given directly (no
+/// `0x00` leaf prefixing — the entries are already digests). This is the
+/// commitment shape [`crate::shard::ShardedLog`] uses over its
+/// (domain-separated) shard-head leaves: for a single entry the root *is*
+/// that entry, which is what makes a 1-shard commitment byte-identical to
+/// the plain per-shard Merkle root. Callers own domain separation: feed
+/// digests that cannot collide with this tree's interior hashes (see
+/// [`crate::shard::shard_head_leaf`]).
+pub fn root_over_hashes(hashes: &[Digest]) -> Digest {
+    match hashes.len() {
+        0 => empty_root(),
+        1 => hashes[0],
+        n => {
+            let k = split_point(n);
+            node_hash(
+                &root_over_hashes(&hashes[..k]),
+                &root_over_hashes(&hashes[k..]),
+            )
+        }
+    }
+}
+
+/// Inclusion proof for entry `index` in the tree committed by
+/// [`root_over_hashes`]. Verify with [`InclusionProof::verify_hash`],
+/// passing the entry digest as the leaf hash.
+pub fn prove_inclusion_over_hashes(hashes: &[Digest], index: usize) -> Option<InclusionProof> {
+    if index >= hashes.len() {
+        return None;
+    }
+    fn path(hashes: &[Digest], index: usize, out: &mut Vec<Digest>) {
+        let n = hashes.len();
+        if n == 1 {
+            return;
+        }
+        let k = split_point(n);
+        if index < k {
+            path(&hashes[..k], index, out);
+            out.push(root_over_hashes(&hashes[k..]));
+        } else {
+            path(&hashes[k..], index - k, out);
+            out.push(root_over_hashes(&hashes[..k]));
+        }
+    }
+    let mut p = Vec::new();
+    path(hashes, index, &mut p);
+    Some(InclusionProof {
+        index: index as u64,
+        size: hashes.len() as u64,
+        path: p,
+    })
+}
+
 /// An append-only Merkle tree over opaque leaves.
+///
+/// Subtree hashes are cached incrementally: `levels[k][i]` is the root of
+/// the complete subtree covering leaves `[i·2^k, (i+1)·2^k)`, maintained
+/// as leaves arrive (amortised O(1) hash per append). [`MerkleLog::root`]
+/// and [`MerkleLog::root_of_prefix`] fold the O(log n) cached subtrees on
+/// the right edge instead of rehashing every leaf, and proof generation
+/// reads sibling roots from the same cache — without the cache, every
+/// `root()` call cost O(n) hashes and checkpointing grew quadratically
+/// with history.
 #[derive(Clone, Debug, Default)]
 pub struct MerkleLog {
-    leaf_hashes: Vec<Digest>,
     leaves: Vec<Vec<u8>>,
+    /// `levels[0]` holds the leaf hashes; `levels[k][i]` the root of the
+    /// complete aligned subtree of `2^k` leaves starting at `i·2^k`.
+    levels: Vec<Vec<Digest>>,
 }
 
 impl MerkleLog {
@@ -52,19 +115,36 @@ impl MerkleLog {
 
     /// Number of leaves.
     pub fn len(&self) -> usize {
-        self.leaf_hashes.len()
+        self.levels.first().map_or(0, Vec::len)
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.leaf_hashes.is_empty()
+        self.len() == 0
     }
 
     /// Appends a leaf, returning its index.
     pub fn append(&mut self, data: &[u8]) -> usize {
-        self.leaf_hashes.push(leaf_hash(data));
+        if self.levels.is_empty() {
+            self.levels.push(Vec::new());
+        }
+        self.levels[0].push(leaf_hash(data));
         self.leaves.push(data.to_vec());
-        self.leaf_hashes.len() - 1
+        // Complete any aligned subtrees the new leaf finishes.
+        let mut k = 0;
+        loop {
+            let len = self.levels[k].len();
+            if !len.is_multiple_of(2) {
+                break;
+            }
+            let parent = node_hash(&self.levels[k][len - 2], &self.levels[k][len - 1]);
+            if self.levels.len() == k + 1 {
+                self.levels.push(Vec::new());
+            }
+            self.levels[k + 1].push(parent);
+            k += 1;
+        }
+        self.leaves.len() - 1
     }
 
     /// The leaf data at `index`.
@@ -80,21 +160,27 @@ impl MerkleLog {
     /// The root of the first `size` leaves (historical tree heads).
     pub fn root_of_prefix(&self, size: usize) -> Digest {
         assert!(size <= self.len(), "prefix larger than log");
-        if size == 0 {
-            return empty_root();
-        }
-        Self::subtree_root(&self.leaf_hashes[..size])
+        self.range_root(0, size)
     }
 
-    fn subtree_root(hashes: &[Digest]) -> Digest {
-        match hashes.len() {
+    /// Root of the subtree over leaves `[start, start + len)`, served from
+    /// the level cache whenever the range is a complete aligned subtree
+    /// (which every left branch of an RFC 6962 split is).
+    fn range_root(&self, start: usize, len: usize) -> Digest {
+        match len {
             0 => empty_root(),
-            1 => hashes[0],
+            1 => self.levels[0][start],
             n => {
+                if n.is_power_of_two() && start.is_multiple_of(n) {
+                    let k = n.trailing_zeros() as usize;
+                    if let Some(h) = self.levels.get(k).and_then(|l| l.get(start >> k)) {
+                        return *h;
+                    }
+                }
                 let k = split_point(n);
                 node_hash(
-                    &Self::subtree_root(&hashes[..k]),
-                    &Self::subtree_root(&hashes[k..]),
+                    &self.range_root(start, k),
+                    &self.range_root(start + k, n - k),
                 )
             }
         }
@@ -106,7 +192,7 @@ impl MerkleLog {
             return None;
         }
         let mut path = Vec::new();
-        Self::inclusion_path(&self.leaf_hashes[..size], index, &mut path);
+        self.inclusion_path(0, size, index, &mut path);
         Some(InclusionProof {
             index: index as u64,
             size: size as u64,
@@ -114,18 +200,17 @@ impl MerkleLog {
         })
     }
 
-    fn inclusion_path(hashes: &[Digest], index: usize, out: &mut Vec<Digest>) {
-        let n = hashes.len();
-        if n == 1 {
+    fn inclusion_path(&self, start: usize, len: usize, index: usize, out: &mut Vec<Digest>) {
+        if len == 1 {
             return;
         }
-        let k = split_point(n);
+        let k = split_point(len);
         if index < k {
-            Self::inclusion_path(&hashes[..k], index, out);
-            out.push(Self::subtree_root(&hashes[k..]));
+            self.inclusion_path(start, k, index, out);
+            out.push(self.range_root(start + k, len - k));
         } else {
-            Self::inclusion_path(&hashes[k..], index - k, out);
-            out.push(Self::subtree_root(&hashes[..k]));
+            self.inclusion_path(start + k, len - k, index - k, out);
+            out.push(self.range_root(start, k));
         }
     }
 
@@ -136,7 +221,7 @@ impl MerkleLog {
             return None;
         }
         let mut path = Vec::new();
-        Self::subproof(&self.leaf_hashes[..new_size], old_size, true, &mut path);
+        self.subproof(0, new_size, old_size, true, &mut path);
         Some(ConsistencyProof {
             old_size: old_size as u64,
             new_size: new_size as u64,
@@ -144,21 +229,20 @@ impl MerkleLog {
         })
     }
 
-    fn subproof(hashes: &[Digest], m: usize, complete: bool, out: &mut Vec<Digest>) {
-        let n = hashes.len();
-        if m == n {
+    fn subproof(&self, start: usize, len: usize, m: usize, complete: bool, out: &mut Vec<Digest>) {
+        if m == len {
             if !complete {
-                out.push(Self::subtree_root(hashes));
+                out.push(self.range_root(start, len));
             }
             return;
         }
-        let k = split_point(n);
+        let k = split_point(len);
         if m <= k {
-            Self::subproof(&hashes[..k], m, complete, out);
-            out.push(Self::subtree_root(&hashes[k..]));
+            self.subproof(start, k, m, complete, out);
+            out.push(self.range_root(start + k, len - k));
         } else {
-            Self::subproof(&hashes[k..], m - k, false, out);
-            out.push(Self::subtree_root(&hashes[..k]));
+            self.subproof(start + k, len - k, m - k, false, out);
+            out.push(self.range_root(start, k));
         }
     }
 }
@@ -439,6 +523,57 @@ mod tests {
         let mut other = log.root();
         other[5] ^= 3;
         assert!(!proof.verify(&log.root(), &other));
+    }
+
+    #[test]
+    fn cached_roots_match_naive_recompute() {
+        // The level cache must be an invisible optimisation: every root and
+        // prefix root equals the from-scratch fold over the leaf hashes.
+        let mut log = MerkleLog::new();
+        for i in 0..70usize {
+            log.append(format!("leaf-{i}").as_bytes());
+            let naive: Vec<Digest> = (0..=i)
+                .map(|j| leaf_hash(format!("leaf-{j}").as_bytes()))
+                .collect();
+            assert_eq!(log.root(), root_over_hashes(&naive), "size {}", i + 1);
+            if i.is_multiple_of(13) {
+                for size in [1, i.div_ceil(2), i + 1] {
+                    assert_eq!(
+                        log.root_of_prefix(size),
+                        root_over_hashes(&naive[..size]),
+                        "prefix {size} of {}",
+                        i + 1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn root_over_hashes_shapes() {
+        // Single entry: the root IS the entry (no leaf prefixing) — the
+        // property 1-shard wire compatibility rests on.
+        let a = [1u8; 32];
+        let b = [2u8; 32];
+        let c = [3u8; 32];
+        assert_eq!(root_over_hashes(&[a]), a);
+        assert_eq!(root_over_hashes(&[a, b]), node_hash(&a, &b));
+        assert_eq!(
+            root_over_hashes(&[a, b, c]),
+            node_hash(&node_hash(&a, &b), &c)
+        );
+    }
+
+    #[test]
+    fn inclusion_over_hashes_verifies() {
+        let heads: Vec<Digest> = (0..5u8).map(|i| [i; 32]).collect();
+        let root = root_over_hashes(&heads);
+        for (i, head) in heads.iter().enumerate() {
+            let proof = prove_inclusion_over_hashes(&heads, i).unwrap();
+            assert!(proof.verify_hash(head, &root), "entry {i}");
+            assert!(!proof.verify_hash(&[0xee; 32], &root));
+        }
+        assert!(prove_inclusion_over_hashes(&heads, 5).is_none());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! invoked in-process (no sockets) via [`EnclaveService::handle`] directly.
 
 use distrust_wire::frame::{read_frame, write_frame};
+use distrust_wire::rpc::accept_with_retry;
 use parking_lot::Mutex;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -84,6 +85,10 @@ impl EnclaveHost {
         let conns: ConnRegistry = Arc::new(Mutex::new(std::collections::HashMap::new()));
 
         // Socket 2: the "vsock" between host proxy and enclave interior.
+        // Both accept loops retry through errors with exponential backoff
+        // (`accept_with_retry`, the same hardening the wire crate's RPC
+        // servers got): an EMFILE burst or a client racing RST must not
+        // leave a zombie listener that looks alive but accepts nothing.
         let internal_listener = TcpListener::bind(("127.0.0.1", 0))?;
         let internal_addr = internal_listener.local_addr()?;
         let stop_i = Arc::clone(&stop);
@@ -92,16 +97,24 @@ impl EnclaveHost {
         let internal_thread = std::thread::Builder::new()
             .name("enclave-interior".to_string())
             .spawn(move || {
-                for conn in internal_listener.incoming() {
+                let label = format!("enclave-interior-{internal_addr}");
+                let mut consecutive_errors = 0u32;
+                loop {
+                    let Some((mut conn, _)) =
+                        accept_with_retry(&label, &stop_i, &mut consecutive_errors, || {
+                            internal_listener.accept()
+                        })
+                    else {
+                        break;
+                    };
                     if stop_i.load(Ordering::SeqCst) {
                         break;
                     }
-                    let Ok(mut conn) = conn else { break };
                     let _ = conn.set_nodelay(true);
                     let service = Arc::clone(&service_i);
                     let stop_c = Arc::clone(&stop_i);
                     let conns_c = Arc::clone(&conns_i);
-                    let _ = std::thread::Builder::new()
+                    let spawned = std::thread::Builder::new()
                         .name("enclave-conn".to_string())
                         .spawn(move || {
                             let id = track_conn(&conns_c, &conn);
@@ -119,6 +132,13 @@ impl EnclaveHost {
                             }
                             untrack_conn(&conns_c, id);
                         });
+                    if let Err(e) = spawned {
+                        // Out of threads: refuse loudly instead of silently
+                        // dropping the socket on the floor (matching
+                        // RpcServer) — the proxy side sees the close and
+                        // reports its own failure to the client.
+                        eprintln!("{label}: failed to spawn connection thread: {e}");
+                    }
                 }
             })?;
 
@@ -130,22 +150,34 @@ impl EnclaveHost {
         let proxy_thread = std::thread::Builder::new()
             .name("enclave-proxy".to_string())
             .spawn(move || {
-                for conn in external_listener.incoming() {
+                let label = format!("enclave-proxy-{external_addr}");
+                let mut consecutive_errors = 0u32;
+                loop {
+                    let Some((mut client, _)) =
+                        accept_with_retry(&label, &stop_e, &mut consecutive_errors, || {
+                            external_listener.accept()
+                        })
+                    else {
+                        break;
+                    };
                     if stop_e.load(Ordering::SeqCst) {
                         break;
                     }
-                    let Ok(mut client) = conn else { break };
                     let _ = client.set_nodelay(true);
                     let stop_c = Arc::clone(&stop_e);
                     let conns_c = Arc::clone(&conns_e);
-                    let _ = std::thread::Builder::new()
+                    let spawned = std::thread::Builder::new()
                         .name("enclave-proxy-conn".to_string())
                         .spawn(move || {
                             let client_id = track_conn(&conns_c, &client);
                             // One upstream connection per client connection.
-                            let Ok(mut upstream) = TcpStream::connect(internal_addr) else {
-                                untrack_conn(&conns_c, client_id);
-                                return;
+                            let mut upstream = match TcpStream::connect(internal_addr) {
+                                Ok(upstream) => upstream,
+                                Err(e) => {
+                                    eprintln!("enclave-proxy-conn: interior connect failed: {e}");
+                                    untrack_conn(&conns_c, client_id);
+                                    return;
+                                }
                             };
                             let _ = upstream.set_nodelay(true);
                             let upstream_id = track_conn(&conns_c, &upstream);
@@ -170,6 +202,12 @@ impl EnclaveHost {
                             untrack_conn(&conns_c, client_id);
                             untrack_conn(&conns_c, upstream_id);
                         });
+                    if let Err(e) = spawned {
+                        // Same contract as the interior loop: report, close
+                        // the client socket so the failure is visible at
+                        // the far end, and keep accepting.
+                        eprintln!("{label}: failed to spawn proxy connection thread: {e}");
+                    }
                 }
             })?;
 
@@ -299,6 +337,21 @@ mod tests {
             client.exchange(b"after").is_err(),
             "shutdown host served a request"
         );
+    }
+
+    #[test]
+    fn listener_survives_connect_drop_churn() {
+        // A storm of clients connecting and vanishing without a byte (the
+        // accept-side view of RST races) must not degrade the listener: a
+        // well-behaved client afterwards still gets full service.
+        let mut host = EnclaveHost::spawn(|req: Vec<u8>| req).unwrap();
+        let addr = host.addr();
+        for _ in 0..64 {
+            drop(TcpStream::connect(addr).unwrap());
+        }
+        let mut client = EnclaveClient::connect(addr).unwrap();
+        assert_eq!(client.exchange(b"still alive").unwrap(), b"still alive");
+        host.shutdown();
     }
 
     #[test]

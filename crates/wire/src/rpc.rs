@@ -141,7 +141,12 @@ where
 /// doubling to a 500 ms ceiling) so a sustained storm, like fd exhaustion,
 /// costs almost no CPU, yet the listener recovers within half a second of
 /// the condition clearing. Returns `None` only once the stop flag is set.
-fn accept_with_retry<T>(
+///
+/// Public because every accept loop in the workspace shares this
+/// contract — [`RpcServer`], the event-loop server, and the TEE enclave
+/// proxy all retry through the same helper instead of each growing its
+/// own subtly different zombie-listener bug.
+pub fn accept_with_retry<T>(
     label: &str,
     stop: &AtomicBool,
     consecutive_errors: &mut u32,

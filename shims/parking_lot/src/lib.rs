@@ -2,7 +2,7 @@
 //! `lock()` signature, backed by `std::sync::Mutex`. A panic while a guard
 //! is held does not poison the lock for later users (matching parking_lot).
 
-use std::sync::MutexGuard;
+pub use std::sync::MutexGuard;
 
 /// A mutual-exclusion lock whose `lock` never returns a `Result`.
 pub struct Mutex<T: ?Sized> {

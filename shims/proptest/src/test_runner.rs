@@ -85,11 +85,24 @@ pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
 where
     F: FnMut(&mut TestRng) -> TestCaseResult,
 {
+    // `PROPTEST_CASES` (same knob as real proptest) raises the case count
+    // as a floor: CI's release-mode deep-fuzz step sets it to run every
+    // property test harder than the debug-build default, without tests
+    // configured *above* the floor losing coverage. Generation stays
+    // deterministic — more cases just walks the same seeded stream
+    // further.
+    let target = match std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+    {
+        Some(floor) => config.cases.max(floor),
+        None => config.cases,
+    };
     let mut rng = TestRng::from_name(name);
     let mut passed = 0u32;
     let mut rejected = 0u32;
-    let max_rejects = config.cases.saturating_mul(16).max(1024);
-    while passed < config.cases {
+    let max_rejects = target.saturating_mul(16).max(1024);
+    while passed < target {
         match case(&mut rng) {
             Ok(()) => passed += 1,
             Err(TestCaseError::Reject) => {

@@ -37,6 +37,7 @@ fn event_loop_sustains_500_concurrent_batch_auditors() {
             developer_key: dev.verifying_key(),
             log_id: log_id(b"batch-load", 0),
             limits: Limits::default(),
+            log_shards: 1,
         },
         None,
         checkpoint_key,

@@ -1,0 +1,169 @@
+//! Fan-out deadline budgets: a hung-but-connected domain must time out
+//! into [`DomainOutcome::Failed`] instead of stalling an `All` quorum
+//! forever (ROADMAP, PR 4 "Remaining").
+//!
+//! The hung domain here is the nastiest kind: it *accepts* the TCP
+//! connection and *reads* nothing-visible-to-the-client — the request
+//! vanishes into its socket buffer and no response ever comes. Connect
+//! timeouts, error frames, and dead sockets all surface on their own;
+//! only a silent, live connection needs the wall-clock budget.
+
+use distrust::core::abi::{AppHost, NoImports, HANDLE_EXPORT, OUTBOX_ADDR};
+use distrust::core::client::DeploymentClient;
+use distrust::core::session::{DomainOutcome, FanoutCall, QuorumPolicy, TrustPolicy};
+use distrust::core::{AppSpec, Deployment};
+use distrust::crypto::drbg::HmacDrbg;
+use distrust::sandbox::{FuncBuilder, Limits, Module, ModuleBuilder};
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
+
+/// Method 1 echoes `input[0] + 1`.
+fn echo_module() -> Module {
+    let mut mb = ModuleBuilder::new(1, 1);
+    let mut f = FuncBuilder::new(3, 0, 1);
+    f.constant(OUTBOX_ADDR)
+        .lget(1)
+        .load8(0)
+        .constant(1)
+        .add()
+        .store8(0)
+        .constant(1)
+        .ret();
+    let idx = mb.function(f.build().unwrap());
+    mb.export(HANDLE_EXPORT, idx);
+    mb.build()
+}
+
+/// A listener that accepts every connection and never writes a byte back
+/// — the sockets are parked alive for the life of the test process.
+fn hung_listener() -> SocketAddr {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    std::thread::Builder::new()
+        .name("hung-domain".into())
+        .spawn(move || {
+            let mut parked = Vec::new();
+            for conn in listener.incoming().flatten() {
+                parked.push(conn);
+            }
+        })
+        .expect("spawn");
+    addr
+}
+
+/// A real 3-domain deployment whose domain 1 is swapped for a hung
+/// listener in the client's descriptor — connected, silent, alive.
+fn deployment_with_hung_domain() -> (Deployment, DeploymentClient) {
+    let spec = AppSpec {
+        name: "echo".into(),
+        module: echo_module(),
+        notes: "v1".into(),
+        hosts: (0..3)
+            .map(|_| Box::new(NoImports) as Box<dyn AppHost>)
+            .collect(),
+        limits: Limits::default(),
+    };
+    let deployment = Deployment::launch(spec, b"fanout deadline").expect("launch");
+    let mut descriptor = deployment.descriptor.clone();
+    descriptor.domains[1].addr = hung_listener();
+    let client = DeploymentClient::new(
+        descriptor,
+        Box::new(HmacDrbg::new(b"fanout deadline", b"client-rng")),
+    );
+    (deployment, client)
+}
+
+#[test]
+fn hung_domain_times_out_instead_of_stalling_all_quorum() {
+    let (deployment, mut client) = deployment_with_hung_domain();
+    // An open policy: the trust gate must not touch the hung domain
+    // before the fan-out does (the gating audit would hang on it too —
+    // it shares the same budget machinery only through fanout here).
+    let mut session = client.session(TrustPolicy::open());
+
+    let budget = Duration::from_millis(400);
+    let started = Instant::now();
+    let report = session
+        .fanout(&FanoutCall::broadcast(1, vec![5]).deadline(budget))
+        .expect("fanout runs");
+    let elapsed = started.elapsed();
+
+    // The healthy domains answered; the hung one failed on the deadline.
+    assert!(matches!(&report.outcomes[0], DomainOutcome::Ok(p) if p == &vec![6u8]));
+    assert!(matches!(&report.outcomes[2], DomainOutcome::Ok(p) if p == &vec![6u8]));
+    match &report.outcomes[1] {
+        DomainOutcome::Failed(why) => {
+            assert!(
+                why.contains("deadline"),
+                "failure must name the deadline: {why}"
+            )
+        }
+        other => panic!("hung domain must fail on deadline, got {other:?}"),
+    }
+    assert!(!report.satisfied, "All quorum cannot be satisfied");
+    assert!(report.require().is_err());
+    // The collection respected the budget (generous upper bound for slow
+    // CI boxes) instead of blocking forever.
+    assert!(
+        elapsed < budget + Duration::from_secs(5),
+        "fanout took {elapsed:?} against a {budget:?} budget"
+    );
+
+    // The session survives: a second deadline-bounded round still serves
+    // the healthy domains (the hung connection owes an abandoned response
+    // and simply times out again).
+    let report = session
+        .fanout(&FanoutCall::broadcast(1, vec![7]).deadline(budget))
+        .expect("fanout runs again");
+    assert!(matches!(&report.outcomes[0], DomainOutcome::Ok(p) if p == &vec![8u8]));
+    assert!(matches!(&report.outcomes[1], DomainOutcome::Failed(_)));
+    assert!(matches!(&report.outcomes[2], DomainOutcome::Ok(p) if p == &vec![8u8]));
+
+    drop(session);
+    drop(deployment);
+}
+
+#[test]
+fn threshold_quorum_races_past_hung_domain_within_deadline() {
+    let (deployment, mut client) = deployment_with_hung_domain();
+    let mut session = client.session(TrustPolicy::open());
+
+    let report = session
+        .fanout(
+            &FanoutCall::broadcast(1, vec![10])
+                .quorum(QuorumPolicy::Threshold(2))
+                .deadline(Duration::from_secs(10)),
+        )
+        .expect("fanout runs");
+    // Two healthy answers satisfy the quorum long before the deadline;
+    // the hung domain's response is abandoned, not failed.
+    assert!(report.satisfied);
+    assert_eq!(report.ok_count(), 2);
+    assert_eq!(report.abandoned(), vec![1]);
+
+    drop(session);
+    drop(deployment);
+}
+
+#[test]
+fn deadline_generous_enough_changes_nothing() {
+    // With no hung domain and a roomy budget, a deadline-bounded fan-out
+    // behaves exactly like an unbounded one.
+    let spec = AppSpec {
+        name: "echo".into(),
+        module: echo_module(),
+        notes: "v1".into(),
+        hosts: (0..3)
+            .map(|_| Box::new(NoImports) as Box<dyn AppHost>)
+            .collect(),
+        limits: Limits::default(),
+    };
+    let deployment = Deployment::launch(spec, b"healthy deadline").expect("launch");
+    let mut client = deployment.client(b"client");
+    let mut session = client.session(TrustPolicy::audited());
+    let report = session
+        .fanout(&FanoutCall::broadcast(1, vec![1]).deadline(Duration::from_secs(30)))
+        .expect("fanout runs");
+    assert!(report.satisfied, "{report:?}");
+    assert_eq!(report.ok_count(), 3);
+}

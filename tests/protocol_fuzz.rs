@@ -22,6 +22,7 @@ fn service() -> FrameworkService {
             developer_key: dev.verifying_key(),
             log_id: [1; 32],
             limits: Limits::default(),
+            log_shards: 1,
         },
         None,
         SigningKey::derive(b"protocol fuzz", b"cp"),
@@ -39,6 +40,58 @@ fn service_with_history() -> FrameworkService {
         svc.framework_mut().apply_update(&release).expect("applies");
     }
     svc
+}
+
+/// A 4-shard service with three installed releases, so batched audits are
+/// answered with the sharded bundle shape (`Response::ShardAuditBundle`).
+fn sharded_service_with_history() -> FrameworkService {
+    let dev = SigningKey::derive(b"protocol fuzz", b"dev");
+    let mut svc = FrameworkService::new(EnclaveFramework::new(
+        FrameworkConfig {
+            domain_index: 0,
+            app_name: "fuzzed".into(),
+            developer_key: dev.verifying_key(),
+            log_id: [2; 32],
+            limits: Limits::default(),
+            log_shards: 4,
+        },
+        None,
+        SigningKey::derive(b"protocol fuzz", b"cp-sharded"),
+        Box::new(NoImports),
+    ));
+    for v in 1..=3u64 {
+        let release = SignedRelease::create("fuzzed", v, "", &counter_module(v), &dev);
+        svc.framework_mut().apply_update(&release).expect("applies");
+    }
+    svc
+}
+
+/// A real server-produced `ShardAuditBundle` response frame, cached for
+/// verified sizes 0..=5 like its single-tree sibling below.
+fn shard_audit_response_frame(verified_size: u64) -> Vec<u8> {
+    use std::sync::OnceLock;
+    static FRAMES: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+    let frames = FRAMES.get_or_init(|| {
+        let mut svc = sharded_service_with_history();
+        (0..=5u64)
+            .map(|vs| {
+                let frame = svc.handle(
+                    Request::BatchAudit {
+                        request_id: 77,
+                        nonce: [7; 32],
+                        verified_size: vs,
+                    }
+                    .to_wire(),
+                );
+                assert!(matches!(
+                    Response::from_wire(&frame),
+                    Ok(Response::ShardAuditBundle(_))
+                ));
+                frame
+            })
+            .collect()
+    });
+    frames[verified_size as usize].clone()
 }
 
 /// A real server-produced `AuditBundle` response frame. Built once per
@@ -88,7 +141,7 @@ proptest! {
     /// must agree byte-for-byte, since responses are hashed into quotes).
     #[test]
     fn structured_requests_round_trip(
-        tag in 0u8..9,
+        tag in 0u8..10,
         nonce in any::<[u8; 32]>(),
         method in any::<u64>(),
         payload in proptest::collection::vec(any::<u8>(), 0..64),
@@ -102,10 +155,14 @@ proptest! {
             4 => Request::GetConsistency { old_size: number },
             5 => Request::GetLogEntries { from: number },
             6 => Request::GetNotices { since: number },
-            _ => Request::BatchAudit {
+            7 => Request::BatchAudit {
                 request_id: method,
                 nonce,
                 verified_size: number,
+            },
+            _ => Request::GetShardEntries {
+                shard: method as u32,
+                from: number,
             },
         };
         let wire = request.to_wire();
@@ -168,6 +225,61 @@ proptest! {
         frame.extend_from_slice(&garbage);
         prop_assert!(Response::from_wire(&frame).is_err());
     }
+
+    /// Truncating a real sharded audit response at any point must error —
+    /// never panic, never decode to a different value.
+    #[test]
+    fn truncated_shard_audit_bundle_rejected(verified_size in 0u64..5, cut_seed in any::<u64>()) {
+        let frame = shard_audit_response_frame(verified_size);
+        let cut = (cut_seed as usize) % frame.len();
+        prop_assert!(Response::from_wire(&frame[..cut]).is_err());
+    }
+
+    /// Flipping any single bit of a sharded audit response either fails to
+    /// decode or decodes to a *different* value (canonical encoding): a
+    /// tampered shard bundle always reaches the verifier visibly changed.
+    #[test]
+    fn bit_flipped_shard_audit_bundle_never_misparses(
+        verified_size in 0u64..5,
+        flip_seed in any::<u64>(),
+    ) {
+        let frame = shard_audit_response_frame(verified_size);
+        let original = Response::from_wire(&frame).expect("valid frame decodes");
+        let mut mutated = frame.clone();
+        let bit = (flip_seed as usize) % (frame.len() * 8);
+        mutated[bit / 8] ^= 1 << (bit % 8);
+        match Response::from_wire(&mutated) {
+            Err(_) => {}
+            Ok(decoded) => {
+                prop_assert_ne!(decoded, original);
+            }
+        }
+    }
+
+    /// Trailing garbage after a complete sharded audit response is
+    /// rejected, not silently dropped.
+    #[test]
+    fn shard_audit_bundle_with_trailing_bytes_rejected(
+        garbage in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let mut frame = shard_audit_response_frame(0);
+        frame.extend_from_slice(&garbage);
+        prop_assert!(Response::from_wire(&frame).is_err());
+    }
+
+    /// Arbitrary GetShardEntries parameters — shard indices and offsets
+    /// far out of range included — always get a decodable answer back,
+    /// never a panic or a hang.
+    #[test]
+    fn arbitrary_shard_entry_requests_answered(
+        shard in any::<u32>(),
+        from in any::<u64>(),
+        sharded in any::<bool>(),
+    ) {
+        let mut svc = if sharded { sharded_service_with_history() } else { service() };
+        let response_bytes = svc.handle(Request::GetShardEntries { shard, from }.to_wire());
+        prop_assert!(Response::from_wire(&response_bytes).is_ok());
+    }
 }
 
 proptest! {
@@ -225,6 +337,33 @@ fn audit_bundle_length_bombs_rejected_before_allocation() {
 }
 
 #[test]
+fn shard_audit_bundle_length_bombs_rejected_before_allocation() {
+    // Same layout as the single-tree bundle up to the sequence length
+    // prefix: tag(1) + request_id(8) + attestation tag(1) + DomainStatus,
+    // then the epoch sequence length. A ludicrous epoch count must fail
+    // fast on the length guard, not attempt the allocation.
+    let frame = shard_audit_response_frame(0);
+    let status_len = distrust::core::DomainStatus {
+        domain_index: 0,
+        app_digest: [0; 32],
+        app_version: 0,
+        log_size: 0,
+        log_head: [0; 32],
+        framework_measurement: [0; 32],
+    }
+    .to_wire()
+    .len();
+    let off = 1 + 8 + 1 + status_len;
+    let mut bomb = frame.clone();
+    bomb[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(Response::from_wire(&bomb).is_err());
+    // Sanity: patching the same bytes back decodes again.
+    let mut intact = bomb;
+    intact[off..off + 4].copy_from_slice(&frame[off..off + 4]);
+    assert!(Response::from_wire(&intact).is_ok());
+}
+
+#[test]
 fn every_request_variant_gets_a_sensible_answer_without_an_app() {
     type ResponseCheck = fn(&Response) -> bool;
     let mut svc = service();
@@ -251,6 +390,12 @@ fn every_request_variant_gets_a_sensible_answer_without_an_app() {
         }),
         (Request::GetNotices { since: 0 }, |r| {
             matches!(r, Response::Notices(_))
+        }),
+        (Request::GetShardEntries { shard: 0, from: 0 }, |r| {
+            matches!(r, Response::LogEntries(_))
+        }),
+        (Request::GetShardEntries { shard: 9, from: 0 }, |r| {
+            matches!(r, Response::Error(_))
         }),
     ];
     for (request, check) in cases {
