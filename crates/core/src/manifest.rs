@@ -127,6 +127,11 @@ pub enum ReleaseError {
     /// A prior release locked the deployment (§3.3): updates are
     /// permanently disabled.
     DeploymentLocked,
+    /// The append-only log refused the routed shard — an internal
+    /// inconsistency between shard routing and shard count. Surfaced as a
+    /// rejection rather than a panic so one bad update cannot take the
+    /// serving path down.
+    LogAppend,
 }
 
 impl core::fmt::Display for ReleaseError {
@@ -144,6 +149,9 @@ impl core::fmt::Display for ReleaseError {
             }
             Self::DeploymentLocked => {
                 write!(f, "deployment is locked: updates permanently disabled")
+            }
+            Self::LogAppend => {
+                write!(f, "internal error: release log refused the routed shard")
             }
         }
     }

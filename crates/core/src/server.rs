@@ -17,7 +17,7 @@
 use distrust_tee::host::EnclaveService;
 use distrust_wire::reactor::FrameService;
 use distrust_wire::rpc::EventLoopRpcServer;
-use parking_lot::Mutex;
+use distrust_wire::sync::HealthyMutex;
 use std::net::SocketAddr;
 use std::sync::Arc;
 
@@ -37,9 +37,9 @@ impl DirectHost {
     /// reactor pool completes frames — the same serialization the old
     /// thread-per-connection host provided.
     pub fn spawn<S: EnclaveService>(service: S) -> std::io::Result<Self> {
-        let service = Mutex::new(service);
+        let service = HealthyMutex::new(service);
         let frames: FrameService =
-            Arc::new(move |request: &[u8]| service.lock().handle(request.to_vec()));
+            Arc::new(move |request: &[u8]| service.lock_healthy().handle(request.to_vec()));
         Ok(Self {
             inner: EventLoopRpcServer::spawn_frames(frames, REACTOR_THREADS)?,
         })

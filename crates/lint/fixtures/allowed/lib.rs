@@ -1,0 +1,8 @@
+//! Allowlist fixture: the `.unwrap()` below is a real finding, but the
+//! marker suppresses it — the report must show one finding, allowed,
+//! with zero denied.
+
+pub fn startup(config: Option<Config>) -> Config {
+    // lint:allow(panic): fixture — startup-time invariant, exercised by the allowlist self-test
+    config.unwrap()
+}

@@ -1,0 +1,10 @@
+//! Seeded violation for the reactor-blocking pass: `pump` is a reactor
+//! entry point and reaches an unbounded sleep through a helper.
+
+pub fn pump(queue: &Receiver) {
+    refill(queue);
+}
+
+fn refill(queue: &Receiver) {
+    std::thread::sleep(PAUSE);
+}

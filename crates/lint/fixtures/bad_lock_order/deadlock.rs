@@ -1,0 +1,14 @@
+//! Seeded violation: `forward` takes alpha then beta, `backward` takes
+//! beta then alpha. The lock-order pass must report exactly one cycle.
+
+pub fn forward(state: &Shared) {
+    let a = state.alpha.lock();
+    let b = state.beta.lock();
+    use_both(a, b);
+}
+
+pub fn backward(state: &Shared) {
+    let b = state.beta.lock();
+    let a = state.alpha.lock();
+    use_both(a, b);
+}

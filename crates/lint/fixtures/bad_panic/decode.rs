@@ -1,0 +1,10 @@
+//! Seeded violations for the panic pass: an `.unwrap()` on a serving
+//! path and unchecked indexing inside a decode-path function.
+
+pub fn serve_request(input: Option<Vec<u8>>) -> Vec<u8> {
+    input.unwrap()
+}
+
+pub fn decode_header(bytes: &[u8]) -> u8 {
+    bytes[0]
+}

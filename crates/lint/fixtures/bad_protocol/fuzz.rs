@@ -1,0 +1,7 @@
+//! Fixture fuzz suite: only `Request::A` is exercised, so the protocol
+//! pass must flag the missing coverage for the other variants.
+
+pub fn fuzz_request_round_trip() {
+    let case = Request::A;
+    exercise(case);
+}

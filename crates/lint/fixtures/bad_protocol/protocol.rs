@@ -1,0 +1,45 @@
+//! Seeded violations for the protocol pass: `Request::C` reuses tag 1
+//! (duplicate tag, and the tag decodes to `Request::B`), `Request::B` and
+//! `Request::C` have no fuzz coverage, and `Sideband` implements Encode
+//! with no Decode impl in this file.
+
+pub enum Request {
+    A,
+    B,
+    C,
+}
+
+impl Encode for Request {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::A => {
+                0u8.encode(out);
+            }
+            Request::B => {
+                1u8.encode(out);
+            }
+            Request::C => {
+                1u8.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for Request {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let tag = u8::decode(input)?;
+        Ok(match tag {
+            0 => Request::A,
+            1 => Request::B,
+            _ => return Err(DecodeError::BadTag),
+        })
+    }
+}
+
+pub struct Sideband;
+
+impl Encode for Sideband {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(9);
+    }
+}

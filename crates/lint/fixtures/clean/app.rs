@@ -1,0 +1,35 @@
+//! Clean fixture: every pass runs over this file and must report nothing.
+//!
+//! It deliberately exercises each pass's happy path — consistent lock
+//! order, typed error returns on the decode path, a reactor loop that
+//! only uses timed receives — so a regression that over-fires shows up
+//! here as a non-empty report.
+
+pub fn serve(state: &Shared) -> Result<u8, ServeError> {
+    let a = state.alpha.lock();
+    let b = state.beta.lock();
+    combine(a, b)
+}
+
+pub fn audit(state: &Shared) -> Result<u8, ServeError> {
+    let a = state.alpha.lock();
+    let b = state.beta.lock();
+    compare(a, b)
+}
+
+pub fn decode_header(bytes: &[u8]) -> Result<u8, ServeError> {
+    match bytes.first() {
+        Some(first) => Ok(*first),
+        None => Err(ServeError::Truncated),
+    }
+}
+
+pub fn reactor_loop(intake: &Receiver) {
+    while let Ok(frame) = intake.recv_timeout(TICK) {
+        dispatch(frame);
+    }
+}
+
+fn dispatch(frame: Frame) {
+    record(frame);
+}

@@ -1,0 +1,42 @@
+//! Analysis configuration: which files to scan and how each pass scopes
+//! itself. The binary always runs the repo default; fixture tests build
+//! custom configs pointed at snippet directories.
+
+use crate::passes::blocking;
+use crate::passes::panic_path::PanicScope;
+use crate::passes::protocol::ProtocolCfg;
+use std::path::PathBuf;
+
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace root the scan is relative to.
+    pub root: PathBuf,
+    pub panic_scope: PanicScope,
+    /// Function names treated as reactor callback entry points.
+    pub reactor_entries: Vec<String>,
+    /// Protocol-conformance configuration; `None` skips the pass.
+    pub protocol: Option<ProtocolCfg>,
+}
+
+impl Config {
+    /// The configuration used on this repository.
+    pub fn repo_default(root: PathBuf) -> Config {
+        Config {
+            root,
+            panic_scope: PanicScope::RepoDefault,
+            reactor_entries: blocking::default_entries(),
+            protocol: Some(ProtocolCfg::repo_default()),
+        }
+    }
+
+    /// Fixture configuration: every file is in scope for the panic pass,
+    /// the protocol pass is off unless the fixture provides files.
+    pub fn fixture(root: PathBuf) -> Config {
+        Config {
+            root,
+            panic_scope: PanicScope::AllFiles,
+            reactor_entries: blocking::default_entries(),
+            protocol: None,
+        }
+    }
+}

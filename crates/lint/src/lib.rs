@@ -1,0 +1,110 @@
+//! `distrust-lint`: repo-aware static analysis for the distrust workspace.
+//!
+//! Four passes over a hand-rolled token stream (no registry dependencies,
+//! std only):
+//!
+//! 1. **lock-order** — global lock-order graph over named lock fields;
+//!    flags cycles, double acquisitions, and locks held across blocking
+//!    calls.
+//! 2. **panic** — `unwrap`/`expect`/panic-family macros and (on decode
+//!    paths) unchecked indexing in server-side request-handling code.
+//! 3. **protocol** — Request/Response tag uniqueness, encode↔decode
+//!    pairing, codec impl pairing, and fuzz-suite coverage for every
+//!    variant.
+//! 4. **blocking** — blocking calls reachable from reactor callback paths.
+//!
+//! Findings are suppressed only by `// lint:allow(<pass>): <reason>` on
+//! the same or preceding line, and the reason is mandatory. See LINTS.md
+//! at the workspace root for the full contract.
+
+pub mod config;
+pub mod facts;
+pub mod lexer;
+pub mod model;
+pub mod passes;
+pub mod report;
+pub mod scan;
+
+use config::Config;
+use model::Model;
+use report::Report;
+use scan::SourceFile;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Runs every pass under `cfg` and returns the finished report.
+pub fn analyze(cfg: &Config) -> io::Result<Report> {
+    let paths = discover(&cfg.root)?;
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let source = std::fs::read_to_string(cfg.root.join(&path))?;
+        files.push(SourceFile::parse(path, &source));
+    }
+
+    let model = Model::build(files.iter().flat_map(facts::function_facts).collect());
+    let mut report = Report::default();
+    passes::lock_order::run(&model, &mut report);
+    passes::blocking::run(&model, &cfg.reactor_entries, &mut report);
+    passes::panic_path::run(&files, cfg.panic_scope, &mut report);
+    if let Some(proto) = &cfg.protocol {
+        let fuzz = std::fs::read_to_string(cfg.root.join(&proto.fuzz_file)).ok();
+        passes::protocol::run(&files, proto, fuzz.as_deref(), &mut report);
+    }
+    report.apply_allows(&files);
+    report.finish();
+    Ok(report)
+}
+
+/// Collects the root-relative paths of every source file to scan, sorted
+/// for determinism. A workspace root scans `crates/*/src` plus `src/`;
+/// any other root (fixture directories) scans all `.rs` files under it.
+fn discover(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    if root.join("crates").is_dir() {
+        let mut crates: Vec<PathBuf> = std::fs::read_dir(root.join("crates"))?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crates.sort();
+        for krate in crates {
+            let src = krate.join("src");
+            if src.is_dir() {
+                walk(root, &src, &mut out)?;
+            }
+        }
+        let src = root.join("src");
+        if src.is_dir() {
+            walk(root, &src, &mut out)?;
+        }
+    } else {
+        walk(root, root, &mut out)?;
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name == "fixtures" {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}

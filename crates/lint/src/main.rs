@@ -1,0 +1,72 @@
+//! CLI for `distrust-lint`.
+//!
+//! ```text
+//! cargo run -p distrust-lint -- --deny                # CI gate
+//! cargo run -p distrust-lint -- --format json         # machine-readable
+//! cargo run -p distrust-lint -- --root ../elsewhere   # another workspace
+//! ```
+//!
+//! Exit codes: 0 clean (or findings without `--deny`), 1 unallowlisted
+//! findings under `--deny`, 2 usage or I/O error.
+
+use distrust_lint::config::Config;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!("--format expects `json` or `text`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(path) => root = PathBuf::from(path),
+                None => {
+                    eprintln!("--root expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "distrust-lint [--deny] [--format text|json] [--root PATH]\n\
+                     Repo-aware static analysis: lock-order, panic-path, \
+                     protocol-conformance, reactor-blocking.\n\
+                     --deny exits non-zero when unallowlisted findings remain."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cfg = Config::repo_default(root);
+    let report = match distrust_lint::analyze(&cfg) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("distrust-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if deny && report.unallowlisted() > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

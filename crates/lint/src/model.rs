@@ -1,0 +1,169 @@
+//! Whole-repo model: every function's facts plus the intra-crate call
+//! graph, lock summaries, and may-block summaries derived from them.
+//!
+//! Calls are resolved by simple name *within the defining crate* (the
+//! lexer has no type information). Three names are deliberately opaque:
+//! `drop`, because an explicit `drop(guard)` would otherwise union every
+//! `Drop` impl in the crate; `shutdown`, because `TcpStream::shutdown` on
+//! a served socket would otherwise union every server's teardown method
+//! (which joins accept threads — teardown runs in owner contexts, never
+//! on a serving path); and anything ending in `_timeout`, because timed
+//! receives are the sanctioned bounded alternative to the blocking calls
+//! these passes hunt.
+
+use crate::facts::{blocking_call, FnFacts, LockId};
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Model {
+    pub fns: Vec<FnFacts>,
+    /// (crate, fn name) → indices into `fns`.
+    by_name: BTreeMap<(String, String), Vec<usize>>,
+    /// Per function: all locks acquired directly or via intra-crate calls.
+    locks: Vec<BTreeSet<LockId>>,
+    /// Per function: a sample description of a reachable blocking call,
+    /// if any (`"sleep at crates/wire/src/reactor.rs:345"`).
+    may_block: Vec<Option<String>>,
+}
+
+impl Model {
+    pub fn build(fns: Vec<FnFacts>) -> Model {
+        let mut by_name: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name
+                .entry((f.crate_name.clone(), f.name.clone()))
+                .or_default()
+                .push(i);
+        }
+        let mut model = Model {
+            locks: vec![BTreeSet::new(); fns.len()],
+            may_block: vec![None; fns.len()],
+            fns,
+            by_name,
+        };
+        model.compute_locks();
+        model.compute_may_block();
+        model
+    }
+
+    /// Callee candidates for `name` as called from `caller_crate`.
+    pub fn resolve(&self, caller_crate: &str, name: &str) -> &[usize] {
+        if name == "drop" || name == "shutdown" || name.ends_with("_timeout") {
+            return &[];
+        }
+        self.by_name
+            .get(&(caller_crate.to_string(), name.to_string()))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    pub fn locks_of(&self, idx: usize) -> &BTreeSet<LockId> {
+        &self.locks[idx]
+    }
+
+    pub fn may_block(&self, idx: usize) -> Option<&str> {
+        self.may_block[idx].as_deref()
+    }
+
+    fn compute_locks(&mut self) {
+        for (i, f) in self.fns.iter().enumerate() {
+            for a in &f.acquires {
+                self.locks[i].insert(a.lock.clone());
+            }
+        }
+        // Fixpoint over intra-crate call edges.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..self.fns.len() {
+                let mut add: Vec<LockId> = Vec::new();
+                for call in &self.fns[i].calls {
+                    for &j in self.resolve(&self.fns[i].crate_name, &call.name) {
+                        for l in &self.locks[j] {
+                            if !self.locks[i].contains(l) {
+                                add.push(l.clone());
+                            }
+                        }
+                    }
+                }
+                if !add.is_empty() {
+                    changed = true;
+                    self.locks[i].extend(add);
+                }
+            }
+        }
+    }
+
+    fn compute_may_block(&mut self) {
+        for (i, f) in self.fns.iter().enumerate() {
+            for call in &f.calls {
+                if let Some(kind) = blocking_call(call) {
+                    self.may_block[i] = Some(format!("{kind} at {}:{}", f.file, call.line));
+                    break;
+                }
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..self.fns.len() {
+                if self.may_block[i].is_some() {
+                    continue;
+                }
+                let mut found: Option<String> = None;
+                for call in &self.fns[i].calls {
+                    for &j in self.resolve(&self.fns[i].crate_name, &call.name) {
+                        if let Some(desc) = &self.may_block[j] {
+                            found = Some(format!("{} -> {}", call.name, desc));
+                            break;
+                        }
+                    }
+                    if found.is_some() {
+                        break;
+                    }
+                }
+                if found.is_some() {
+                    self.may_block[i] = found;
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::facts::function_facts;
+    use crate::scan::SourceFile;
+
+    fn model(src: &str) -> Model {
+        let file = SourceFile::parse("crates/x/src/demo.rs".into(), src);
+        Model::build(function_facts(&file))
+    }
+
+    #[test]
+    fn lock_summaries_propagate_through_calls() {
+        let m = model("fn outer() { inner(); } fn inner() { alpha.lock(); }");
+        let outer = m.fns.iter().position(|f| f.name == "outer").unwrap();
+        assert_eq!(m.locks_of(outer).len(), 1);
+    }
+
+    #[test]
+    fn may_block_propagates_but_not_through_timeouts() {
+        let m = model(
+            "fn a() { b(); } fn b() { std::thread::sleep(d); } \
+             fn c() { poll_timeout(); } fn poll_timeout() { std::thread::sleep(d); }",
+        );
+        let a = m.fns.iter().position(|f| f.name == "a").unwrap();
+        let c = m.fns.iter().position(|f| f.name == "c").unwrap();
+        assert!(m.may_block(a).is_some());
+        assert!(m.may_block(c).is_none());
+    }
+
+    #[test]
+    fn drop_is_opaque() {
+        let m = model("fn a() { drop(g); } fn drop() { std::thread::sleep(d); }");
+        let a = m.fns.iter().position(|f| f.name == "a").unwrap();
+        assert!(m.may_block(a).is_none());
+    }
+}

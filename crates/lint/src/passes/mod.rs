@@ -1,0 +1,6 @@
+//! The four repo-specific analysis passes.
+
+pub mod blocking;
+pub mod lock_order;
+pub mod panic_path;
+pub mod protocol;

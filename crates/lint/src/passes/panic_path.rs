@@ -1,0 +1,207 @@
+//! Pass 2 — panic-path: flags `unwrap`/`expect`/panic-family macros (and,
+//! on decode paths, unchecked indexing) in server-side request-handling
+//! code, where remote input must never abort a trust domain.
+//!
+//! Scope is repo-aware: all of `wire` and `tee`, the `core` server files
+//! (`server.rs`, `framework.rs`, `protocol.rs`), and the decode-path
+//! functions of `log`. Unchecked indexing is only checked in decode-path
+//! functions (`decode*`, `from_wire*`, `peek_*`, `take`, `read_frame`,
+//! `feed`) — the byte-parsing layer where an attacker controls the
+//! offsets; elsewhere indexing over self-owned state is the lock passes'
+//! problem, not this one's.
+
+use crate::lexer::Tok;
+use crate::report::{Finding, Report};
+use crate::scan::SourceFile;
+
+pub const PASS: &str = "panic";
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+const KEYWORDS: [&str; 10] = [
+    "if", "else", "match", "return", "in", "as", "mut", "ref", "move", "break",
+];
+
+/// Which parts of a file the pass applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cover {
+    /// Every non-test function.
+    Full,
+    /// Only decode-path functions.
+    Decode,
+    /// Not a server path; skip.
+    Skip,
+}
+
+/// File scope policy: the repo default, or everything (fixtures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicScope {
+    RepoDefault,
+    AllFiles,
+}
+
+impl PanicScope {
+    pub fn coverage(&self, path: &str) -> Cover {
+        match self {
+            PanicScope::AllFiles => Cover::Full,
+            PanicScope::RepoDefault => {
+                if path.starts_with("crates/wire/src/")
+                    || path.starts_with("crates/tee/src/")
+                    || path == "crates/core/src/server.rs"
+                    || path == "crates/core/src/framework.rs"
+                    || path == "crates/core/src/protocol.rs"
+                {
+                    Cover::Full
+                } else if path.starts_with("crates/log/src/") {
+                    Cover::Decode
+                } else {
+                    Cover::Skip
+                }
+            }
+        }
+    }
+}
+
+pub fn decode_fn(name: &str) -> bool {
+    name.starts_with("decode")
+        || name.starts_with("from_wire")
+        || name.starts_with("peek_")
+        || matches!(name, "take" | "read_frame" | "feed")
+}
+
+pub fn run(files: &[SourceFile], scope: PanicScope, report: &mut Report) {
+    for file in files {
+        let cover = scope.coverage(&file.path);
+        if cover == Cover::Skip {
+            continue;
+        }
+        for def in &file.fns {
+            if def.in_test {
+                continue;
+            }
+            let decode = decode_fn(&def.name);
+            if cover == Cover::Decode && !decode {
+                continue;
+            }
+            let (open, close) = def.body;
+            let nested: Vec<(usize, usize)> = file
+                .fns
+                .iter()
+                .filter(|g| g.body.0 > open && g.body.1 < close)
+                .map(|g| g.body)
+                .collect();
+            let mut idx = open;
+            while idx <= close {
+                if let Some(&(_, nend)) = nested.iter().find(|(ns, _)| *ns == idx) {
+                    idx = nend + 1;
+                    continue;
+                }
+                check_token(file, def.name.as_str(), decode, idx, report);
+                idx += 1;
+            }
+        }
+    }
+}
+
+fn check_token(file: &SourceFile, fn_name: &str, decode: bool, idx: usize, report: &mut Report) {
+    if let Some(name) = file.ident_at(idx) {
+        if (name == "unwrap" || name == "expect")
+            && idx > 0
+            && file.punct_at(idx - 1, '.')
+            && file.punct_at(idx + 1, '(')
+        {
+            report.findings.push(Finding::new(
+                PASS,
+                &file.path,
+                file.line_at(idx),
+                format!("`.{name}()` on a server path (in `{fn_name}`)"),
+            ));
+            return;
+        }
+        if PANIC_MACROS.contains(&name) && file.punct_at(idx + 1, '!') {
+            report.findings.push(Finding::new(
+                PASS,
+                &file.path,
+                file.line_at(idx),
+                format!("`{name}!` on a server path (in `{fn_name}`)"),
+            ));
+        }
+        return;
+    }
+    if decode && file.punct_at(idx, '[') && idx > 0 {
+        let indexable = match file.tokens.get(idx - 1).map(|t| &t.tok) {
+            Some(Tok::Ident(name)) => !KEYWORDS.contains(&name.as_str()),
+            Some(Tok::Punct(')')) | Some(Tok::Punct(']')) => true,
+            _ => false,
+        };
+        if indexable {
+            report.findings.push(Finding::new(
+                PASS,
+                &file.path,
+                file.line_at(idx),
+                format!("unchecked indexing on a decode path (in `{fn_name}`)"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn run_on(path: &str, src: &str) -> Report {
+        let file = SourceFile::parse(path.into(), src);
+        let mut report = Report::default();
+        run(&[file], PanicScope::RepoDefault, &mut report);
+        report.finish();
+        report
+    }
+
+    #[test]
+    fn unwrap_in_wire_fires_but_tests_are_exempt() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t(x: Option<u8>) { x.unwrap(); } }";
+        let report = run_on("crates/wire/src/rpc.rs", src);
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0].message.contains("unwrap"));
+    }
+
+    #[test]
+    fn log_scope_is_decode_paths_only() {
+        let src =
+            "fn prove(x: Option<u8>) { x.unwrap(); } fn decode(b: &[u8]) { b.expect(\"x\"); }";
+        let report = run_on("crates/log/src/merkle.rs", src);
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0].message.contains("decode"));
+    }
+
+    #[test]
+    fn indexing_flagged_only_on_decode_paths() {
+        let src = "fn decode(b: &[u8]) { let x = b[0]; } fn serve(b: &[u8]) { let x = b[0]; }";
+        let report = run_on("crates/wire/src/codec.rs", src);
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0].message.contains("indexing"));
+    }
+
+    #[test]
+    fn attributes_and_macro_brackets_are_not_indexing() {
+        let src =
+            "fn decode(b: &[u8]) { #[allow(dead_code)] let v = vec![0u8; 4]; let a: [u8; 2] = x; }";
+        let report = run_on("crates/wire/src/codec.rs", src);
+        assert_eq!(report.findings.len(), 0);
+    }
+
+    #[test]
+    fn panic_macros_fire() {
+        let report = run_on("crates/tee/src/host.rs", "fn f() { panic!(\"no\"); }");
+        assert_eq!(report.findings.len(), 1);
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_silent() {
+        let report = run_on(
+            "crates/apps/src/lib.rs",
+            "fn f(x: Option<u8>) { x.unwrap(); }",
+        );
+        assert_eq!(report.findings.len(), 0);
+    }
+}

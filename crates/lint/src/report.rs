@@ -1,0 +1,209 @@
+//! Findings, allowlist application, and deterministic rendering.
+
+use crate::scan::SourceFile;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Pass keys accepted in `lint:allow(<key>)` entries.
+pub const PASS_KEYS: [&str; 4] = ["lock-order", "panic", "protocol", "blocking"];
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub pass: String,
+    pub message: String,
+    /// The allow reason, when an allowlist entry covers this finding.
+    pub allowed: Option<String>,
+}
+
+impl Finding {
+    pub fn new(pass: &str, file: &str, line: u32, message: String) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            pass: pass.to_string(),
+            message,
+            allowed: None,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Applies allowlist comments: a finding is allowed when the same line
+    /// or the line above carries `lint:allow(<its pass>)` *with a reason*.
+    /// Entries with empty reasons or unknown pass keys become findings of
+    /// their own (pass `allowlist`) and never suppress anything.
+    pub fn apply_allows(&mut self, files: &[SourceFile]) {
+        let allows: BTreeMap<&str, &SourceFile> =
+            files.iter().map(|f| (f.path.as_str(), f)).collect();
+        for finding in &mut self.findings {
+            let Some(file) = allows.get(finding.file.as_str()) else {
+                continue;
+            };
+            for line in [finding.line, finding.line.saturating_sub(1)] {
+                if let Some(entries) = file.allows.get(&line) {
+                    for e in entries {
+                        if e.pass == finding.pass && !e.reason.is_empty() {
+                            finding.allowed = Some(e.reason.clone());
+                        }
+                    }
+                }
+            }
+        }
+        for file in files {
+            for (&line, entries) in &file.allows {
+                for e in entries {
+                    if !PASS_KEYS.contains(&e.pass.as_str()) {
+                        self.findings.push(Finding::new(
+                            "allowlist",
+                            &file.path,
+                            line,
+                            format!("unknown pass `{}` in lint:allow entry", e.pass),
+                        ));
+                    } else if e.reason.is_empty() {
+                        self.findings.push(Finding::new(
+                            "allowlist",
+                            &file.path,
+                            line,
+                            format!(
+                                "lint:allow({}) entry has no reason; every allowance must be justified",
+                                e.pass
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Final deterministic ordering; call once after all passes ran.
+    pub fn finish(&mut self) {
+        self.findings.sort();
+        self.findings.dedup();
+    }
+
+    pub fn unallowlisted(&self) -> usize {
+        self.findings.iter().filter(|f| f.allowed.is_none()).count()
+    }
+
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            match &f.allowed {
+                Some(reason) => {
+                    let _ = writeln!(
+                        out,
+                        "{}:{}: [{}] {} (allowed: {})",
+                        f.file, f.line, f.pass, f.message, reason
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.pass, f.message);
+                }
+            }
+        }
+        let denied = self.unallowlisted();
+        let _ = writeln!(
+            out,
+            "distrust-lint: {} finding(s), {} allowlisted, {} denied",
+            self.findings.len(),
+            self.findings.len() - denied,
+            denied
+        );
+        out
+    }
+
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"file\":{},\"line\":{},\"pass\":{},\"message\":{}",
+                json_str(&f.file),
+                f.line,
+                json_str(&f.pass),
+                json_str(&f.message)
+            );
+            match &f.allowed {
+                Some(reason) => {
+                    let _ = write!(out, ",\"allowed\":true,\"reason\":{}}}", json_str(reason));
+                }
+                None => out.push_str(",\"allowed\":false}"),
+            }
+        }
+        let _ = write!(
+            out,
+            "],\"total\":{},\"denied\":{}}}",
+            self.findings.len(),
+            self.unallowlisted()
+        );
+        out.push('\n');
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn allow_with_reason_suppresses_same_and_next_line() {
+        let src = "// lint:allow(panic): fine here\nfn f() {}\n";
+        let file = SourceFile::parse("crates/x/src/a.rs".into(), src);
+        let mut report = Report::default();
+        report
+            .findings
+            .push(Finding::new("panic", "crates/x/src/a.rs", 2, "boom".into()));
+        report.apply_allows(&[file]);
+        assert!(report.findings[0].allowed.is_some());
+        assert_eq!(report.unallowlisted(), 0);
+    }
+
+    #[test]
+    fn empty_reason_does_not_suppress_and_is_itself_a_finding() {
+        let src = "// lint:allow(panic):\nfn f() {}\n";
+        let file = SourceFile::parse("crates/x/src/a.rs".into(), src);
+        let mut report = Report::default();
+        report
+            .findings
+            .push(Finding::new("panic", "crates/x/src/a.rs", 2, "boom".into()));
+        report.apply_allows(&[file]);
+        report.finish();
+        assert_eq!(report.unallowlisted(), 2);
+        assert!(report.findings.iter().any(|f| f.pass == "allowlist"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        assert_eq!(json_str("a\"b\nc"), "\"a\\\"b\\nc\"");
+    }
+}

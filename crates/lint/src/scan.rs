@@ -1,0 +1,335 @@
+//! Source model: one lexed file with its allowlist comments, test-only
+//! regions, and extracted function bodies.
+
+use crate::lexer::{lex, Tok, Token};
+use std::collections::BTreeMap;
+
+/// One `// lint:allow(<pass>): <reason>` entry.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub pass: String,
+    pub reason: String,
+}
+
+/// One function definition (free function or method) with a body.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    pub name: String,
+    pub line: u32,
+    /// Token indices of the opening and closing body braces, inclusive.
+    pub body: (usize, usize),
+    /// True when the function lives inside `#[cfg(test)]` or `mod tests`.
+    pub in_test: bool,
+}
+
+/// A lexed source file plus everything the passes need to interpret it.
+pub struct SourceFile {
+    /// Root-relative path with forward slashes (stable across platforms).
+    pub path: String,
+    /// Crate the file belongs to (`wire`, `core`, …, `root` for `src/`).
+    pub crate_name: String,
+    pub tokens: Vec<Token>,
+    /// Brace depth at each token (the `{` itself counts at the new depth).
+    pub depth: Vec<u32>,
+    /// Allow entries keyed by 1-based source line.
+    pub allows: BTreeMap<u32, Vec<Allow>>,
+    /// Per-token flag: true inside test-only code.
+    pub test_mask: Vec<bool>,
+    pub fns: Vec<FnDef>,
+}
+
+impl SourceFile {
+    pub fn parse(path: String, source: &str) -> SourceFile {
+        let crate_name = crate_of(&path);
+        let tokens = lex(source);
+        let depth = depths(&tokens);
+        let allows = parse_allows(source);
+        let test_mask = test_mask(&tokens);
+        let mut file = SourceFile {
+            path,
+            crate_name,
+            tokens,
+            depth,
+            allows,
+            test_mask,
+            fns: Vec::new(),
+        };
+        file.fns = extract_fns(&file);
+        file
+    }
+
+    pub fn ident_at(&self, idx: usize) -> Option<&str> {
+        match self.tokens.get(idx).map(|t| &t.tok) {
+            Some(Tok::Ident(name)) => Some(name),
+            _ => None,
+        }
+    }
+
+    pub fn punct_at(&self, idx: usize, c: char) -> bool {
+        matches!(self.tokens.get(idx).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+    }
+
+    pub fn line_at(&self, idx: usize) -> u32 {
+        self.tokens.get(idx).map(|t| t.line).unwrap_or(0)
+    }
+
+    /// Finds the matching `}` for the `{` at `open` (token index).
+    pub fn matching_close(&self, open: usize) -> usize {
+        let mut depth = 0i64;
+        for (i, t) in self.tokens.iter().enumerate().skip(open) {
+            match t.tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.tokens.len().saturating_sub(1)
+    }
+}
+
+fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name.to_string(),
+        _ => "root".to_string(),
+    }
+}
+
+fn depths(tokens: &[Token]) -> Vec<u32> {
+    let mut depth = 0u32;
+    tokens
+        .iter()
+        .map(|t| match t.tok {
+            Tok::Punct('{') => {
+                depth += 1;
+                depth
+            }
+            Tok::Punct('}') => {
+                let at = depth;
+                depth = depth.saturating_sub(1);
+                at
+            }
+            _ => depth,
+        })
+        .collect()
+}
+
+/// Parses `lint:allow(<pass>): <reason>` comments out of the raw text.
+/// An entry applies to its own line and to the line directly below it.
+fn parse_allows(source: &str) -> BTreeMap<u32, Vec<Allow>> {
+    let mut out: BTreeMap<u32, Vec<Allow>> = BTreeMap::new();
+    for (n, line) in source.lines().enumerate() {
+        // Only honour a marker that directly follows a plain `//` comment
+        // opener: doc comments (`///`, `//!`) and string literals that
+        // merely *mention* the syntax stay inert.
+        let Some(comment_at) = line.find("//") else {
+            continue;
+        };
+        let comment = line[comment_at + 2..].trim_start();
+        let Some(rest) = comment.strip_prefix("lint:allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let pass = rest[..close].trim().to_string();
+        let after = &rest[close + 1..];
+        let reason = after
+            .strip_prefix(':')
+            .map(|r| r.trim().to_string())
+            .unwrap_or_default();
+        out.entry(n as u32 + 1)
+            .or_default()
+            .push(Allow { pass, reason });
+    }
+    out
+}
+
+/// Marks tokens inside `#[cfg(test)]` items and `mod tests { … }` bodies.
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(end) = test_region_end(tokens, i) {
+            for m in mask.iter_mut().take(end + 1).skip(i) {
+                *m = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// If a test-only region starts at token `i`, returns its last token index.
+fn test_region_end(tokens: &[Token], i: usize) -> Option<usize> {
+    if is_ident(tokens, i, "mod") && is_ident(tokens, i + 1, "tests") {
+        let open = find_punct(tokens, i + 2, '{')?;
+        return Some(close_of(tokens, open));
+    }
+    // `#[cfg(test)]` (possibly `#[cfg(all(test, …))]`): the attribute plus
+    // the item that follows it, skipping any further attributes.
+    if !is_punct(tokens, i, '#') || !is_punct(tokens, i + 1, '[') {
+        return None;
+    }
+    let attr_close = bracket_close(tokens, i + 1)?;
+    if !is_ident(tokens, i + 2, "cfg") {
+        return None;
+    }
+    let has_test = tokens[i..=attr_close]
+        .iter()
+        .any(|t| matches!(&t.tok, Tok::Ident(name) if name == "test"));
+    if !has_test {
+        return None;
+    }
+    let mut j = attr_close + 1;
+    while is_punct(tokens, j, '#') && is_punct(tokens, j + 1, '[') {
+        j = bracket_close(tokens, j + 1)? + 1;
+    }
+    // The guarded item runs to its body's closing brace, or to a `;` for
+    // declarations like `use` re-exports.
+    for (k, t) in tokens.iter().enumerate().skip(j) {
+        match t.tok {
+            Tok::Punct('{') => return Some(close_of(tokens, k)),
+            Tok::Punct(';') => return Some(k),
+            _ => {}
+        }
+    }
+    Some(tokens.len() - 1)
+}
+
+fn is_ident(tokens: &[Token], i: usize, want: &str) -> bool {
+    matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Ident(name)) if name == want)
+}
+
+fn is_punct(tokens: &[Token], i: usize, c: char) -> bool {
+    matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+}
+
+fn find_punct(tokens: &[Token], from: usize, c: char) -> Option<usize> {
+    tokens[from..]
+        .iter()
+        .position(|t| matches!(&t.tok, Tok::Punct(p) if *p == c))
+        .map(|off| from + off)
+}
+
+fn close_of(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        match t.tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Matching `]` for the `[` at `open`.
+fn bracket_close(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        match t.tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn extract_fns(file: &SourceFile) -> Vec<FnDef> {
+    let tokens = &file.tokens;
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_ident(tokens, i, "fn") {
+            if let Some(Tok::Ident(name)) = tokens.get(i + 1).map(|t| &t.tok) {
+                // The body is the first `{` before any `;` (trait method
+                // declarations have no body). Type positions between the
+                // signature and the body contain no braces in this
+                // codebase's dialect.
+                let mut j = i + 2;
+                let mut body = None;
+                while j < tokens.len() {
+                    match tokens[j].tok {
+                        Tok::Punct('{') => {
+                            body = Some((j, close_of(tokens, j)));
+                            break;
+                        }
+                        Tok::Punct(';') => break,
+                        _ => j += 1,
+                    }
+                }
+                if let Some(body) = body {
+                    fns.push(FnDef {
+                        name: name.clone(),
+                        line: tokens[i].line,
+                        body,
+                        in_test: file.test_mask[i],
+                    });
+                    // Continue scanning *inside* the body too: nested fns
+                    // are rare but shouldn't be invisible.
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    fns
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn allows_parse_with_reasons() {
+        let src =
+            "x\n// lint:allow(panic): bounded by construction\ny // lint:allow(lock-order):\n";
+        let allows = parse_allows(src);
+        assert_eq!(allows[&2][0].pass, "panic");
+        assert_eq!(allows[&2][0].reason, "bounded by construction");
+        assert_eq!(allows[&3][0].pass, "lock-order");
+        assert_eq!(allows[&3][0].reason, "");
+    }
+
+    #[test]
+    fn allow_marker_outside_comment_is_inert() {
+        let src = "let s = \"lint:allow(panic): nope\";\n";
+        assert!(parse_allows(src).is_empty());
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_and_mod_tests() {
+        let src = "fn live() { a.lock(); }\n#[cfg(test)]\nmod tests {\n fn t() { b.lock(); }\n}\n";
+        let file = SourceFile::parse("crates/x/src/lib.rs".into(), src);
+        let live: Vec<_> = file.fns.iter().filter(|f| !f.in_test).collect();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].name, "live");
+        assert_eq!(file.fns.len(), 2);
+    }
+
+    #[test]
+    fn crate_names_resolve() {
+        assert_eq!(crate_of("crates/wire/src/rpc.rs"), "wire");
+        assert_eq!(crate_of("src/lib.rs"), "root");
+    }
+}

@@ -1,0 +1,163 @@
+//! Fixture-based self-tests for `distrust-lint`.
+//!
+//! Each seeded fixture under `fixtures/` must make exactly its own pass
+//! fire; the clean fixture and the live repository must produce zero
+//! unallowlisted findings; and the report must be byte-for-byte
+//! deterministic across runs. The binary-level tests pin the CI contract:
+//! `--deny` exits non-zero on a seeded violation and zero on clean code.
+
+use distrust_lint::config::Config;
+use distrust_lint::passes::protocol::ProtocolCfg;
+use distrust_lint::report::Report;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+fn analyze_fixture(name: &str) -> Report {
+    distrust_lint::analyze(&Config::fixture(fixture_root(name))).expect("fixture scan")
+}
+
+#[test]
+fn clean_fixture_reports_nothing() {
+    let report = analyze_fixture("clean");
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn lock_order_fixture_fires() {
+    let report = analyze_fixture("bad_lock_order");
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    let f = &report.findings[0];
+    assert_eq!(f.pass, "lock-order");
+    assert!(f.message.contains("lock-order cycle"), "{}", f.message);
+    assert!(f.message.contains("alpha"), "{}", f.message);
+    assert!(f.message.contains("beta"), "{}", f.message);
+    assert_eq!(report.unallowlisted(), 1);
+}
+
+#[test]
+fn panic_fixture_fires_on_unwrap_and_decode_indexing() {
+    let report = analyze_fixture("bad_panic");
+    assert_eq!(report.findings.len(), 2, "{:?}", report.findings);
+    assert!(report.findings.iter().all(|f| f.pass == "panic"));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("`.unwrap()`") && f.message.contains("serve_request")));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("unchecked indexing") && f.message.contains("decode_header")));
+}
+
+#[test]
+fn blocking_fixture_fires_with_call_chain() {
+    let report = analyze_fixture("bad_blocking");
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    let f = &report.findings[0];
+    assert_eq!(f.pass, "blocking");
+    assert!(f.message.contains("`sleep`"), "{}", f.message);
+    assert!(f.message.contains("pump -> refill"), "{}", f.message);
+}
+
+#[test]
+fn protocol_fixture_fires_on_every_seeded_defect() {
+    let mut cfg = Config::fixture(fixture_root("bad_protocol"));
+    cfg.protocol = Some(ProtocolCfg {
+        protocol_files: vec!["protocol.rs".into()],
+        codec_files: vec!["protocol.rs".into()],
+        fuzz_file: "fuzz.rs".into(),
+        types: vec!["Request".into()],
+    });
+    let report = distrust_lint::analyze(&cfg).expect("fixture scan");
+    assert!(
+        report.findings.iter().all(|f| f.pass == "protocol"),
+        "{:?}",
+        report.findings
+    );
+    let has = |needle: &str| report.findings.iter().any(|f| f.message.contains(needle));
+    assert!(has("tag 1 is encoded by more than one Request variant"));
+    assert!(has(
+        "Request::C encodes tag 1, but that tag decodes to Request::B"
+    ));
+    assert!(has("Request::B has no coverage in fuzz.rs"));
+    assert!(has("Request::C has no coverage in fuzz.rs"));
+    assert!(has(
+        "`Sideband` implements Encode here but has no Decode impl"
+    ));
+}
+
+#[test]
+fn allowlist_suppresses_with_a_reason() {
+    let report = analyze_fixture("allowed");
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    let f = &report.findings[0];
+    assert_eq!(f.pass, "panic");
+    let reason = f.allowed.as_deref().expect("finding must be allowlisted");
+    assert!(reason.contains("startup-time invariant"), "{reason}");
+    assert_eq!(report.unallowlisted(), 0);
+}
+
+#[test]
+fn live_repo_has_zero_unallowlisted_findings() {
+    let report = distrust_lint::analyze(&Config::repo_default(repo_root())).expect("repo scan");
+    let denied: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.allowed.is_none())
+        .collect();
+    assert!(denied.is_empty(), "unallowlisted findings: {denied:?}");
+    for f in &report.findings {
+        let reason = f.allowed.as_deref().unwrap_or("");
+        assert!(
+            !reason.trim().is_empty(),
+            "allowlist entry without a reason at {}:{}",
+            f.file,
+            f.line
+        );
+    }
+}
+
+#[test]
+fn report_is_byte_identical_across_runs() {
+    let cfg = Config::repo_default(repo_root());
+    let first = distrust_lint::analyze(&cfg).expect("repo scan");
+    let second = distrust_lint::analyze(&cfg).expect("repo scan");
+    assert_eq!(first.render_text(), second.render_text());
+    assert_eq!(first.render_json(), second.render_json());
+}
+
+#[test]
+fn deny_gate_fails_on_a_seeded_violation_and_passes_on_clean() {
+    let bin = env!("CARGO_BIN_EXE_distrust-lint");
+    // Under the binary's repo-default config the lock-order pass (which has
+    // no path scoping) still fires on the seeded inversion.
+    let bad = Command::new(bin)
+        .args(["--deny", "--root"])
+        .arg(fixture_root("bad_lock_order"))
+        .output()
+        .expect("run lint binary");
+    assert_eq!(bad.status.code(), Some(1), "{:?}", bad);
+
+    let clean = Command::new(bin)
+        .args(["--deny", "--format", "json", "--root"])
+        .arg(fixture_root("clean"))
+        .output()
+        .expect("run lint binary");
+    assert_eq!(clean.status.code(), Some(0), "{:?}", clean);
+    let stdout = String::from_utf8(clean.stdout).expect("utf8 json");
+    assert!(stdout.contains("\"denied\":0"), "{stdout}");
+}

@@ -43,8 +43,9 @@ use crate::merkle::{
 };
 use distrust_crypto::sha256::Digest;
 use distrust_wire::codec::{decode_seq, encode_seq, Decode, DecodeError, Encode};
-use parking_lot::{Mutex, MutexGuard};
+use distrust_wire::sync::HealthyMutex;
 use std::collections::HashMap;
+use std::sync::MutexGuard;
 
 /// Domain-separated hash of one shard's `(size, head)` — the leaf of the
 /// top-level commitment tree for multi-shard logs. The `0x02` prefix can
@@ -285,7 +286,7 @@ impl Decode for ShardBundle {
 /// under one top-level commitment. See the module docs for the design and
 /// the 1-shard compatibility invariant.
 pub struct ShardedLog {
-    shards: Vec<Mutex<MerkleLog>>,
+    shards: Vec<HealthyMutex<MerkleLog>>,
 }
 
 impl ShardedLog {
@@ -293,7 +294,9 @@ impl ShardedLog {
     pub fn new(shards: usize) -> Self {
         assert!(shards >= 1, "a sharded log needs at least one shard");
         Self {
-            shards: (0..shards).map(|_| Mutex::new(MerkleLog::new())).collect(),
+            shards: (0..shards)
+                .map(|_| HealthyMutex::new(MerkleLog::new()))
+                .collect(),
         }
     }
 
@@ -315,7 +318,7 @@ impl ShardedLog {
     /// Appends a leaf to one shard, returning its index *within that
     /// shard*. Appends to different shards run in parallel.
     pub fn append(&self, shard: u32, data: &[u8]) -> Option<u64> {
-        Some(self.shards.get(shard as usize)?.lock().append(data) as u64)
+        Some(self.shards.get(shard as usize)?.lock_healthy().append(data) as u64)
     }
 
     /// Routes by key, then appends; returns `(shard, index_in_shard)`.
@@ -327,26 +330,30 @@ impl ShardedLog {
 
     /// Leaves in one shard.
     pub fn shard_len(&self, shard: u32) -> Option<u64> {
-        Some(self.shards.get(shard as usize)?.lock().len() as u64)
+        Some(self.shards.get(shard as usize)?.lock_healthy().len() as u64)
     }
 
     /// Total leaves across all shards.
     pub fn total_len(&self) -> u64 {
-        self.shards.iter().map(|s| s.lock().len() as u64).sum()
+        self.shards
+            .iter()
+            .map(|s| s.lock_healthy().len() as u64)
+            .sum()
     }
 
     /// Locks one shard for direct reads (proof generation on the legacy
     /// 1-shard serving path). Hold briefly; appends to the shard block
     /// while the guard lives.
     pub fn lock_shard(&self, shard: usize) -> MutexGuard<'_, MerkleLog> {
-        self.shards[shard].lock()
+        self.shards[shard].lock_healthy()
     }
 
     /// A coherent point-in-time snapshot of every shard. Locks shards in
     /// order; appends racing the snapshot land either wholly before or
     /// wholly after it per shard.
     pub fn snapshot(&self) -> ShardSnapshot {
-        let guards: Vec<MutexGuard<'_, MerkleLog>> = self.shards.iter().map(|s| s.lock()).collect();
+        let guards: Vec<MutexGuard<'_, MerkleLog>> =
+            self.shards.iter().map(|s| s.lock_healthy()).collect();
         ShardSnapshot {
             sizes: guards.iter().map(|g| g.len() as u64).collect(),
             heads: guards.iter().map(|g| g.root()).collect(),
@@ -377,7 +384,7 @@ impl ShardedLog {
     ) -> Option<ConsistencyProof> {
         self.shards
             .get(shard as usize)?
-            .lock()
+            .lock_healthy()
             .prove_consistency(old_size as usize, new_size as usize)
     }
 
@@ -385,14 +392,14 @@ impl ShardedLog {
     pub fn leaf(&self, shard: u32, index: u64) -> Option<Vec<u8>> {
         self.shards
             .get(shard as usize)?
-            .lock()
+            .lock_healthy()
             .leaf(index as usize)
             .map(|l| l.to_vec())
     }
 
     /// Leaves `[from, len)` of one shard.
     pub fn entries_from(&self, shard: u32, from: u64) -> Option<Vec<Vec<u8>>> {
-        let guard = self.shards.get(shard as usize)?.lock();
+        let guard = self.shards.get(shard as usize)?.lock_healthy();
         let from = from as usize;
         if from > guard.len() {
             return None;
@@ -413,7 +420,7 @@ impl ShardedLog {
         let mut skip = from as usize;
         let mut all = Vec::new();
         for shard in &self.shards {
-            let guard = shard.lock();
+            let guard = shard.lock_healthy();
             if skip >= guard.len() {
                 skip -= guard.len();
                 continue;
@@ -455,7 +462,7 @@ impl ShardedLog {
         for (s, (shard, &base)) in self.shards.iter().zip(baseline).enumerate() {
             let mut steps = Vec::new();
             let mut prev = base;
-            let guard = shard.lock();
+            let guard = shard.lock_healthy();
             for epoch in epochs {
                 let next = epoch.sizes[s];
                 if next < prev {

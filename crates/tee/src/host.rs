@@ -17,7 +17,7 @@
 
 use distrust_wire::frame::{read_frame, write_frame};
 use distrust_wire::rpc::accept_with_retry;
-use parking_lot::Mutex;
+use distrust_wire::sync::HealthyMutex;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -56,7 +56,7 @@ pub struct EnclaveHost {
 }
 
 /// Live sockets keyed by registration id.
-type ConnRegistry = Arc<Mutex<std::collections::HashMap<u64, TcpStream>>>;
+type ConnRegistry = Arc<HealthyMutex<std::collections::HashMap<u64, TcpStream>>>;
 
 /// Registration-id source for [`ConnRegistry`] entries.
 static NEXT_CONN_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
@@ -66,14 +66,14 @@ static NEXT_CONN_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64
 fn track_conn(conns: &ConnRegistry, stream: &TcpStream) -> Option<u64> {
     let clone = stream.try_clone().ok()?;
     let id = NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed);
-    conns.lock().insert(id, clone);
+    conns.lock_healthy().insert(id, clone);
     Some(id)
 }
 
 /// Drops a socket from the shutdown registry (its thread is done).
 fn untrack_conn(conns: &ConnRegistry, id: Option<u64>) {
     if let Some(id) = id {
-        conns.lock().remove(&id);
+        conns.lock_healthy().remove(&id);
     }
 }
 
@@ -81,8 +81,8 @@ impl EnclaveHost {
     /// Spawns the service behind the two-socket proxy topology.
     pub fn spawn<S: EnclaveService>(service: S) -> std::io::Result<Self> {
         let stop = Arc::new(AtomicBool::new(false));
-        let service = Arc::new(Mutex::new(service));
-        let conns: ConnRegistry = Arc::new(Mutex::new(std::collections::HashMap::new()));
+        let service = Arc::new(HealthyMutex::new(service));
+        let conns: ConnRegistry = Arc::new(HealthyMutex::new(std::collections::HashMap::new()));
 
         // Socket 2: the "vsock" between host proxy and enclave interior.
         // Both accept loops retry through errors with exponential backoff
@@ -125,7 +125,7 @@ impl EnclaveHost {
                                 let Ok(request) = read_frame(&mut conn) else {
                                     break;
                                 };
-                                let response = service.lock().handle(request);
+                                let response = service.lock_healthy().handle(request);
                                 if write_frame(&mut conn, &response).is_err() {
                                     break;
                                 }
@@ -231,7 +231,7 @@ impl EnclaveHost {
         // Sever every established connection: per-connection threads
         // parked in a blocking read exit immediately instead of serving
         // one last request.
-        for (_, conn) in self.conns.lock().drain() {
+        for (_, conn) in self.conns.lock_healthy().drain() {
             let _ = conn.shutdown(std::net::Shutdown::Both);
         }
         // Poke both accept loops awake.

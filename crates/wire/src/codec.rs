@@ -99,7 +99,8 @@ macro_rules! impl_int {
             impl Decode for $t {
                 fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
                     let bytes = take(input, core::mem::size_of::<$t>())?;
-                    Ok(<$t>::from_le_bytes(bytes.try_into().expect("exact size")))
+                    let arr = bytes.try_into().map_err(|_| DecodeError::UnexpectedEnd)?;
+                    Ok(<$t>::from_le_bytes(arr))
                 }
             }
         )*
@@ -127,6 +128,7 @@ impl Decode for bool {
 /// Encodes a `usize` length as `u32`, panicking above `u32::MAX` (lengths
 /// that large are already rejected by [`MAX_COLLECTION_LEN`]).
 pub fn encode_len(len: usize, out: &mut Vec<u8>) {
+    // lint:allow(panic): encoder-local invariant — every collection is capped at MAX_COLLECTION_LEN (far below u32::MAX) before it reaches an encoder, and a silent truncation here would corrupt signed bytes
     let len32 = u32::try_from(len).expect("collection length fits in u32");
     len32.encode(out);
 }
@@ -178,7 +180,7 @@ impl<const N: usize> Encode for [u8; N] {
 impl<const N: usize> Decode for [u8; N] {
     fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
         let bytes = take(input, N)?;
-        Ok(bytes.try_into().expect("exact size"))
+        bytes.try_into().map_err(|_| DecodeError::UnexpectedEnd)
     }
 }
 

@@ -67,7 +67,8 @@ pub fn read_frame<R: Read>(reader: &mut R) -> Result<Vec<u8>, FrameError> {
     // Distinguish clean close (0 bytes read) from torn frame.
     let mut filled = 0;
     while filled < 4 {
-        match reader.read(&mut len_bytes[filled..]) {
+        let (_, unfilled) = len_bytes.split_at_mut(filled);
+        match reader.read(unfilled) {
             Ok(0) => {
                 if filled == 0 {
                     return Err(FrameError::Closed);
@@ -93,7 +94,8 @@ pub fn read_frame<R: Read>(reader: &mut R) -> Result<Vec<u8>, FrameError> {
         let take = (len - payload.len()).min(READ_CHUNK);
         let start = payload.len();
         payload.resize(start + take, 0);
-        reader.read_exact(&mut payload[start..])?;
+        let (_, fresh) = payload.split_at_mut(start);
+        reader.read_exact(fresh)?;
     }
     Ok(payload)
 }

@@ -60,10 +60,12 @@ impl FrameReader {
         while !data.is_empty() {
             if !self.in_payload {
                 let take = (4 - self.header_filled).min(data.len());
-                self.header[self.header_filled..self.header_filled + take]
-                    .copy_from_slice(&data[..take]);
+                let (head, rest) = data.split_at(take);
+                for (dst, &src) in self.header.iter_mut().skip(self.header_filled).zip(head) {
+                    *dst = src;
+                }
                 self.header_filled += take;
-                data = &data[take..];
+                data = rest;
                 if self.header_filled < 4 {
                     return Ok(());
                 }
@@ -77,8 +79,9 @@ impl FrameReader {
             }
             let take = (self.payload_len - self.payload.len()).min(data.len());
             // Cap speculative growth: reserve for the received bytes only.
-            self.payload.extend_from_slice(&data[..take]);
-            data = &data[take..];
+            let (chunk, rest) = data.split_at(take);
+            self.payload.extend_from_slice(chunk);
+            data = rest;
             if self.payload.len() == self.payload_len {
                 out.push(std::mem::take(&mut self.payload));
                 self.header_filled = 0;

@@ -18,6 +18,7 @@ pub mod frame_nb;
 pub mod pipeline;
 pub mod reactor;
 pub mod rpc;
+pub mod sync;
 pub mod transport;
 
 pub use codec::{Decode, DecodeError, Encode};
@@ -26,6 +27,7 @@ pub use frame_nb::{FrameReader, WriteBuf};
 pub use pipeline::PipelinedClient;
 pub use reactor::{FrameService, Reactor, ReactorHandle};
 pub use rpc::{EventLoopRpcServer, RpcClient, RpcError, RpcHandler, RpcServer};
+pub use sync::HealthyMutex;
 pub use transport::{
     ChannelTransport, SharedTransport, TcpAcceptor, TcpTransport, Transport, TransportError,
 };

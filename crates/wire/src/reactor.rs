@@ -342,6 +342,7 @@ fn reactor_loop(intake: Receiver<TcpStream>, service: FrameService, shared: Arc<
                 // Unreachable while `shared` (which owns the senders) is
                 // alive, but never turn it into a busy spin.
                 Err(RecvTimeoutError::Disconnected) => {
+                    // lint:allow(blocking): bounded idle backoff in a terminal state — the intake channel is gone, no lock is held, and sleeping beats a busy spin
                     std::thread::sleep(backoff);
                     backoff = (backoff * 2).min(IDLE_BACKOFF_MAX);
                 }

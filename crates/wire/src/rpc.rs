@@ -13,8 +13,8 @@
 
 use crate::codec::{Decode, DecodeError, Encode};
 use crate::reactor::{FrameService, Reactor};
+use crate::sync::HealthyMutex;
 use crate::transport::{TcpAcceptor, TcpTransport, Transport, TransportError};
-use parking_lot::Mutex;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -193,7 +193,7 @@ pub struct RpcServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<ConnSlot>>>,
+    conns: Arc<HealthyMutex<Vec<ConnSlot>>>,
 }
 
 impl RpcServer {
@@ -208,7 +208,7 @@ impl RpcServer {
         let acceptor = TcpAcceptor::bind_loopback()?;
         let addr = acceptor.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let conns: Arc<Mutex<Vec<ConnSlot>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns: Arc<HealthyMutex<Vec<ConnSlot>>> = Arc::new(HealthyMutex::new(Vec::new()));
         let stop_accept = Arc::clone(&stop);
         let conns_accept = Arc::clone(&conns);
         let accept_thread = std::thread::Builder::new()
@@ -244,19 +244,27 @@ impl RpcServer {
                         .spawn(move || serve_connection(transport, handler, stop_conn))
                     {
                         Ok(thread) => {
-                            let mut slots = conns_accept.lock();
                             // Opportunistically reap finished threads so the
                             // registry tracks live connections, not history.
-                            let mut i = 0;
-                            while i < slots.len() {
-                                if slots[i].thread.is_finished() {
-                                    let slot = slots.swap_remove(i);
-                                    let _ = slot.thread.join();
-                                } else {
-                                    i += 1;
+                            // Even a finished thread's `join` is a blocking
+                            // call, so joins run only after the registry
+                            // guard is dropped.
+                            let mut finished = Vec::new();
+                            {
+                                let mut slots = conns_accept.lock_healthy();
+                                let mut i = 0;
+                                while i < slots.len() {
+                                    if slots[i].thread.is_finished() {
+                                        finished.push(slots.swap_remove(i));
+                                    } else {
+                                        i += 1;
+                                    }
                                 }
+                                slots.push(ConnSlot { socket, thread });
                             }
-                            slots.push(ConnSlot { socket, thread });
+                            for slot in finished {
+                                let _ = slot.thread.join();
+                            }
                         }
                         Err(e) => {
                             // Out of threads: refuse loudly instead of silently
@@ -291,7 +299,7 @@ impl RpcServer {
         }
         // With the accept loop gone, no new slots can appear; drain and
         // reap. Shutting the socket forces a blocked `recv` to error out.
-        let slots = std::mem::take(&mut *self.conns.lock());
+        let slots = std::mem::take(&mut *self.conns.lock_healthy());
         for slot in &slots {
             let _ = slot.socket.shutdown(Shutdown::Both);
         }
@@ -511,10 +519,10 @@ mod tests {
     #[test]
     fn concurrent_clients() {
         let handler = Arc::new(|req: u64| -> Result<u64, String> { Ok(req + 100) });
-        let server = Arc::new(parking_lot::Mutex::new(
+        let server = Arc::new(HealthyMutex::new(
             RpcServer::spawn::<u64, u64, _>(handler).unwrap(),
         ));
-        let addr = server.lock().local_addr();
+        let addr = server.lock_healthy().local_addr();
         let mut joins = Vec::new();
         for i in 0..8u64 {
             joins.push(std::thread::spawn(move || {
@@ -526,7 +534,7 @@ mod tests {
         for j in joins {
             j.join().unwrap();
         }
-        server.lock().shutdown();
+        server.lock_healthy().shutdown();
     }
 
     /// Regression (ISSUE 2): a connection thread parked in `recv` used to

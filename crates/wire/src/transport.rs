@@ -9,8 +9,8 @@
 
 use crate::frame::{write_frame, FrameError, READ_CHUNK};
 use crate::frame_nb::FrameReader;
+use crate::sync::HealthyMutex;
 use crossbeam::channel::{Receiver, Sender};
-use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -182,7 +182,14 @@ impl Transport for TcpTransport {
 
     fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
         self.set_timeout(None)?;
-        Ok(self.fill_one(false)?.expect("untimed read yields a frame"))
+        // An untimed `fill_one` only returns `Ok(None)` if the socket
+        // still had a stale read timeout configured; looping (rather than
+        // unwrapping) keeps this path panic-free either way.
+        loop {
+            if let Some(frame) = self.fill_one(false)? {
+                return Ok(frame);
+            }
+        }
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, TransportError> {
@@ -268,21 +275,23 @@ impl Transport for ChannelTransport {
 /// A thread-safe wrapper allowing a transport to be shared by reference
 /// (one request/response at a time).
 pub struct SharedTransport<T: Transport> {
-    inner: Mutex<T>,
+    inner: HealthyMutex<T>,
 }
 
 impl<T: Transport> SharedTransport<T> {
     /// Wraps a transport.
     pub fn new(inner: T) -> Self {
         Self {
-            inner: Mutex::new(inner),
+            inner: HealthyMutex::new(inner),
         }
     }
 
     /// Performs a blocking request/response exchange atomically.
     pub fn exchange(&self, payload: &[u8]) -> Result<Vec<u8>, TransportError> {
-        let mut guard = self.inner.lock();
+        let mut guard = self.inner.lock_healthy();
+        // lint:allow(lock-order): serialising one full request/response under the lock is this type's purpose — releasing between send and recv would interleave responses across callers
         guard.send(payload)?;
+        // lint:allow(lock-order): the paired receive must stay under the same guard or another caller could steal this response
         guard.recv()
     }
 }

@@ -2,14 +2,16 @@
 //! request decoder and the framework dispatcher must survive arbitrary
 //! bytes — answering with error frames, never crashing or hanging.
 
-use distrust::core::abi::NoImports;
+use distrust::core::abi::{NoImports, HANDLE_EXPORT, OUTBOX_ADDR};
 use distrust::core::framework::{EnclaveFramework, FrameworkConfig, FrameworkService};
 use distrust::core::protocol::{Request, Response};
 use distrust::core::SignedRelease;
+use distrust::crypto::drbg::HmacDrbg;
 use distrust::crypto::schnorr::SigningKey;
 use distrust::sandbox::guests::counter_module;
-use distrust::sandbox::Limits;
+use distrust::sandbox::{FuncBuilder, Instr, Limits, Module, ModuleBuilder};
 use distrust::tee::host::EnclaveService;
+use distrust::tee::{Vendor, VendorKind};
 use distrust::wire::{Decode, Encode};
 use proptest::prelude::*;
 
@@ -64,6 +66,66 @@ fn sharded_service_with_history() -> FrameworkService {
         svc.framework_mut().apply_update(&release).expect("applies");
     }
     svc
+}
+
+/// A TEE-backed service (simulated vendor + provisioned device):
+/// `Request::Attest` is answered with a real `Response::Quote` instead of
+/// the unattested fallback.
+fn attested_service() -> FrameworkService {
+    let dev = SigningKey::derive(b"protocol fuzz", b"dev");
+    let vendor = Vendor::new(VendorKind::ALL[0], b"protocol fuzz vendor");
+    let mut rng = HmacDrbg::new(b"protocol fuzz", b"device-rng");
+    let device = vendor.provision_device(&mut rng);
+    let enclave = device.launch([3; 32]);
+    let checkpoint_key = enclave.derive_signing_key(b"checkpoint");
+    FrameworkService::new(EnclaveFramework::new(
+        FrameworkConfig {
+            domain_index: 1,
+            app_name: "fuzzed".into(),
+            developer_key: dev.verifying_key(),
+            log_id: [3; 32],
+            limits: Limits::default(),
+            log_shards: 1,
+        },
+        Some(enclave),
+        checkpoint_key,
+        Box::new(NoImports),
+    ))
+}
+
+/// An ABI-speaking echo app: its `handle` export copies the inbox to the
+/// outbox, so a successful `AppCall` is answered with a real
+/// `Response::AppResult` carrying the request payload back.
+fn echo_app_module() -> Module {
+    let mut mb = ModuleBuilder::new(1, 1);
+    // handle(method, addr, len) -> len ; copy byte-by-byte (local 3 = i)
+    let mut f = FuncBuilder::new(3, 1, 1);
+    f.constant(0).lset(3);
+    f.label("loop")
+        .lget(3)
+        .lget(2)
+        .op(Instr::GeU)
+        .jnz("done")
+        // outbox[i] = inbox[addr + i]
+        .constant(OUTBOX_ADDR)
+        .lget(3)
+        .add()
+        .lget(1)
+        .lget(3)
+        .add()
+        .load8(0)
+        .store8(0)
+        .lget(3)
+        .constant(1)
+        .add()
+        .lset(3)
+        .jmp("loop")
+        .label("done")
+        .lget(2)
+        .ret();
+    let idx = mb.function(f.build().expect("echo builds"));
+    mb.export(HANDLE_EXPORT, idx);
+    mb.build()
 }
 
 /// A real server-produced `ShardAuditBundle` response frame, cached for
@@ -306,6 +368,90 @@ proptest! {
             other => prop_assert!(false, "expected audit bundle, got {:?}", other),
         }
     }
+
+    /// The full update-then-call flow over the wire: `Request::Update` is
+    /// acknowledged with `Response::UpdateAck`, a stale replay is refused
+    /// with `Response::UpdateRejected`, and an `AppCall` into the freshly
+    /// installed echo app answers `Response::AppResult` with the request
+    /// payload echoed back byte-for-byte.
+    #[test]
+    fn update_then_app_call_round_trips(
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let dev = SigningKey::derive(b"protocol fuzz", b"dev");
+        let mut svc = service();
+        let release = SignedRelease::create("fuzzed", 1, "", &echo_app_module(), &dev);
+        let update = Request::Update { release: release.clone() };
+        let wire = update.to_wire();
+        // The fan-out fast path stays in lockstep with the Encode impl.
+        prop_assert_eq!(&wire, &Request::encode_update(&release));
+        let ack = Response::from_wire(&svc.handle(wire.clone()));
+        prop_assert!(
+            matches!(ack, Ok(Response::UpdateAck { log_size: 1, .. })),
+            "expected ack at log size 1, got {:?}",
+            ack
+        );
+        // The same version again is stale; the rejection decodes cleanly.
+        let replay = Response::from_wire(&svc.handle(wire));
+        prop_assert!(
+            matches!(replay, Ok(Response::UpdateRejected(_))),
+            "expected rejection, got {:?}",
+            replay
+        );
+        let call = Request::AppCall { method: 0, payload: payload.clone() };
+        match Response::from_wire(&svc.handle(call.to_wire())) {
+            Ok(Response::AppResult { payload: echoed }) => prop_assert_eq!(echoed, payload),
+            other => prop_assert!(false, "expected echoed app result, got {:?}", other),
+        }
+    }
+
+    /// Truncating an update frame at any point never panics the service —
+    /// it always answers with a frame that decodes.
+    #[test]
+    fn truncated_update_requests_are_handled(cut_seed in any::<u64>()) {
+        let dev = SigningKey::derive(b"protocol fuzz", b"dev");
+        let release = SignedRelease::create("fuzzed", 1, "", &counter_module(1), &dev);
+        let wire = Request::encode_update(&release);
+        let cut = (cut_seed as usize) % wire.len();
+        let mut svc = service();
+        let response_bytes = svc.handle(wire[..cut].to_vec());
+        prop_assert!(Response::from_wire(&response_bytes).is_ok());
+    }
+}
+
+#[test]
+fn attest_on_a_tee_domain_answers_with_a_quote() {
+    let mut svc = attested_service();
+    let frame = svc.handle(Request::Attest { nonce: [5; 32] }.to_wire());
+    let response = Response::from_wire(&frame).expect("decodes");
+    assert!(
+        matches!(response, Response::Quote(_)),
+        "expected a quote, got {response:?}"
+    );
+    // Canonical encoding: re-encoding the decoded quote reproduces the
+    // server's exact bytes.
+    assert_eq!(response.to_wire(), frame);
+}
+
+#[test]
+fn consistency_proofs_between_installed_epochs_decode_and_verify() {
+    let mut svc = service_with_history(); // log size 3
+    let frame = svc.handle(Request::GetConsistency { old_size: 1 }.to_wire());
+    match Response::from_wire(&frame).expect("decodes") {
+        Response::Consistency(p) => {
+            assert_eq!((p.old_size, p.new_size), (1, 3));
+            // Canonical encoding: the decoded proof re-encodes to the
+            // server's exact bytes.
+            assert_eq!(Response::Consistency(p).to_wire(), frame);
+        }
+        other => panic!("expected consistency proof, got {other:?}"),
+    }
+    // Past the head: an error frame, still decodable.
+    let frame = svc.handle(Request::GetConsistency { old_size: 99 }.to_wire());
+    assert!(matches!(
+        Response::from_wire(&frame),
+        Ok(Response::Error(_))
+    ));
 }
 
 #[test]
