@@ -1,0 +1,34 @@
+//! Seeded taint-alloc fixture: wire-announced sizes reaching allocation,
+//! loop-bound, and index sinks — one of them through an interprocedural
+//! hop — plus one properly capped decoder that must stay silent. Exactly
+//! four findings.
+
+/// Helper: the announced count, one call away from the source so the
+/// summary propagation (and the `returned by` chain hop) is exercised.
+pub fn read_count(input: &mut &[u8]) -> usize {
+    decode_len(input).unwrap_or(0)
+}
+
+pub fn decode_batch(input: &mut &[u8]) -> Result<Vec<Record>, WireError> {
+    let count = read_count(input);
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        records.push(Record::decode(input)?);
+    }
+    Ok(records)
+}
+
+pub fn decode_payload(input: &mut &[u8]) -> Result<Vec<u8>, WireError> {
+    let len = decode_len(input)?;
+    Ok(vec![0u8; len])
+}
+
+pub fn select_root(cp: &SignedCheckpoint, roots: &[u64]) -> u64 {
+    let slot = cp.body.slot as usize;
+    roots[slot]
+}
+
+pub fn decode_capped(input: &mut &[u8]) -> Result<Vec<u8>, WireError> {
+    let len = decode_len(input)?;
+    Ok(vec![0u8; len.min(MAX_FRAME)])
+}

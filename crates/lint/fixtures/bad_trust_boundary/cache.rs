@@ -1,0 +1,18 @@
+//! Seeded trust-boundary fixture: unverified signed objects reaching
+//! state-changing sinks, plus a verify-first twin that must stay silent.
+//! Exactly two findings.
+
+pub fn adopt(&mut self, cp: &SignedCheckpoint) {
+    self.heads.insert(cp.body.log_id, cp.body.head);
+}
+
+pub fn gate(&mut self, quote: Quote) {
+    self.trust_level = quote.level;
+}
+
+pub fn adopt_checked(&mut self, cp: &SignedCheckpoint) {
+    if !cp.verify(&self.key) {
+        return;
+    }
+    self.heads.insert(cp.body.log_id, cp.body.head);
+}

@@ -2,8 +2,10 @@
 //!
 //! It deliberately exercises each pass's happy path — consistent lock
 //! order, typed error returns on the decode path, a reactor loop that
-//! only uses timed receives — so a regression that over-fires shows up
-//! here as a non-empty report.
+//! only uses timed receives, a wire-announced length capped against a
+//! constant before allocation, and a signed object verified before it
+//! touches state — so a regression that over-fires shows up here as a
+//! non-empty report.
 
 pub fn serve(state: &Shared) -> Result<u8, ServeError> {
     let a = state.alpha.lock();
@@ -32,4 +34,17 @@ pub fn reactor_loop(intake: &Receiver) {
 
 fn dispatch(frame: Frame) {
     record(frame);
+}
+
+pub fn prepare_buffer(input: &mut &[u8]) -> Result<Vec<u8>, ServeError> {
+    let len = decode_len(input)?;
+    Ok(vec![0u8; len.min(READ_CHUNK)])
+}
+
+pub fn adopt_verified(&mut self, cp: &SignedCheckpoint) -> bool {
+    if !cp.verify(&self.key) {
+        return false;
+    }
+    self.heads.insert(cp.body.log_id, cp.body.head);
+    true
 }

@@ -1,0 +1,449 @@
+//! Ratchet baseline: a checked-in `lint-baseline.json` of known findings
+//! that `--baseline` tolerates, so a new pass can land strict without a
+//! big-bang allowlist sweep — while any *growth* in the count still
+//! fails CI.
+//!
+//! Entries are keyed by `(pass, file, message)` — deliberately **not** by
+//! line number, so unrelated edits that shift a file do not invalidate
+//! the baseline. Each entry carries a `count` (how many identical
+//! findings are tolerated; extras are new and denied) and a mandatory
+//! human `reason`. `--write-baseline` regenerates the file from the
+//! current findings, preserving reasons for keys that survive.
+//!
+//! The parser is a minimal hand-rolled JSON reader (std only, like the
+//! rest of this crate): objects, arrays, strings with the escapes our
+//! writer emits, integers, booleans and null.
+
+use crate::report::{json_str, Report};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One tolerated finding class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub pass: String,
+    pub file: String,
+    pub message: String,
+    pub count: usize,
+    pub reason: String,
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    pub entries: Vec<Entry>,
+}
+
+/// Outcome of matching a report against a baseline.
+#[derive(Debug, Default)]
+pub struct BaselineDiff {
+    pub matched: usize,
+    /// Findings not covered (new, or beyond an entry's count).
+    pub fresh: usize,
+    /// Baseline entries (whole or partial counts) no longer observed.
+    pub stale: Vec<(String, String, String, usize)>,
+}
+
+impl Baseline {
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let value = Json::parse(text)?;
+        let mut out = Baseline::default();
+        let Json::Object(top) = value else {
+            return Err("baseline: top level must be an object".into());
+        };
+        let Some(Json::Array(entries)) = top.iter().find(|(k, _)| k == "entries").map(|(_, v)| v)
+        else {
+            return Err("baseline: missing `entries` array".into());
+        };
+        for e in entries {
+            let Json::Object(fields) = e else {
+                return Err("baseline: each entry must be an object".into());
+            };
+            let get_str = |name: &str| -> Result<String, String> {
+                match fields.iter().find(|(k, _)| k == name).map(|(_, v)| v) {
+                    Some(Json::String(s)) => Ok(s.clone()),
+                    _ => Err(format!("baseline: entry missing string `{name}`")),
+                }
+            };
+            let count = match fields.iter().find(|(k, _)| k == "count").map(|(_, v)| v) {
+                Some(Json::Number(n)) if *n >= 1 => *n as usize,
+                _ => return Err("baseline: entry needs a positive `count`".into()),
+            };
+            let entry = Entry {
+                pass: get_str("pass")?,
+                file: get_str("file")?,
+                message: get_str("message")?,
+                count,
+                reason: get_str("reason")?,
+            };
+            if entry.reason.trim().is_empty() {
+                return Err(format!(
+                    "baseline: entry for {}:[{}] has an empty reason; every tolerated \
+                     finding must be justified",
+                    entry.file, entry.pass
+                ));
+            }
+            out.entries.push(entry);
+        }
+        Ok(out)
+    }
+
+    /// Marks findings covered by this baseline (in the report's sorted
+    /// deterministic order, greedily up to each entry's count) and
+    /// returns the diff. Allowlisted findings never consume baseline
+    /// budget.
+    pub fn apply(&self, report: &mut Report) -> BaselineDiff {
+        let mut budget: BTreeMap<(String, String, String), (usize, String)> = BTreeMap::new();
+        for e in &self.entries {
+            let slot = budget
+                .entry((e.pass.clone(), e.file.clone(), e.message.clone()))
+                .or_insert((0, e.reason.clone()));
+            slot.0 += e.count;
+        }
+        let mut diff = BaselineDiff::default();
+        for f in &mut report.findings {
+            if f.allowed.is_some() {
+                continue;
+            }
+            let key = (f.pass.clone(), f.file.clone(), f.message.clone());
+            match budget.get_mut(&key) {
+                Some((n, reason)) if *n > 0 => {
+                    *n -= 1;
+                    f.baselined = Some(reason.clone());
+                    diff.matched += 1;
+                }
+                _ => diff.fresh += 1,
+            }
+        }
+        for ((pass, file, message), (left, _)) in budget {
+            if left > 0 {
+                diff.stale.push((pass, file, message, left));
+            }
+        }
+        diff
+    }
+
+    /// Serializes deterministically (entries sorted by key).
+    pub fn render(&self) -> String {
+        let mut entries = self.entries.clone();
+        entries.sort_by(|a, b| (&a.pass, &a.file, &a.message).cmp(&(&b.pass, &b.file, &b.message)));
+        let mut out = String::from("{\n  \"entries\": [\n");
+        for (i, e) in entries.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"pass\": {}, \"file\": {}, \"message\": {}, \"count\": {}, \"reason\": {}}}",
+                json_str(&e.pass),
+                json_str(&e.file),
+                json_str(&e.message),
+                e.count,
+                json_str(&e.reason)
+            );
+            out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Builds a baseline covering every unallowlisted finding in
+    /// `report`, keeping reasons from `prior` where the key survives and
+    /// stamping a TODO reason on genuinely new entries.
+    pub fn regenerate(report: &Report, prior: &Baseline) -> Baseline {
+        let reasons: BTreeMap<(&str, &str, &str), &str> = prior
+            .entries
+            .iter()
+            .map(|e| {
+                (
+                    (e.pass.as_str(), e.file.as_str(), e.message.as_str()),
+                    e.reason.as_str(),
+                )
+            })
+            .collect();
+        let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for f in &report.findings {
+            if f.allowed.is_some() {
+                continue;
+            }
+            *counts
+                .entry((f.pass.clone(), f.file.clone(), f.message.clone()))
+                .or_default() += 1;
+        }
+        Baseline {
+            entries: counts
+                .into_iter()
+                .map(|((pass, file, message), count)| {
+                    let reason = reasons
+                        .get(&(pass.as_str(), file.as_str(), message.as_str()))
+                        .map(|r| r.to_string())
+                        .unwrap_or_else(|| "TODO: add rationale".to_string());
+                    Entry {
+                        pass,
+                        file,
+                        message,
+                        count,
+                        reason,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Minimal JSON value for the baseline file.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    String(String),
+    Number(i64),
+    Bool(bool),
+    Null,
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let chars: Vec<char> = text.chars().collect();
+        let mut pos = 0usize;
+        let v = parse_value(&chars, &mut pos)?;
+        skip_ws(&chars, &mut pos);
+        if pos != chars.len() {
+            return Err(format!("baseline: trailing content at offset {pos}"));
+        }
+        Ok(v)
+    }
+}
+
+fn skip_ws(chars: &[char], pos: &mut usize) {
+    while chars.get(*pos).is_some_and(|c| c.is_whitespace()) {
+        *pos += 1;
+    }
+}
+
+fn expect(chars: &[char], pos: &mut usize, want: char) -> Result<(), String> {
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "baseline: expected `{want}` at offset {pos}",
+            pos = *pos
+        ))
+    }
+}
+
+fn parse_value(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(chars, pos);
+    match chars.get(*pos) {
+        Some('{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(chars, pos);
+            if chars.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            loop {
+                skip_ws(chars, pos);
+                let key = parse_string(chars, pos)?;
+                expect(chars, pos, ':')?;
+                let value = parse_value(chars, pos)?;
+                fields.push((key, value));
+                skip_ws(chars, pos);
+                match chars.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(fields));
+                    }
+                    _ => return Err(format!("baseline: bad object at offset {}", *pos)),
+                }
+            }
+        }
+        Some('[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(chars, pos);
+            if chars.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(chars, pos)?);
+                skip_ws(chars, pos);
+                match chars.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(format!("baseline: bad array at offset {}", *pos)),
+                }
+            }
+        }
+        Some('"') => Ok(Json::String(parse_string(chars, pos)?)),
+        Some('t') if chars[*pos..].starts_with(&['t', 'r', 'u', 'e']) => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some('f') if chars[*pos..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some('n') if chars[*pos..].starts_with(&['n', 'u', 'l', 'l']) => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(c) if c.is_ascii_digit() || *c == '-' => {
+            let start = *pos;
+            if chars.get(*pos) == Some(&'-') {
+                *pos += 1;
+            }
+            while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+                *pos += 1;
+            }
+            let text: String = chars[start..*pos].iter().collect();
+            text.parse::<i64>()
+                .map(Json::Number)
+                .map_err(|_| format!("baseline: bad number `{text}`"))
+        }
+        _ => Err(format!("baseline: unexpected content at offset {}", *pos)),
+    }
+}
+
+fn parse_string(chars: &[char], pos: &mut usize) -> Result<String, String> {
+    if chars.get(*pos) != Some(&'"') {
+        return Err(format!("baseline: expected string at offset {}", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = chars.get(*pos) {
+        *pos += 1;
+        match c {
+            '"' => return Ok(out),
+            '\\' => {
+                let Some(&esc) = chars.get(*pos) else {
+                    return Err("baseline: unterminated escape".into());
+                };
+                *pos += 1;
+                match esc {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let hex: String = chars.get(*pos..*pos + 4).unwrap_or(&[]).iter().collect();
+                        *pos += 4;
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| format!("baseline: bad \\u escape `{hex}`"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("baseline: unknown escape `\\{other}`")),
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    Err("baseline: unterminated string".into())
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::report::Finding;
+
+    fn finding(pass: &str, file: &str, message: &str) -> Finding {
+        finding_at(pass, file, 10, message)
+    }
+
+    fn finding_at(pass: &str, file: &str, line: u32, message: &str) -> Finding {
+        Finding::new(pass, file, line, message.to_string())
+    }
+
+    #[test]
+    fn roundtrip_parse_render() {
+        let b = Baseline {
+            entries: vec![Entry {
+                pass: "taint-alloc".into(),
+                file: "crates/x/src/a.rs".into(),
+                message: "tainted \"size\"".into(),
+                count: 2,
+                reason: "bounded by frame cap".into(),
+            }],
+        };
+        let parsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(parsed.entries, b.entries);
+    }
+
+    #[test]
+    fn apply_matches_up_to_count_and_flags_growth() {
+        let b = Baseline {
+            entries: vec![Entry {
+                pass: "panic".into(),
+                file: "f.rs".into(),
+                message: "boom".into(),
+                count: 1,
+                reason: "legacy".into(),
+            }],
+        };
+        let mut report = Report::default();
+        report
+            .findings
+            .push(finding_at("panic", "f.rs", 10, "boom"));
+        report
+            .findings
+            .push(finding_at("panic", "f.rs", 20, "boom"));
+        report.finish();
+        let diff = b.apply(&mut report);
+        assert_eq!(diff.matched, 1);
+        assert_eq!(diff.fresh, 1);
+        assert_eq!(report.denied(), 1);
+    }
+
+    #[test]
+    fn stale_entries_are_reported_not_fatal() {
+        let b = Baseline {
+            entries: vec![Entry {
+                pass: "panic".into(),
+                file: "gone.rs".into(),
+                message: "boom".into(),
+                count: 1,
+                reason: "legacy".into(),
+            }],
+        };
+        let mut report = Report::default();
+        let diff = b.apply(&mut report);
+        assert_eq!(diff.stale.len(), 1);
+        assert_eq!(report.denied(), 0);
+    }
+
+    #[test]
+    fn empty_reason_is_rejected() {
+        let text =
+            r#"{"entries":[{"pass":"panic","file":"f.rs","message":"m","count":1,"reason":"  "}]}"#;
+        assert!(Baseline::parse(text).is_err());
+    }
+
+    #[test]
+    fn regenerate_preserves_reasons_by_key() {
+        let prior = Baseline {
+            entries: vec![Entry {
+                pass: "panic".into(),
+                file: "f.rs".into(),
+                message: "boom".into(),
+                count: 5,
+                reason: "known legacy site".into(),
+            }],
+        };
+        let mut report = Report::default();
+        report.findings.push(finding("panic", "f.rs", "boom"));
+        report.findings.push(finding("blocking", "g.rs", "slow"));
+        report.finish();
+        let next = Baseline::regenerate(&report, &prior);
+        let boom = next.entries.iter().find(|e| e.message == "boom").unwrap();
+        assert_eq!(boom.reason, "known legacy site");
+        assert_eq!(boom.count, 1);
+        let slow = next.entries.iter().find(|e| e.message == "slow").unwrap();
+        assert_eq!(slow.reason, "TODO: add rationale");
+    }
+}

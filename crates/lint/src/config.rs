@@ -5,6 +5,8 @@
 use crate::passes::blocking;
 use crate::passes::panic_path::PanicScope;
 use crate::passes::protocol::ProtocolCfg;
+use crate::passes::taint_alloc::TaintScope;
+use crate::passes::trust_boundary::TrustScope;
 use std::path::PathBuf;
 
 #[derive(Debug, Clone)]
@@ -12,6 +14,10 @@ pub struct Config {
     /// Workspace root the scan is relative to.
     pub root: PathBuf,
     pub panic_scope: PanicScope,
+    /// File scope for the taint-alloc dataflow pass.
+    pub taint_scope: TaintScope,
+    /// File scope for the trust-boundary pass.
+    pub trust_scope: TrustScope,
     /// Function names treated as reactor callback entry points.
     pub reactor_entries: Vec<String>,
     /// Protocol-conformance configuration; `None` skips the pass.
@@ -24,17 +30,21 @@ impl Config {
         Config {
             root,
             panic_scope: PanicScope::RepoDefault,
+            taint_scope: TaintScope::RepoDefault,
+            trust_scope: TrustScope::RepoDefault,
             reactor_entries: blocking::default_entries(),
             protocol: Some(ProtocolCfg::repo_default()),
         }
     }
 
-    /// Fixture configuration: every file is in scope for the panic pass,
-    /// the protocol pass is off unless the fixture provides files.
+    /// Fixture configuration: every file is in scope for the per-file
+    /// passes, the protocol pass is off unless the fixture provides files.
     pub fn fixture(root: PathBuf) -> Config {
         Config {
             root,
             panic_scope: PanicScope::AllFiles,
+            taint_scope: TaintScope::AllFiles,
+            trust_scope: TrustScope::AllFiles,
             reactor_entries: blocking::default_entries(),
             protocol: None,
         }

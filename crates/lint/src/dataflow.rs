@@ -1,0 +1,911 @@
+//! Interprocedural taint dataflow over the lexed token stream and the
+//! intra-crate call graph: the substrate for the `taint-alloc` pass.
+//!
+//! The analysis is deliberately lexical and over-approximate, in the same
+//! spirit as the other passes:
+//!
+//! * **Sources** root a taint chain: announced lengths (`decode_len`),
+//!   wire-decoded values (`decode`/`from_wire`/`read_frame` results), the
+//!   byte-slice parameters of decode entry points, and parameters typed
+//!   with a not-yet-verified signed object (`SignedCheckpoint`, `Quote`,
+//!   `ShardBundle`, …).
+//! * **Propagation** is a linear union: a let-binding, arithmetic
+//!   expression, field access or method chain carries the taint of every
+//!   identifier it mentions, and `.len()` deliberately propagates —
+//!   the length of an attacker-shaped collection is attacker-shaped
+//!   (element-size amplification is exactly the PR 2 length-bomb class).
+//!   Calls that resolve intra-crate use a fixpoint param→return summary,
+//!   so the chain survives through helpers like `decode_seq`.
+//! * **Sanitizers** clear a whole expression: a bounds-checked
+//!   `try_into`, an explicit `.min(CONSTANT)` cap, or passage through a
+//!   `verify*` call. Plain `if len > MAX { return }` guards do **not**
+//!   sanitize — the PR 2 bomb sat right next to such a guard; the
+//!   analyzable fix is a structural `.min(CAP)` on the allocation size.
+//!
+//! Known blind spots (documented in LINTS.md): rooted taint entering a
+//! callee through a parameter is not re-attributed to sinks inside the
+//! callee (summaries propagate returns, not calling contexts), and
+//! `match`-arm bindings are not tracked.
+
+use crate::lexer::Tok;
+use crate::scan::{FnDef, SourceFile};
+use std::collections::BTreeMap;
+
+/// Longest source→sink chain retained in a report line.
+const MAX_CHAIN: usize = 6;
+/// Fixpoint iteration cap (the lattice is finite; this is a backstop).
+const MAX_ITERS: usize = 12;
+/// Recursion fuel for evaluating call-argument subexpressions.
+const MAX_FUEL: usize = 8;
+
+/// Calls whose result is rooted attacker-shaped data, with the root text.
+fn source_call(name: &str) -> Option<&'static str> {
+    match name {
+        "decode_len" => Some("announced length via `decode_len`"),
+        "decode" => Some("wire-decoded value via `decode`"),
+        "from_wire" => Some("wire-decoded value via `from_wire`"),
+        "read_frame" => Some("wire frame via `read_frame`"),
+        _ => None,
+    }
+}
+
+/// Signed-object types whose fields are untrusted until verified.
+pub const SIGNED_TYPES: [&str; 8] = [
+    "SignedCheckpoint",
+    "SignedRelease",
+    "Quote",
+    "CheckpointBundle",
+    "ShardBundle",
+    "ShardProofBundle",
+    "AuditBundle",
+    "ShardAuditBundle",
+];
+
+const KEYWORDS: [&str; 30] = [
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "let", "fn",
+    "impl", "pub", "use", "mod", "struct", "enum", "trait", "where", "as", "in", "ref", "mut",
+    "move", "dyn", "unsafe", "extern", "static", "const", "type",
+];
+
+/// Taint lattice value: which parameters flow here (bitmask) and, when the
+/// value is attacker-rooted, one deterministic source chain (the
+/// lexicographically least seen, so reports never flap between runs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Taint {
+    pub params: u64,
+    pub chain: Option<Vec<String>>,
+}
+
+impl Taint {
+    fn rooted(desc: String) -> Taint {
+        Taint {
+            params: 0,
+            chain: Some(vec![desc]),
+        }
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.params == 0 && self.chain.is_none()
+    }
+
+    fn merge(&mut self, other: &Taint) {
+        self.params |= other.params;
+        match (&self.chain, &other.chain) {
+            (None, Some(_)) => self.chain = other.chain.clone(),
+            (Some(a), Some(b)) if b < a => self.chain = other.chain.clone(),
+            _ => {}
+        }
+    }
+}
+
+fn with_hop(chain: &[String], hop: String) -> Vec<String> {
+    let mut out = chain.to_vec();
+    if out.len() < MAX_CHAIN {
+        out.push(hop);
+    }
+    out
+}
+
+/// A tainted value reaching an allocation/index/loop-bound sink.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Site {
+    pub file: String,
+    pub line: u32,
+    pub fn_name: String,
+    /// Human label of the sink, e.g. "`Vec::with_capacity`".
+    pub sink: String,
+    /// Deterministic source→sink chain, root first.
+    pub chain: Vec<String>,
+}
+
+struct FnInfo {
+    name: String,
+    crate_name: String,
+    file_idx: usize,
+    body: (usize, usize),
+    /// Parameter names in order (`self` included when present).
+    params: Vec<String>,
+    /// (param index, root description) for attacker-rooted parameters.
+    seeds: Vec<(usize, String)>,
+}
+
+pub struct Dataflow {
+    fns: Vec<FnInfo>,
+    by_name: BTreeMap<(String, String), Vec<usize>>,
+    summaries: Vec<Taint>,
+    pub sites: Vec<Site>,
+}
+
+impl Dataflow {
+    pub fn build(files: &[SourceFile]) -> Dataflow {
+        let mut fns = Vec::new();
+        for (file_idx, file) in files.iter().enumerate() {
+            for def in &file.fns {
+                if def.in_test {
+                    continue;
+                }
+                fns.push(fn_info(file, file_idx, def));
+            }
+        }
+        let mut by_name: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name
+                .entry((f.crate_name.clone(), f.name.clone()))
+                .or_default()
+                .push(i);
+        }
+        let mut flow = Dataflow {
+            summaries: vec![Taint::default(); fns.len()],
+            fns,
+            by_name,
+            sites: Vec::new(),
+        };
+        for _ in 0..MAX_ITERS {
+            let mut changed = false;
+            for i in 0..flow.fns.len() {
+                let ret = walk_fn(&flow, files, i, None);
+                let mut next = flow.summaries[i].clone();
+                next.merge(&ret);
+                if next != flow.summaries[i] {
+                    flow.summaries[i] = next;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut sites = Vec::new();
+        for i in 0..flow.fns.len() {
+            walk_fn(&flow, files, i, Some(&mut sites));
+        }
+        sites.sort();
+        sites.dedup();
+        flow.sites = sites;
+        flow
+    }
+
+    /// Callee candidates, intra-crate, with the model's opaque names.
+    fn resolve(&self, caller_crate: &str, name: &str) -> &[usize] {
+        if name == "drop" || name == "shutdown" || name.ends_with("_timeout") {
+            return &[];
+        }
+        self.by_name
+            .get(&(caller_crate.to_string(), name.to_string()))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+/// Extracts signature facts for one function definition.
+fn fn_info(file: &SourceFile, file_idx: usize, def: &FnDef) -> FnInfo {
+    let mut params = Vec::new();
+    let mut seeds = Vec::new();
+    if let Some((sig_open, sig_close)) = signature_parens(file, def) {
+        for (lo, hi) in split_top_commas(file, sig_open + 1, sig_close.saturating_sub(1)) {
+            let idx = params.len();
+            let (name, ty_from) = param_name(file, lo, hi);
+            let ty_has = |want: &dyn Fn(&str) -> bool| -> Option<String> {
+                (ty_from..=hi)
+                    .find_map(|k| file.ident_at(k).filter(|n| want(n)).map(|n| n.to_string()))
+            };
+            if let Some(ty) = ty_has(&|n: &str| SIGNED_TYPES.contains(&n)) {
+                seeds.push((
+                    idx,
+                    format!(
+                        "unverified `{ty}` (param `{name}` of `{}`) at {}:{}",
+                        def.name, file.path, def.line
+                    ),
+                ));
+            } else if crate::passes::panic_path::decode_fn(&def.name)
+                && ty_has(&|n: &str| n == "u8").is_some()
+            {
+                seeds.push((
+                    idx,
+                    format!(
+                        "wire bytes `{name}` of `{}` at {}:{}",
+                        def.name, file.path, def.line
+                    ),
+                ));
+            }
+            params.push(name);
+        }
+    }
+    FnInfo {
+        name: def.name.clone(),
+        crate_name: file.crate_name.clone(),
+        file_idx,
+        body: def.body,
+        params,
+        seeds,
+    }
+}
+
+/// Token range of the parameter list's parentheses for `def`.
+fn signature_parens(file: &SourceFile, def: &FnDef) -> Option<(usize, usize)> {
+    // Find the `fn` keyword introducing this definition, nearest first.
+    let fn_kw = (0..def.body.0)
+        .rev()
+        .find(|&k| file.ident_at(k) == Some("fn") && file.ident_at(k + 1) == Some(&def.name))?;
+    let open = (fn_kw + 2..def.body.0).find(|&k| file.punct_at(k, '('))?;
+    let mut depth = 0i64;
+    for k in open..def.body.0 {
+        if file.punct_at(k, '(') {
+            depth += 1;
+        } else if file.punct_at(k, ')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some((open, k));
+            }
+        }
+    }
+    None
+}
+
+/// Splits `lo..=hi` on commas at paren/bracket depth 0.
+fn split_top_commas(file: &SourceFile, lo: usize, hi: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    if lo > hi {
+        return out;
+    }
+    let mut depth = 0i64;
+    let mut start = lo;
+    for k in lo..=hi {
+        match file.tokens.get(k).map(|t| &t.tok) {
+            Some(Tok::Punct('(')) | Some(Tok::Punct('[')) => depth += 1,
+            Some(Tok::Punct(')')) | Some(Tok::Punct(']')) => depth -= 1,
+            Some(Tok::Punct(',')) if depth == 0 => {
+                if start < k {
+                    out.push((start, k - 1));
+                }
+                start = k + 1;
+            }
+            _ => {}
+        }
+    }
+    if start <= hi {
+        out.push((start, hi));
+    }
+    out
+}
+
+/// Name of the parameter in `lo..=hi`, and where its type tokens begin.
+fn param_name(file: &SourceFile, lo: usize, hi: usize) -> (String, usize) {
+    let mut k = lo;
+    while k <= hi {
+        match file.ident_at(k) {
+            Some("mut") | Some("ref") => k += 1,
+            Some("self") => return ("self".to_string(), hi + 1),
+            Some(name) => {
+                let name = name.to_string();
+                let ty_from = (k + 1..=hi)
+                    .find(|&c| file.punct_at(c, ':'))
+                    .map(|c| c + 1)
+                    .unwrap_or(hi + 1);
+                return (name, ty_from);
+            }
+            None => k += 1,
+        }
+    }
+    ("<pat>".to_string(), lo)
+}
+
+/// Walks one function body: returns the return-value taint and, when
+/// `sites` is provided, records tainted sink reaches.
+fn walk_fn(
+    flow: &Dataflow,
+    files: &[SourceFile],
+    fi: usize,
+    mut sites: Option<&mut Vec<Site>>,
+) -> Taint {
+    let info = &flow.fns[fi];
+    let file = &files[info.file_idx];
+    let (open, close) = info.body;
+    let body_depth = file.depth[open];
+    let nested: Vec<(usize, usize)> = file
+        .fns
+        .iter()
+        .filter(|g| g.body.0 > open && g.body.1 < close)
+        .map(|g| g.body)
+        .collect();
+
+    let mut env: BTreeMap<String, Taint> = BTreeMap::new();
+    for (i, p) in info.params.iter().enumerate() {
+        env.insert(
+            p.clone(),
+            Taint {
+                params: 1u64 << i.min(63),
+                chain: None,
+            },
+        );
+    }
+    for (i, desc) in &info.seeds {
+        if let Some(t) = env.get_mut(&info.params[*i]) {
+            t.chain = Some(vec![desc.clone()]);
+        }
+    }
+
+    let mut ret = Taint::default();
+    let mut last_semi = open;
+    let mut idx = open + 1;
+    while idx < close {
+        if let Some(&(_, nend)) = nested.iter().find(|(ns, _)| *ns == idx) {
+            idx = nend + 1;
+            continue;
+        }
+        if file.punct_at(idx, ';') && file.depth[idx] == body_depth {
+            last_semi = idx;
+        }
+
+        // -- structure: bindings, loops, returns ------------------------
+        if let Some(name) = file.ident_at(idx) {
+            match name {
+                "let" => {
+                    let d = file.depth[idx];
+                    if let Some(eq) = find_assign_eq(file, idx + 1, close) {
+                        let term = (eq + 1..close)
+                            .find(|&k| file.punct_at(k, ';') && file.depth[k] == d)
+                            .unwrap_or(close);
+                        let t = eval(flow, files, fi, &env, eq + 1, term - 1, MAX_FUEL);
+                        // Strong update: a shadowing `let` replaces the
+                        // prior taint, so `let n = n.min(CAP);` launders.
+                        for b in pattern_binds(file, idx + 1, eq - 1) {
+                            env.insert(b, t.clone());
+                        }
+                    }
+                }
+                "for" => {
+                    let d = file.depth[idx];
+                    let in_kw = (idx + 1..close).find(|&k| file.ident_at(k) == Some("in"));
+                    let body_open =
+                        (idx + 1..close).find(|&k| file.punct_at(k, '{') && file.depth[k] == d + 1);
+                    if let (Some(in_kw), Some(body_open)) = (in_kw, body_open) {
+                        if in_kw < body_open {
+                            let t = eval(flow, files, fi, &env, in_kw + 1, body_open - 1, MAX_FUEL);
+                            let has_range = (in_kw + 1..body_open - 1)
+                                .any(|k| file.punct_at(k, '.') && file.punct_at(k + 1, '.'));
+                            if has_range {
+                                if let (Some(chain), Some(sites)) = (&t.chain, sites.as_deref_mut())
+                                {
+                                    sites.push(Site {
+                                        file: file.path.clone(),
+                                        line: file.line_at(idx),
+                                        fn_name: info.name.clone(),
+                                        sink: "loop bound".to_string(),
+                                        chain: chain.clone(),
+                                    });
+                                }
+                            }
+                            for b in pattern_binds(file, idx + 1, in_kw - 1) {
+                                env.entry(b).or_default().merge(&t);
+                            }
+                        }
+                    }
+                }
+                "return" => {
+                    let d = file.depth[idx];
+                    let term = (idx + 1..close)
+                        .find(|&k| file.punct_at(k, ';') && file.depth[k] == d)
+                        .unwrap_or(close);
+                    if idx + 1 < term {
+                        ret.merge(&eval(flow, files, fi, &env, idx + 1, term - 1, MAX_FUEL));
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // -- plain reassignment `x = expr` / `x += expr` ----------------
+        if file.punct_at(idx, '=')
+            && !file.punct_at(idx + 1, '=')
+            && !matches!(
+                file.tokens.get(idx.saturating_sub(1)).map(|t| &t.tok),
+                Some(Tok::Punct('='))
+                    | Some(Tok::Punct('<'))
+                    | Some(Tok::Punct('>'))
+                    | Some(Tok::Punct('!'))
+            )
+            && !file.punct_at(idx + 1, '>')
+        {
+            let (lhs_at, compound) = match file.tokens.get(idx.saturating_sub(1)).map(|t| &t.tok) {
+                Some(Tok::Ident(_)) => (idx - 1, false),
+                Some(Tok::Punct(op)) if "+-*/%&|^".contains(*op) => (idx.saturating_sub(2), true),
+                _ => (usize::MAX, false),
+            };
+            if lhs_at != usize::MAX {
+                if let Some(lhs) = file.ident_at(lhs_at) {
+                    let is_field = lhs_at > 0 && file.punct_at(lhs_at - 1, '.');
+                    let is_let = lhs_at > 0
+                        && matches!(file.ident_at(lhs_at - 1), Some("let") | Some("mut"));
+                    if !is_field && !is_let && !KEYWORDS.contains(&lhs) {
+                        let d = file.depth[idx];
+                        let term = (idx + 1..close)
+                            .find(|&k| file.punct_at(k, ';') && file.depth[k] == d)
+                            .unwrap_or(close);
+                        if idx + 1 < term {
+                            let t = eval(flow, files, fi, &env, idx + 1, term - 1, MAX_FUEL);
+                            if compound {
+                                // `x += expr` keeps the old value as an
+                                // operand, so the prior taint survives.
+                                env.entry(lhs.to_string()).or_default().merge(&t);
+                            } else {
+                                env.insert(lhs.to_string(), t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // -- sinks ------------------------------------------------------
+        if let Some(sites) = sites.as_deref_mut() {
+            check_sink(flow, files, fi, &env, idx, sites);
+        }
+        idx += 1;
+    }
+
+    // Trailing expression (implicit return).
+    if last_semi + 1 < close {
+        ret.merge(&eval(
+            flow,
+            files,
+            fi,
+            &env,
+            last_semi + 1,
+            close - 1,
+            MAX_FUEL,
+        ));
+    }
+    ret
+}
+
+/// First `=` that is a let-binding operator (not `==`, `=>`, `<=`, `!=`)
+/// scanning from `from`. A preceding `>` is allowed: between a `let` and
+/// its `=` it can only close a generic type annotation (`let x: Vec<u8>
+/// = …`), never a comparison.
+fn find_assign_eq(file: &SourceFile, from: usize, close: usize) -> Option<usize> {
+    (from..close).find(|&k| {
+        file.punct_at(k, '=')
+            && !file.punct_at(k + 1, '=')
+            && !file.punct_at(k + 1, '>')
+            && !matches!(
+                file.tokens.get(k.saturating_sub(1)).map(|t| &t.tok),
+                Some(Tok::Punct('=')) | Some(Tok::Punct('<')) | Some(Tok::Punct('!'))
+            )
+    })
+}
+
+/// Lowercase identifiers bound by a pattern in `lo..=hi` (stops at a
+/// type-annotation `:` at paren depth 0; skips path segments).
+fn pattern_binds(file: &SourceFile, lo: usize, hi: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut k = lo;
+    while k <= hi {
+        match file.tokens.get(k).map(|t| &t.tok) {
+            Some(Tok::Punct('(')) | Some(Tok::Punct('[')) | Some(Tok::Punct('{')) => depth += 1,
+            Some(Tok::Punct(')')) | Some(Tok::Punct(']')) | Some(Tok::Punct('}')) => depth -= 1,
+            Some(Tok::Punct(':')) => {
+                if file.punct_at(k + 1, ':') {
+                    k += 2; // path `::` — skip, next ident is a segment
+                    continue;
+                }
+                if depth == 0 {
+                    break; // type annotation
+                }
+            }
+            Some(Tok::Ident(name)) => {
+                let lower = name
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_lowercase() || c == '_');
+                let path_seg = k < hi && file.punct_at(k + 1, ':') && file.punct_at(k + 2, ':');
+                if lower && !path_seg && !KEYWORDS.contains(&name.as_str()) && name != "self" {
+                    out.push(name.clone());
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    out
+}
+
+/// True when `lo..=hi` passes through a recognized sanitizer: a
+/// `try_into` conversion, a `.min(CONSTANT)` cap, or a `verify*` call.
+fn sanitized(file: &SourceFile, lo: usize, hi: usize) -> bool {
+    for k in lo..=hi {
+        if let Some(name) = file.ident_at(k) {
+            if name == "try_into" {
+                return true;
+            }
+            if name.starts_with("verify") && file.punct_at(k + 1, '(') {
+                return true;
+            }
+            if name == "min" && k > 0 && file.punct_at(k - 1, '.') && file.punct_at(k + 1, '(') {
+                if let Some(cl) = match_close(file, k + 1, hi + 1) {
+                    let constish = (k + 2..cl).all(|a| match file.tokens.get(a).map(|t| &t.tok) {
+                        Some(Tok::Number(_)) => true,
+                        Some(Tok::Ident(n)) => n
+                            .chars()
+                            .all(|c| c.is_uppercase() || c == '_' || c.is_ascii_digit()),
+                        Some(Tok::Punct(':')) | Some(Tok::Punct('(')) | Some(Tok::Punct(')')) => {
+                            true
+                        }
+                        _ => false,
+                    });
+                    if k + 2 < cl && constish {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Matching `)` for the `(` at `open`, bounded by `limit`.
+fn match_close(file: &SourceFile, open: usize, limit: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for k in open..limit.min(file.tokens.len()) {
+        if file.punct_at(k, '(') {
+            depth += 1;
+        } else if file.punct_at(k, ')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Taint of the expression spanning tokens `lo..=hi`: the union of every
+/// environment-tainted identifier, rooted source call, and resolved
+/// callee summary in the range. Sanitizers clear the whole range.
+fn eval(
+    flow: &Dataflow,
+    files: &[SourceFile],
+    fi: usize,
+    env: &BTreeMap<String, Taint>,
+    lo: usize,
+    hi: usize,
+    fuel: usize,
+) -> Taint {
+    let info = &flow.fns[fi];
+    let file = &files[info.file_idx];
+    if lo > hi || fuel == 0 {
+        return Taint::default();
+    }
+    if sanitized(file, lo, hi) {
+        return Taint::default();
+    }
+    let mut out = Taint::default();
+    let mut k = lo;
+    while k <= hi {
+        let Some(name) = file.ident_at(k) else {
+            k += 1;
+            continue;
+        };
+        let is_call = file.punct_at(k + 1, '(') && !KEYWORDS.contains(&name);
+        // A `.` directly before the ident marks a field/method name —
+        // unless it is the second dot of a range (`0..n`), where the
+        // ident is a real operand.
+        let after_dot = k > 0 && file.punct_at(k - 1, '.') && !(k > 1 && file.punct_at(k - 2, '.'));
+        let is_field = after_dot && !is_call;
+        if is_field {
+            k += 1;
+            continue;
+        }
+        if is_call {
+            let line = file.line_at(k);
+            if let Some(desc) = source_call(name) {
+                out.merge(&Taint::rooted(format!("{desc} at {}:{line}", file.path)));
+            }
+            let callees = flow.resolve(&info.crate_name, name);
+            if !callees.is_empty() {
+                let close = match_close(file, k + 1, hi + 1).unwrap_or(hi);
+                let args = split_top_commas(file, k + 2, close.saturating_sub(1));
+                let is_method = k > 0 && file.punct_at(k - 1, '.');
+                for &j in callees {
+                    let s = &flow.summaries[j];
+                    if s.is_bottom() {
+                        continue;
+                    }
+                    if let Some(chain) = &s.chain {
+                        let mut t = Taint {
+                            params: 0,
+                            chain: Some(with_hop(
+                                chain,
+                                format!("returned by `{name}` at {}:{line}", file.path),
+                            )),
+                        };
+                        t.params = 0;
+                        out.merge(&t);
+                    }
+                    // Param→return flow: evaluate only the flowing args.
+                    let callee = &flow.fns[j];
+                    let skip_self =
+                        is_method && callee.params.first().map(String::as_str) == Some("self");
+                    for p in 0..callee.params.len().min(63) {
+                        if s.params & (1u64 << p) == 0 {
+                            continue;
+                        }
+                        let a = if skip_self {
+                            if p == 0 {
+                                continue; // receiver handled by outer scan
+                            }
+                            p - 1
+                        } else {
+                            p
+                        };
+                        if let Some(&(alo, ahi)) = args.get(a) {
+                            let t = eval(flow, files, fi, env, alo, ahi, fuel - 1);
+                            if let Some(chain) = &t.chain {
+                                let mut routed = t.clone();
+                                routed.chain = Some(with_hop(
+                                    chain,
+                                    format!("through `{name}` at {}:{line}", file.path),
+                                ));
+                                out.merge(&routed);
+                            } else {
+                                out.merge(&t);
+                            }
+                        }
+                    }
+                }
+                // Skip the argument range: flow through resolved callees
+                // is governed by their summaries, not a blanket union.
+                k = close + 1;
+                continue;
+            }
+            // Unresolved call (std/cross-crate): fall through and union
+            // the arguments conservatively.
+            k += 1;
+            continue;
+        }
+        if let Some(t) = env.get(name) {
+            out.merge(t);
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Checks whether token `idx` is an allocation/index sink and records a
+/// site when its size expression carries rooted taint.
+fn check_sink(
+    flow: &Dataflow,
+    files: &[SourceFile],
+    fi: usize,
+    env: &BTreeMap<String, Taint>,
+    idx: usize,
+    sites: &mut Vec<Site>,
+) {
+    let info = &flow.fns[fi];
+    let file = &files[info.file_idx];
+    let mut push = |line: u32, sink: &str, lo: usize, hi: usize| {
+        if lo > hi {
+            return;
+        }
+        let t = eval(flow, files, fi, env, lo, hi, MAX_FUEL);
+        if let Some(chain) = t.chain {
+            sites.push(Site {
+                file: file.path.clone(),
+                line,
+                fn_name: info.name.clone(),
+                sink: sink.to_string(),
+                chain,
+            });
+        }
+    };
+
+    if let Some(name) = file.ident_at(idx) {
+        let line = file.line_at(idx);
+        match name {
+            "with_capacity" if file.punct_at(idx + 1, '(') => {
+                if let Some(cl) = match_close(file, idx + 1, file.tokens.len()) {
+                    push(line, "`Vec::with_capacity`", idx + 2, cl.saturating_sub(1));
+                }
+            }
+            "reserve" | "reserve_exact"
+                if idx > 0 && file.punct_at(idx - 1, '.') && file.punct_at(idx + 1, '(') =>
+            {
+                if let Some(cl) = match_close(file, idx + 1, file.tokens.len()) {
+                    push(line, "`reserve`", idx + 2, cl.saturating_sub(1));
+                }
+            }
+            "resize" if idx > 0 && file.punct_at(idx - 1, '.') && file.punct_at(idx + 1, '(') => {
+                if let Some(cl) = match_close(file, idx + 1, file.tokens.len()) {
+                    let args = split_top_commas(file, idx + 2, cl.saturating_sub(1));
+                    if let Some(&(alo, ahi)) = args.first() {
+                        push(line, "`resize` length", alo, ahi);
+                    }
+                }
+            }
+            "vec" if file.punct_at(idx + 1, '!') && file.punct_at(idx + 2, '[') => {
+                if let Some(cl) = bracket_close(file, idx + 2) {
+                    let mut depth = 0i64;
+                    for k in idx + 3..cl {
+                        match file.tokens.get(k).map(|t| &t.tok) {
+                            Some(Tok::Punct('(')) | Some(Tok::Punct('[')) => depth += 1,
+                            Some(Tok::Punct(')')) | Some(Tok::Punct(']')) => depth -= 1,
+                            Some(Tok::Punct(';')) if depth == 0 => {
+                                push(line, "`vec![_; n]` length", k + 1, cl - 1);
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        return;
+    }
+
+    // Slice indexing `base[expr]` with a tainted index expression.
+    if file.punct_at(idx, '[') && idx > 0 {
+        let indexable = match file.tokens.get(idx - 1).map(|t| &t.tok) {
+            Some(Tok::Ident(name)) => !KEYWORDS.contains(&name.as_str()) && name != "vec",
+            Some(Tok::Punct(')')) | Some(Tok::Punct(']')) => true,
+            _ => false,
+        };
+        if indexable {
+            if let Some(cl) = bracket_close(file, idx) {
+                if idx + 1 < cl {
+                    push(file.line_at(idx), "slice index", idx + 1, cl - 1);
+                }
+            }
+        }
+    }
+}
+
+/// Matching `]` for the `[` at `open`.
+fn bracket_close(file: &SourceFile, open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for k in open..file.tokens.len() {
+        if file.punct_at(k, '[') {
+            depth += 1;
+        } else if file.punct_at(k, ']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn sites(path: &str, src: &str) -> Vec<Site> {
+        let file = SourceFile::parse(path.into(), src);
+        Dataflow::build(&[file]).sites
+    }
+
+    #[test]
+    fn announced_length_reaches_with_capacity() {
+        let s = sites(
+            "crates/x/src/codec.rs",
+            "fn decode_items(input: &mut &[u8]) { let len = decode_len(input); \
+             let v: Vec<u8> = Vec::with_capacity(len); }",
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].sink, "`Vec::with_capacity`");
+        assert!(s[0].chain[0].contains("announced length via `decode_len`"));
+    }
+
+    #[test]
+    fn min_against_constant_sanitizes() {
+        let s = sites(
+            "crates/x/src/codec.rs",
+            "fn decode_items(input: &mut &[u8]) { let len = decode_len(input); \
+             let v: Vec<u8> = Vec::with_capacity(len.min(CHUNK)); }",
+        );
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn min_against_variable_does_not_sanitize() {
+        let s = sites(
+            "crates/x/src/codec.rs",
+            "fn decode_items(input: &mut &[u8]) { let len = decode_len(input); let other = len; \
+             let v: Vec<u8> = Vec::with_capacity(len.min(other)); }",
+        );
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn taint_flows_through_intra_crate_summaries() {
+        let s = sites(
+            "crates/x/src/codec.rs",
+            "fn read_len(input: &mut &[u8]) -> usize { decode_len(input) } \
+             fn decode_seq(input: &mut &[u8]) { let n = read_len(input); \
+             let v: Vec<u64> = Vec::with_capacity(n); }",
+        );
+        assert_eq!(s.len(), 1);
+        assert!(s[0]
+            .chain
+            .iter()
+            .any(|h| h.contains("returned by `read_len`")));
+    }
+
+    #[test]
+    fn signed_param_fields_root_taint() {
+        let s = sites(
+            "crates/x/src/auditor.rs",
+            "fn observe_thing(&mut self, bundle: &ShardBundle) { \
+             let shard_count = bundle.shards.shard_count(); \
+             let v = vec![0usize; shard_count]; }",
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].sink, "`vec![_; n]` length");
+        assert!(s[0].chain[0].contains("unverified `ShardBundle`"));
+    }
+
+    #[test]
+    fn loop_bounds_and_indexing_fire() {
+        let s = sites(
+            "crates/x/src/codec.rs",
+            "fn decode_all(input: &mut &[u8]) { let n = decode_len(input); \
+             for _ in 0..n { step(); } let x = table[n]; }",
+        );
+        let sinks: Vec<&str> = s.iter().map(|x| x.sink.as_str()).collect();
+        assert!(sinks.contains(&"loop bound"));
+        assert!(sinks.contains(&"slice index"));
+    }
+
+    #[test]
+    fn own_state_lengths_are_clean() {
+        let s = sites(
+            "crates/x/src/server.rs",
+            "fn snapshot(&self) { let v: Vec<u8> = Vec::with_capacity(self.items.len() + 1); }",
+        );
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn clean_summary_does_not_leak_argument_taint() {
+        // `cap` sanitizes; callers must not re-taint through the arg union.
+        let s = sites(
+            "crates/x/src/codec.rs",
+            "fn cap(n: usize) -> usize { n.min(MAX) } \
+             fn decode_items(input: &mut &[u8]) { let len = decode_len(input); \
+             let v: Vec<u8> = Vec::with_capacity(cap(len)); }",
+        );
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn chains_are_deterministic_across_runs() {
+        let src = "fn decode_pair(input: &mut &[u8]) { let a = decode_len(input); \
+             let b = decode_len(input); let n = a + b; let v: Vec<u8> = Vec::with_capacity(n); }";
+        let a = sites("crates/x/src/codec.rs", src);
+        let b = sites("crates/x/src/codec.rs", src);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+    }
+}

@@ -13,7 +13,10 @@
 /// never masquerade as a lock acquisition.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Tok {
-    /// Identifier or keyword (raw identifiers lose their `r#` prefix).
+    /// Identifier or keyword. Raw identifiers keep their `r#` prefix so
+    /// `r#fn`/`r#match` can never collide with the keyword tables the
+    /// scanner and passes match on (a stripped `r#fn` would conjure a
+    /// phantom function definition out of a field name).
     Ident(String),
     /// Numeric literal, verbatim (`0u8`, `0x1f`, `1_000`, `2.5`).
     Number(String),
@@ -152,12 +155,25 @@ impl Lexer {
             }
             self.raw_string_body(hashes);
             self.emit(Tok::Str, line);
-        } else if hashes > 0 {
-            // Raw identifier: drop `r#`, lex the name.
-            self.bump();
-            self.bump();
-            self.ident(line);
+        } else if hashes == 1 && self.peek(2).is_some_and(|c| c == '_' || c.is_alphabetic()) {
+            // Raw identifier: keep the `r#` prefix so the name can never
+            // be mistaken for the bare keyword downstream.
+            self.bump(); // r
+            self.bump(); // #
+            let mut text = String::from("r#");
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.emit(Tok::Ident(text), line);
         } else {
+            // `r` followed by `#` that opens no raw string and no raw
+            // identifier (`r##x`, attribute-adjacent `r#[...]`): plain
+            // ident `r`, the `#` re-lexed as punctuation.
             self.ident(line);
         }
     }
@@ -326,7 +342,56 @@ mod tests {
         let toks = kinds(r##"r#"no.lock()"# r#match br"x" b"y""##);
         assert_eq!(
             toks,
-            vec![Tok::Str, Tok::Ident("match".into()), Tok::Str, Tok::Str]
+            vec![Tok::Str, Tok::Ident("r#match".into()), Tok::Str, Tok::Str]
+        );
+    }
+
+    #[test]
+    fn raw_idents_keep_their_prefix_and_never_read_as_keywords() {
+        let toks = kinds("let r#fn = 1; r#type r#struct");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("let".into()),
+                Tok::Ident("r#fn".into()),
+                Tok::Punct('='),
+                Tok::Number("1".into()),
+                Tok::Punct(';'),
+                Tok::Ident("r#type".into()),
+                Tok::Ident("r#struct".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_idents_adjacent_to_raw_strings_do_not_merge() {
+        // A raw ident directly before a raw string must not consume the
+        // string opener as part of its own `r#` scan, and a raw string
+        // directly before a raw ident must terminate exactly at its `"#`.
+        let toks = kinds(r##"r#type r#"body"# r#fn"##);
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("r#type".into()),
+                Tok::Str,
+                Tok::Ident("r#fn".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lone_r_before_hash_is_not_a_raw_prefix() {
+        // `r ## x` (macro-ish token soup) must not be swallowed as one
+        // ident; the lexer falls back to `r` + punctuation.
+        let toks = kinds("r##x");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("r".into()),
+                Tok::Punct('#'),
+                Tok::Punct('#'),
+                Tok::Ident("x".into()),
+            ]
         );
     }
 

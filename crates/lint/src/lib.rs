@@ -1,6 +1,6 @@
 //! `distrust-lint`: repo-aware static analysis for the distrust workspace.
 //!
-//! Four passes over a hand-rolled token stream (no registry dependencies,
+//! Six passes over a hand-rolled token stream (no registry dependencies,
 //! std only):
 //!
 //! 1. **lock-order** — global lock-order graph over named lock fields;
@@ -12,12 +12,22 @@
 //!    pairing, codec impl pairing, and fuzz-suite coverage for every
 //!    variant.
 //! 4. **blocking** — blocking calls reachable from reactor callback paths.
+//! 5. **taint-alloc** — interprocedural taint dataflow: wire-announced
+//!    lengths and unverified signed-object fields reaching allocation,
+//!    index, and loop-bound sinks (the length-bomb class), with a
+//!    deterministic source→sink chain per finding.
+//! 6. **trust-boundary** — unverified signed-object fields flowing into
+//!    state-changing sinks before a verification call dominates them.
 //!
 //! Findings are suppressed only by `// lint:allow(<pass>): <reason>` on
-//! the same or preceding line, and the reason is mandatory. See LINTS.md
-//! at the workspace root for the full contract.
+//! the same or preceding line (reason mandatory), or tolerated by a
+//! checked-in ratchet baseline (`lint-baseline.json`, reasons also
+//! mandatory) that refuses any growth in the count. See LINTS.md at the
+//! workspace root for the full contract.
 
+pub mod baseline;
 pub mod config;
+pub mod dataflow;
 pub mod facts;
 pub mod lexer;
 pub mod model;
@@ -46,6 +56,8 @@ pub fn analyze(cfg: &Config) -> io::Result<Report> {
     passes::lock_order::run(&model, &mut report);
     passes::blocking::run(&model, &cfg.reactor_entries, &mut report);
     passes::panic_path::run(&files, cfg.panic_scope, &mut report);
+    passes::taint_alloc::run(&files, cfg.taint_scope, &mut report);
+    passes::trust_boundary::run(&files, cfg.trust_scope, &mut report);
     if let Some(proto) = &cfg.protocol {
         let fuzz = std::fs::read_to_string(cfg.root.join(&proto.fuzz_file)).ok();
         passes::protocol::run(&files, proto, fuzz.as_deref(), &mut report);

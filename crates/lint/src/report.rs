@@ -5,7 +5,14 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Pass keys accepted in `lint:allow(<key>)` entries.
-pub const PASS_KEYS: [&str; 4] = ["lock-order", "panic", "protocol", "blocking"];
+pub const PASS_KEYS: [&str; 6] = [
+    "lock-order",
+    "panic",
+    "protocol",
+    "blocking",
+    "taint-alloc",
+    "trust-boundary",
+];
 
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Finding {
@@ -15,18 +22,32 @@ pub struct Finding {
     pub message: String,
     /// The allow reason, when an allowlist entry covers this finding.
     pub allowed: Option<String>,
+    /// The baseline reason, when a `lint-baseline.json` entry covers it.
+    pub baselined: Option<String>,
 }
 
 impl Finding {
     pub fn new(pass: &str, file: &str, line: u32, message: String) -> Finding {
         Finding {
-            file: file.to_string(),
+            file: normalize_path(file),
             line,
             pass: pass.to_string(),
             message,
             allowed: None,
+            baselined: None,
         }
     }
+}
+
+/// Normalizes a finding path to a relative, `/`-separated form so
+/// `--root .` and `--root $(pwd)` render byte-identical reports.
+pub fn normalize_path(path: &str) -> String {
+    let slashed = path.replace('\\', "/");
+    let mut out = slashed.as_str();
+    while let Some(rest) = out.strip_prefix("./") {
+        out = rest;
+    }
+    out.to_string()
 }
 
 #[derive(Debug, Default)]
@@ -92,28 +113,48 @@ impl Report {
         self.findings.iter().filter(|f| f.allowed.is_none()).count()
     }
 
+    /// Findings neither allowlisted in code nor tolerated by a baseline —
+    /// what `--deny` gates on.
+    pub fn denied(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.allowed.is_none() && f.baselined.is_none())
+            .count()
+    }
+
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         for f in &self.findings {
-            match &f.allowed {
-                Some(reason) => {
+            match (&f.allowed, &f.baselined) {
+                (Some(reason), _) => {
                     let _ = writeln!(
                         out,
                         "{}:{}: [{}] {} (allowed: {})",
                         f.file, f.line, f.pass, f.message, reason
                     );
                 }
-                None => {
+                (None, Some(reason)) => {
+                    let _ = writeln!(
+                        out,
+                        "{}:{}: [{}] {} (baselined: {})",
+                        f.file, f.line, f.pass, f.message, reason
+                    );
+                }
+                (None, None) => {
                     let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.pass, f.message);
                 }
             }
         }
-        let denied = self.unallowlisted();
+        let denied = self.denied();
         let _ = writeln!(
             out,
-            "distrust-lint: {} finding(s), {} allowlisted, {} denied",
+            "distrust-lint: {} finding(s), {} allowlisted, {} baselined, {} denied",
             self.findings.len(),
-            self.findings.len() - denied,
+            self.findings.iter().filter(|f| f.allowed.is_some()).count(),
+            self.findings
+                .iter()
+                .filter(|f| f.baselined.is_some())
+                .count(),
             denied
         );
         out
@@ -135,23 +176,33 @@ impl Report {
             );
             match &f.allowed {
                 Some(reason) => {
-                    let _ = write!(out, ",\"allowed\":true,\"reason\":{}}}", json_str(reason));
+                    let _ = write!(out, ",\"allowed\":true,\"reason\":{}", json_str(reason));
                 }
-                None => out.push_str(",\"allowed\":false}"),
+                None => out.push_str(",\"allowed\":false"),
+            }
+            match &f.baselined {
+                Some(reason) => {
+                    let _ = write!(
+                        out,
+                        ",\"baselined\":true,\"baseline_reason\":{}}}",
+                        json_str(reason)
+                    );
+                }
+                None => out.push_str(",\"baselined\":false}"),
             }
         }
         let _ = write!(
             out,
             "],\"total\":{},\"denied\":{}}}",
             self.findings.len(),
-            self.unallowlisted()
+            self.denied()
         );
         out.push('\n');
         out
     }
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -101,6 +101,43 @@ fn protocol_fixture_fires_on_every_seeded_defect() {
 }
 
 #[test]
+fn taint_alloc_fixture_fires_exactly() {
+    let report = analyze_fixture("bad_taint_alloc");
+    assert_eq!(report.findings.len(), 4, "{:?}", report.findings);
+    assert!(report.findings.iter().all(|f| f.pass == "taint-alloc"));
+    let has = |needle: &str| report.findings.iter().any(|f| f.message.contains(needle));
+    // Allocation sink, reached through an interprocedural summary hop.
+    assert!(has("`Vec::with_capacity` in `decode_batch`"));
+    assert!(has("-> returned by `read_count`"));
+    assert!(has("loop bound in `decode_batch`"));
+    // Direct source-to-sink.
+    assert!(has("`vec![_; n]` length in `decode_payload`"));
+    // Unverified signed-object field used as an index.
+    assert!(has("slice index in `select_root`"));
+    assert!(has(
+        "unverified `SignedCheckpoint` (param `cp` of `select_root`)"
+    ));
+    // The capped decoder stays silent.
+    assert!(!has("decode_capped"), "{:?}", report.findings);
+}
+
+#[test]
+fn trust_boundary_fixture_fires_exactly() {
+    let report = analyze_fixture("bad_trust_boundary");
+    assert_eq!(report.findings.len(), 2, "{:?}", report.findings);
+    assert!(report.findings.iter().all(|f| f.pass == "trust-boundary"));
+    let has = |needle: &str| report.findings.iter().any(|f| f.message.contains(needle));
+    assert!(has(
+        "unverified `SignedCheckpoint` `cp` (param of `adopt` at cache.rs:5) \
+         reaches state-changing `insert`"
+    ));
+    assert!(has("unverified `Quote` `quote`"));
+    assert!(has("assigned into `self` state"));
+    // The verify-first twin stays silent.
+    assert!(!has("adopt_checked"), "{:?}", report.findings);
+}
+
+#[test]
 fn allowlist_suppresses_with_a_reason() {
     let report = analyze_fixture("allowed");
     assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
@@ -138,6 +175,114 @@ fn report_is_byte_identical_across_runs() {
     let second = distrust_lint::analyze(&cfg).expect("repo scan");
     assert_eq!(first.render_text(), second.render_text());
     assert_eq!(first.render_json(), second.render_json());
+}
+
+#[test]
+fn reports_are_byte_identical_across_root_spellings() {
+    // `--root .` (run from the workspace root) and `--root <absolute>`
+    // must render byte-identical reports, or the checked-in baseline
+    // would only match from one invocation directory.
+    let bin = env!("CARGO_BIN_EXE_distrust-lint");
+    let root = repo_root();
+    let via_dot = Command::new(bin)
+        .args(["--format", "json", "--root", "."])
+        .current_dir(&root)
+        .output()
+        .expect("run lint binary");
+    let via_abs = Command::new(bin)
+        .args(["--format", "json", "--root"])
+        .arg(&root)
+        .current_dir(&root)
+        .output()
+        .expect("run lint binary");
+    assert!(via_dot.status.success() && via_abs.status.success());
+    assert!(!via_dot.stdout.is_empty());
+    assert_eq!(via_dot.stdout, via_abs.stdout);
+}
+
+#[test]
+fn live_repo_is_clean_under_deny_with_checked_in_baseline() {
+    // The exact CI gate: the committed baseline must parse, and the live
+    // tree must produce zero denied findings under it.
+    let bin = env!("CARGO_BIN_EXE_distrust-lint");
+    let out = Command::new(bin)
+        .args(["--deny", "--baseline", "lint-baseline.json", "--root", "."])
+        .current_dir(repo_root())
+        .output()
+        .expect("run lint binary");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn baseline_ratchet_tolerates_known_findings_and_rejects_growth() {
+    // Self-test of the ratchet loop on a scratch workspace shaped like
+    // the repo (so the binary's repo-default scopes cover it): seed a
+    // taint-alloc violation, write a baseline, and check that the same
+    // findings pass under it while an empty baseline still fails.
+    let bin = env!("CARGO_BIN_EXE_distrust-lint");
+    let scratch =
+        std::env::temp_dir().join(format!("distrust-lint-ratchet-{}", std::process::id()));
+    let src_dir = scratch.join("crates").join("wire").join("src");
+    std::fs::create_dir_all(&src_dir).expect("scratch tree");
+    std::fs::copy(
+        fixture_root("bad_taint_alloc").join("decode.rs"),
+        src_dir.join("decode.rs"),
+    )
+    .expect("seed violation");
+
+    // Without any baseline the seeded violations are denied.
+    let bare = Command::new(bin)
+        .args(["--deny", "--root"])
+        .arg(&scratch)
+        .output()
+        .expect("run lint binary");
+    assert_eq!(bare.status.code(), Some(1), "{:?}", bare);
+
+    // --write-baseline captures them...
+    let write = Command::new(bin)
+        .args(["--write-baseline", "--root"])
+        .arg(&scratch)
+        .output()
+        .expect("run lint binary");
+    assert_eq!(write.status.code(), Some(0), "{:?}", write);
+    let baseline_path = scratch.join("lint-baseline.json");
+    assert!(baseline_path.is_file());
+
+    // ...and the identical tree now passes the deny gate under it.
+    let ratcheted = Command::new(bin)
+        .args(["--deny", "--baseline"])
+        .arg(&baseline_path)
+        .args(["--root"])
+        .arg(&scratch)
+        .output()
+        .expect("run lint binary");
+    assert_eq!(
+        ratcheted.status.code(),
+        Some(0),
+        "stdout: {}",
+        String::from_utf8_lossy(&ratcheted.stdout)
+    );
+
+    // An empty baseline rejects the same findings: the ratchet refuses
+    // growth rather than grandfathering whatever currently fires.
+    let empty_path = scratch.join("empty-baseline.json");
+    std::fs::write(&empty_path, "{\n  \"entries\": [\n  ]\n}\n").expect("empty baseline");
+    let refused = Command::new(bin)
+        .args(["--deny", "--baseline"])
+        .arg(&empty_path)
+        .args(["--root"])
+        .arg(&scratch)
+        .output()
+        .expect("run lint binary");
+    assert_eq!(refused.status.code(), Some(1), "{:?}", refused);
+
+    std::fs::remove_dir_all(&scratch).ok();
 }
 
 #[test]

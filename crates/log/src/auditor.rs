@@ -25,6 +25,13 @@ use distrust_crypto::schnorr::VerifyingKey;
 use distrust_crypto::sha256::Digest;
 use std::collections::HashMap;
 
+/// Most shards a [`ShardBundle`] may announce before the auditor rejects
+/// it as malformed. The sharded-log design targets tens of shards (one
+/// per append-heavy partition); 1024 leaves generous headroom while
+/// keeping every `shard_count`-sized allocation in the audit path bounded
+/// by a constant instead of by a wire-announced value.
+pub const MAX_BUNDLE_SHARDS: usize = 1024;
+
 /// Evidence of misbehavior discovered during an audit.
 #[derive(Clone, Debug)]
 pub enum Misbehavior {
@@ -146,6 +153,7 @@ impl DomainState {
         }
         // 2. Equivocation inside the batch.
         for (i, a) in cps.iter().enumerate() {
+            // lint:allow(taint-alloc): `i` enumerates `cps` itself, so the slice start is bounded by the batch length by construction
             for b in &cps[i + 1..] {
                 if a.body.size == b.body.size
                     && a.body.log_id == b.body.log_id
@@ -455,6 +463,12 @@ impl Auditor {
         if shard_count == 0 {
             return malformed(domain, "epoch snapshot has no shards");
         }
+        if shard_count > MAX_BUNDLE_SHARDS {
+            return malformed(domain, "bundle shard count exceeds the audit limit");
+        }
+        // No-op after the guard above; keeps every allocation and index
+        // below bounded by a constant rather than by wire input.
+        let shard_count = shard_count.min(MAX_BUNDLE_SHARDS);
         if epochs.iter().any(|e| e.shards.shard_count() != shard_count) {
             return malformed(domain, "shard count varies across epochs");
         }
@@ -1206,6 +1220,39 @@ mod tests {
             let cache = auditor.prefix_cache(0).unwrap();
             assert_eq!(cache.signatures_verified(), sigs);
             assert_eq!(cache.consistency_verified(), cons);
+        }
+
+        #[test]
+        fn bundle_shard_count_above_limit_is_malformed() {
+            // Regression for the shard-count bomb: `observe_shard_bundle`
+            // used to allocate `vec![0usize; shard_count]` (and index
+            // per-shard arrays) straight off the wire-announced count.
+            // Anything above MAX_BUNDLE_SHARDS must be rejected as
+            // malformed before any shard_count-sized work happens.
+            let mut d = ShardDomain::new(2);
+            d.append(0, b"a0");
+            let mut auditor = d.auditor();
+            let (cp, _) = d.epochs.last().expect("non-empty").clone();
+            let oversized = ShardSnapshot {
+                sizes: vec![0; MAX_BUNDLE_SHARDS + 1],
+                heads: vec![MerkleLog::new().root(); MAX_BUNDLE_SHARDS + 1],
+            };
+            let bundle = ShardBundle {
+                epochs: vec![ShardEpoch {
+                    checkpoint: cp,
+                    shards: oversized,
+                }],
+                proof: Default::default(),
+            };
+            match auditor.observe_shard_bundle(0, &bundle) {
+                AuditOutcome::Misbehavior(m) => match *m {
+                    Misbehavior::MalformedBundle { reason, .. } => {
+                        assert!(reason.contains("audit limit"), "reason: {reason}")
+                    }
+                    other => panic!("expected malformed bundle, got {other:?}"),
+                },
+                other => panic!("expected misbehavior, got {other:?}"),
+            }
         }
 
         #[test]

@@ -217,15 +217,25 @@ pub fn encode_seq<T: Encode>(items: &[T], out: &mut Vec<u8>) {
     }
 }
 
+/// Pre-parse reservation cap for length-prefixed sequences, in elements.
+/// A hostile length prefix reserves at most this many slots before any
+/// element has actually been parsed (the vector grows normally past it) —
+/// without the cap, a 4-byte prefix inside a 16 MiB frame could demand
+/// `len * size_of::<T>()` up front, ~512 MiB for 32-byte elements. 4096
+/// elements keeps the worst pre-parse reservation around 64 KiB.
+pub const SEQ_PREALLOC_LEN: usize = 4096;
+
 /// Decodes a length-prefixed sequence.
 pub fn decode_seq<T: Decode>(input: &mut &[u8]) -> Result<Vec<T>, DecodeError> {
     let len = decode_len(input)?;
-    // Guard allocation: each element consumes at least one input byte in
-    // every type this codec defines.
+    // Guard the loop: each element consumes at least one input byte in
+    // every type this codec defines, so a length beyond the remaining
+    // input can never be satisfied.
     if len > input.len() {
         return Err(DecodeError::LengthOverflow(len));
     }
-    let mut items = Vec::with_capacity(len);
+    let mut items = Vec::with_capacity(len.min(SEQ_PREALLOC_LEN));
+    // lint:allow(taint-alloc): loop is capped by the remaining-input guard above; every iteration consumes at least one input byte
     for _ in 0..len {
         items.push(T::decode(input)?);
     }
@@ -354,6 +364,32 @@ mod tests {
         encode_len(1_000_000, &mut bomb);
         let mut input = bomb.as_slice();
         assert!(decode_seq::<u64>(&mut input).is_err());
+    }
+
+    #[test]
+    fn seq_prealloc_cap_round_trips() {
+        // Regression for the element-size amplification bomb: a 4-byte
+        // length prefix used to translate into an up-front
+        // `len * size_of::<T>()` reservation (hundreds of MiB from a
+        // 16 MiB frame). The pre-parse reservation is now capped at
+        // SEQ_PREALLOC_LEN elements — taint-alloc in distrust-lint flags
+        // any revert — and sequences far larger than the cap must still
+        // decode byte-for-byte.
+        let items: Vec<u64> = (0..4 * SEQ_PREALLOC_LEN as u64).collect();
+        let mut out = Vec::new();
+        encode_seq(&items, &mut out);
+        let mut input = out.as_slice();
+        assert_eq!(decode_seq::<u64>(&mut input).unwrap(), items);
+        assert!(input.is_empty());
+        // A hostile prefix claiming more elements than remaining input
+        // bytes is still rejected before the decode loop runs.
+        let mut bomb = Vec::new();
+        encode_len(1_000_000, &mut bomb);
+        bomb.extend_from_slice(&[0; 64]);
+        assert!(matches!(
+            decode_seq::<u64>(&mut bomb.as_slice()),
+            Err(DecodeError::LengthOverflow(_))
+        ));
     }
 
     #[derive(Debug, PartialEq)]
