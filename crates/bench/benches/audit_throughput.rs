@@ -21,6 +21,7 @@ use distrust_core::SignedRelease;
 use distrust_crypto::schnorr::{SigningKey, VerifyingKey};
 use distrust_log::auditor::Auditor;
 use distrust_log::checkpoint::log_id;
+use distrust_log::StorageConfig;
 use distrust_sandbox::guests::counter_module;
 use distrust_sandbox::Limits;
 use distrust_wire::codec::{Decode, Encode};
@@ -44,7 +45,7 @@ fn checkpoint_key() -> SigningKey {
 /// installed releases behind the event-loop host.
 fn spawn_domain() -> DirectHost {
     let dev = SigningKey::derive(b"audit bench", b"developer");
-    let mut fw = EnclaveFramework::new(
+    let mut fw = EnclaveFramework::open(
         FrameworkConfig {
             domain_index: 0,
             app_name: "audited".into(),
@@ -52,11 +53,13 @@ fn spawn_domain() -> DirectHost {
             log_id: log_id(b"audit-bench", 0),
             limits: Limits::default(),
             log_shards: 1,
+            storage: StorageConfig::Ephemeral,
         },
         None,
         checkpoint_key(),
         Box::new(NoImports),
-    );
+    )
+    .expect("ephemeral framework opens");
     for v in 1..=EPOCHS {
         let release = SignedRelease::create("audited", v, "", &counter_module(v), &dev);
         fw.apply_update(&release).expect("release applies");

@@ -1,0 +1,215 @@
+//! Cold-start cost of a durable log (ISSUE 8 acceptance): rebuilding the
+//! signed commitment from segment checkpoints must be O(segments), not
+//! O(entries).
+//!
+//! Every sealed segment ends with a checkpoint record carrying the
+//! shard's right-edge subtree roots at that size, so
+//! [`DurableStore::cold_snapshot`] answers "what root did this log have?"
+//! by reading one trailer + one record per sealed segment and replaying
+//! only the unsealed tail — while a full [`ShardedLog::open`] must scan
+//! every byte and rehash every leaf to rebuild the in-memory proof tree.
+//! Both are measured here over the same directories, and two claims are
+//! **asserted**, not just reported:
+//!
+//! 1. at the larger size the checkpoint path beats full replay by at
+//!    least [`MIN_SPEEDUP`]×;
+//! 2. growing the log 4× grows the checkpoint path by far less than 4×
+//!    (it is bounded by segment count and tail size, not entry count).
+//!
+//! Custom harness (`harness = false`), same shape as `sharded_append`;
+//! results go to `bench_results/cold_start.json`.
+
+use distrust_log::{DurableOptions, DurableStore, ShardedLog, StorageConfig};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Log sizes measured in **sealed segments**; the larger is 4× the
+/// smaller. Seeding runs to an exact segment boundary plus one leaf, so
+/// both logs carry an identical (tiny) unsealed tail and the measured
+/// growth isolates the per-segment cost — a fixed entry count would leave
+/// different-sized tails and measure tail scanning instead.
+const SIZES: &[usize] = &[8, 32];
+/// Entry payload: application-scale records, so segments fill realistically.
+const LEAF_BYTES: usize = 1024;
+/// Segment rotation threshold — 1 MiB ⇒ ~8 and ~32 sealed segments.
+const SEGMENT_BYTES: u64 = 1 << 20;
+/// Seeding batches fsync; durability of the seed phase is not under test.
+const FSYNC_EVERY: u32 = 4096;
+/// Timed repetitions per measurement (the minimum is reported).
+const REPS: usize = 5;
+/// Claim 1: checkpoint-path cold start must beat full replay by this
+/// factor at the largest size.
+const MIN_SPEEDUP: f64 = 5.0;
+/// Claim 2: 4× the entries must cost the checkpoint path under this
+/// growth factor (linear would be ~4×; segment-bounded is ~1×).
+const MAX_COLD_GROWTH: f64 = 2.5;
+
+struct Row {
+    entries: usize,
+    segments: usize,
+    cold: Duration,
+    replay: Duration,
+}
+
+fn opts(dir: &Path) -> DurableOptions {
+    DurableOptions {
+        dir: dir.to_path_buf(),
+        segment_bytes: SEGMENT_BYTES,
+        fsync_every: FSYNC_EVERY,
+    }
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("distrust-coldstart-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Appends leaves through the ordinary durable path until `segments`
+/// segments have sealed, plus one leaf into the fresh tail. Returns the
+/// entry count and the live commitment.
+fn seed(dir: &Path, segments: usize) -> (usize, [u8; 32]) {
+    let storage = StorageConfig::Durable(opts(dir));
+    let (log, _) = ShardedLog::open(1, &storage).expect("seed open");
+    let mut leaf = vec![0u8; LEAF_BYTES];
+    let mut entries = 0usize;
+    // A new segment file appears only when the first post-seal append
+    // lands, so `segments + 1` files means exactly `segments` are sealed.
+    while segment_files(dir) < segments + 1 {
+        leaf[..8].copy_from_slice(&(entries as u64).to_le_bytes());
+        log.append(0, &leaf).expect("seed append");
+        entries += 1;
+    }
+    log.sync().expect("seed sync");
+    (entries, log.commitment())
+}
+
+fn segment_files(dir: &Path) -> usize {
+    std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_str()
+                    .is_some_and(|n| n.starts_with("shard-"))
+            })
+            .count()
+        })
+        .unwrap_or(0)
+}
+
+fn min_time(mut f: impl FnMut() -> [u8; 32], expect: [u8; 32], what: &str) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let got = f();
+        let elapsed = t.elapsed();
+        assert_eq!(got, expect, "{what} produced a different commitment");
+        best = best.min(elapsed);
+    }
+    best
+}
+
+fn measure(segments: usize) -> Row {
+    let dir = tempdir(&format!("{segments}"));
+    let (entries, live) = seed(&dir, segments);
+
+    // Checkpoint path: open positions the writers (last segment only),
+    // cold_snapshot reads one seal per sealed segment + the tail.
+    let cold = min_time(
+        || {
+            let store = DurableStore::open(opts(&dir), 1).expect("cold open");
+            store.cold_snapshot().expect("cold snapshot").commitment()
+        },
+        live,
+        "cold_snapshot",
+    );
+
+    // Full replay: scan every byte, rehash every leaf, rebuild the tree.
+    let replay = min_time(
+        || {
+            let storage = StorageConfig::Durable(opts(&dir));
+            let (log, _) = ShardedLog::open(1, &storage).expect("replay open");
+            log.commitment()
+        },
+        live,
+        "full replay",
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Row {
+        entries,
+        segments,
+        cold,
+        replay,
+    }
+}
+
+fn main() {
+    println!(
+        "cold start: commitment from segment checkpoints vs full replay \
+         ({LEAF_BYTES} B leaves, {} MiB segments, min of {REPS} runs)\n",
+        SEGMENT_BYTES >> 20
+    );
+    println!(
+        "{:>10} {:>9} {:>14} {:>14} {:>9}",
+        "entries", "segments", "cold (ms)", "replay (ms)", "speedup"
+    );
+    let rows: Vec<Row> = SIZES.iter().map(|&n| measure(n)).collect();
+    for r in &rows {
+        println!(
+            "{:>10} {:>9} {:>14.3} {:>14.3} {:>8.1}x",
+            r.entries,
+            r.segments,
+            r.cold.as_secs_f64() * 1e3,
+            r.replay.as_secs_f64() * 1e3,
+            r.replay.as_secs_f64() / r.cold.as_secs_f64().max(f64::EPSILON),
+        );
+    }
+
+    let small = &rows[0];
+    let big = rows.last().unwrap();
+    let speedup = big.replay.as_secs_f64() / big.cold.as_secs_f64().max(f64::EPSILON);
+    let growth = big.cold.as_secs_f64() / small.cold.as_secs_f64().max(f64::EPSILON);
+    let scale = big.entries as f64 / small.entries as f64;
+    println!(
+        "\ncold-start speedup at {} entries: {speedup:.1}x (floor {MIN_SPEEDUP}x); \
+         cold cost growth for {scale:.0}x entries: {growth:.2}x (cap {MAX_COLD_GROWTH}x)",
+        big.entries
+    );
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "checkpoint cold start must beat full replay by {MIN_SPEEDUP}x, got {speedup:.1}x \
+         — the O(segments) path has regressed toward O(entries)"
+    );
+    assert!(
+        growth <= MAX_COLD_GROWTH,
+        "cold start grew {growth:.2}x for {scale:.0}x entries (cap {MAX_COLD_GROWTH}) \
+         — cost is tracking entry count, not segment count"
+    );
+
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"mode\": \"cold_start\", \"entries\": {}, \"leaf_bytes\": {}, \
+                 \"segment_bytes\": {}, \"sealed_segments\": {}, \"cold_ms\": {:.3}, \
+                 \"replay_ms\": {:.3}, \"speedup\": {:.2}}}",
+                r.entries,
+                LEAF_BYTES,
+                SEGMENT_BYTES,
+                r.segments,
+                r.cold.as_secs_f64() * 1e3,
+                r.replay.as_secs_f64() * 1e3,
+                r.replay.as_secs_f64() / r.cold.as_secs_f64().max(f64::EPSILON),
+            )
+        })
+        .collect();
+    let json = format!("[\n{}\n]\n", entries.join(",\n"));
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    std::fs::create_dir_all(&dir).expect("mkdir bench_results");
+    let path = dir.join("cold_start.json");
+    std::fs::write(&path, json).expect("write results");
+    println!("wrote {}", path.display());
+}

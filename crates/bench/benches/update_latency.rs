@@ -7,6 +7,7 @@ use distrust_core::abi::NoImports;
 use distrust_core::framework::{EnclaveFramework, FrameworkConfig};
 use distrust_core::manifest::SignedRelease;
 use distrust_crypto::schnorr::SigningKey;
+use distrust_log::StorageConfig;
 use distrust_sandbox::{FuncBuilder, Instr, Limits, Module, ModuleBuilder};
 
 /// Builds a module padded with `extra_funcs` dummy functions to vary the
@@ -34,7 +35,7 @@ fn padded_module(version: u64, extra_funcs: usize) -> Module {
 }
 
 fn fresh_framework(dev: &SigningKey) -> EnclaveFramework {
-    EnclaveFramework::new(
+    EnclaveFramework::open(
         FrameworkConfig {
             domain_index: 0,
             app_name: "bench-app".into(),
@@ -42,11 +43,13 @@ fn fresh_framework(dev: &SigningKey) -> EnclaveFramework {
             log_id: [9; 32],
             limits: Limits::default(),
             log_shards: 1,
+            storage: StorageConfig::Ephemeral,
         },
         None,
         SigningKey::derive(b"update bench", b"checkpoint"),
         Box::new(NoImports),
     )
+    .expect("ephemeral framework opens")
 }
 
 fn bench_updates(c: &mut Criterion) {

@@ -19,9 +19,11 @@ use crate::server::DirectHost;
 use distrust_crypto::drbg::HmacDrbg;
 use distrust_crypto::schnorr::SigningKey;
 use distrust_log::checkpoint::log_id;
+use distrust_log::store::{DurableOptions, StorageConfig, StoreError};
 use distrust_sandbox::{Limits, Module};
 use distrust_tee::host::EnclaveHost;
 use distrust_tee::vendor::{Vendor, VendorKind, VendorRoots};
+use std::path::Path;
 
 /// The application a deployment runs: module, name, and one host-function
 /// provider per trust domain (domain-specific state such as key shares
@@ -79,6 +81,9 @@ pub enum DeployError {
     /// The initial release was rejected by a framework (bug in the app
     /// module — surfaced immediately rather than at first client call).
     InitialRelease(String),
+    /// A domain's durable log failed to open or recover — corrupt beyond
+    /// repair, signed history outrunning the recovered log, or plain I/O.
+    Storage(StoreError),
 }
 
 impl core::fmt::Display for DeployError {
@@ -87,7 +92,14 @@ impl core::fmt::Display for DeployError {
             Self::NoDomains => write!(f, "deployment needs at least one domain"),
             Self::Io(e) => write!(f, "i/o error during launch: {e}"),
             Self::InitialRelease(e) => write!(f, "initial release rejected: {e}"),
+            Self::Storage(e) => write!(f, "domain log storage failed: {e}"),
         }
+    }
+}
+
+impl From<StoreError> for DeployError {
+    fn from(e: StoreError) -> Self {
+        Self::Storage(e)
     }
 }
 
@@ -117,6 +129,36 @@ impl Deployment {
         seed: &[u8],
         log_shards: u32,
     ) -> Result<Self, DeployError> {
+        Self::launch_inner(spec, seed, log_shards, None)
+    }
+
+    /// [`Deployment::launch_sharded`] with durable per-domain logs under
+    /// `data_dir` (one `domain-<i>/` subdirectory each). On a fresh
+    /// directory this behaves exactly like an ephemeral launch; on a
+    /// directory left by a previous launch each domain **recovers** its
+    /// log and signed history and resumes where it crashed — the restart
+    /// serves the same checkpoints, so auditing clients holding the
+    /// pre-crash head see ordinary growth, never equivocation. The
+    /// version-1 install is skipped for domains that already activated it
+    /// (their logs prove it); note the sandboxed app *instance* is not
+    /// persisted (TEEs cannot migrate app state, §4.1), so a resumed
+    /// domain serves log/audit traffic immediately but needs the next
+    /// signed release before serving app calls again.
+    pub fn launch_durable(
+        spec: AppSpec,
+        seed: &[u8],
+        log_shards: u32,
+        data_dir: &Path,
+    ) -> Result<Self, DeployError> {
+        Self::launch_inner(spec, seed, log_shards, Some(data_dir))
+    }
+
+    fn launch_inner(
+        spec: AppSpec,
+        seed: &[u8],
+        log_shards: u32,
+        data_dir: Option<&Path>,
+    ) -> Result<Self, DeployError> {
         let n = spec.hosts.len();
         if n == 0 {
             return Err(DeployError::NoDomains);
@@ -137,14 +179,21 @@ impl Deployment {
         let mut rng = HmacDrbg::new(seed, b"distrust/deploy-rng");
         let mut hosts = Vec::with_capacity(n);
         let mut domain_infos = Vec::with_capacity(n);
+        let mut resumed = Vec::with_capacity(n);
 
         for (index, app_host) in spec.hosts.into_iter().enumerate() {
             let index = index as u32;
             let lid = log_id(&deployment_id, index);
+            let storage = match data_dir {
+                Some(dir) => {
+                    StorageConfig::Durable(DurableOptions::new(dir.join(format!("domain-{index}"))))
+                }
+                None => StorageConfig::Ephemeral,
+            };
             if index == 0 {
                 // The developer's own domain: no secure hardware.
                 let checkpoint_key = SigningKey::derive(seed, b"domain-0-checkpoint");
-                let framework = EnclaveFramework::new(
+                let framework = EnclaveFramework::open(
                     FrameworkConfig {
                         domain_index: index,
                         app_name: spec.name.clone(),
@@ -152,11 +201,13 @@ impl Deployment {
                         log_id: lid,
                         limits: spec.limits,
                         log_shards,
+                        storage,
                     },
                     None,
                     checkpoint_key,
                     app_host,
-                );
+                )?;
+                resumed.push(framework.current_version() >= 1);
                 let host = DirectHost::spawn(FrameworkService::new(framework))?;
                 domain_infos.push(DomainInfo {
                     index,
@@ -172,7 +223,7 @@ impl Deployment {
                 let enclave = device.launch(measurement);
                 let checkpoint_key = enclave.derive_signing_key(b"checkpoint");
                 let checkpoint_pub = checkpoint_key.verifying_key();
-                let framework = EnclaveFramework::new(
+                let framework = EnclaveFramework::open(
                     FrameworkConfig {
                         domain_index: index,
                         app_name: spec.name.clone(),
@@ -180,11 +231,13 @@ impl Deployment {
                         log_id: lid,
                         limits: spec.limits,
                         log_shards,
+                        storage,
                     },
                     Some(enclave),
                     checkpoint_key,
                     app_host,
-                );
+                )?;
+                resumed.push(framework.current_version() >= 1);
                 let host = EnclaveHost::spawn(FrameworkService::new(framework))?;
                 domain_infos.push(DomainInfo {
                     index,
@@ -203,15 +256,24 @@ impl Deployment {
             domains: domain_infos,
         };
 
-        // Install version 1 through the ordinary signed-update path.
+        // Install version 1 through the ordinary signed-update path —
+        // unless every domain already has it in its recovered log (a pure
+        // restart): re-pushing would only collect StaleVersion rejections.
         let release = SignedRelease::create(&spec.name, 1, &spec.notes, &spec.module, &developer);
         let initial_app_digest = release.digest();
-        let mut client = DeploymentClient::new(
-            descriptor.clone(),
-            Box::new(HmacDrbg::new(seed, b"distrust/deploy-client")),
-        );
-        for result in client.push_update(&release) {
-            result.map_err(|e| DeployError::InitialRelease(e.to_string()))?;
+        if !resumed.iter().all(|&r| r) {
+            let mut client = DeploymentClient::new(
+                descriptor.clone(),
+                Box::new(HmacDrbg::new(seed, b"distrust/deploy-client")),
+            );
+            // Results arrive in domain order; a resumed domain rejecting
+            // the replayed version 1 as stale is correct behavior, not a
+            // launch failure.
+            for (result, &was_resumed) in client.push_update(&release).into_iter().zip(&resumed) {
+                if !was_resumed {
+                    result.map_err(|e| DeployError::InitialRelease(e.to_string()))?;
+                }
+            }
         }
 
         Ok(Self {

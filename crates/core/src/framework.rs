@@ -29,10 +29,23 @@ use distrust_crypto::sha256::Digest;
 use distrust_log::batch::{CheckpointBundle, ProofBundle};
 use distrust_log::checkpoint::{CheckpointBody, SignedCheckpoint};
 use distrust_log::shard::{ShardBundle, ShardEpoch, ShardSnapshot, ShardedLog};
+use distrust_log::store::{open_store, LogStore, StorageConfig, StoreError};
 use distrust_sandbox::{Instance, Limits};
 use distrust_tee::enclave::Enclave;
 use distrust_wire::codec::{Decode, Encode};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Meta-log record kinds — the framework's durable signed artifacts,
+/// persisted through [`ShardedLog::append_meta`] and replayed on boot so a
+/// restarted domain *reuses* its pre-crash signatures instead of minting
+/// fresh ones (re-signing the same sizes would make an honest restart look
+/// like equivocation to a client holding the pre-crash head).
+const META_GENESIS: u8 = 1;
+/// An epoch: `SignedCheckpoint ‖ ShardSnapshot`, appended at update time.
+const META_EPOCH: u8 = 2;
+/// An [`UpdateNotice`], appended (before its epoch record) at update time.
+const META_NOTICE: u8 = 3;
 
 /// Computes the framework measurement: the value a TEE attests when it
 /// loads this framework sealed with a particular developer key. Everything
@@ -70,6 +83,11 @@ pub struct FrameworkConfig {
     /// spread load across), but today's parallel-append win lives at the
     /// `ShardedLog` layer, not in a single-app framework.
     pub log_shards: u32,
+    /// Where the log lives. [`StorageConfig::Ephemeral`] keeps everything
+    /// in memory (tests, legacy behavior); [`StorageConfig::Durable`]
+    /// persists segments + signed artifacts so a restart resumes the
+    /// identical signed history.
+    pub storage: StorageConfig,
 }
 
 struct RunningApp {
@@ -134,36 +152,147 @@ pub struct EnclaveFramework {
     /// §3.3 lockdown: set when a release with `locks_updates` activates;
     /// permanently rejects further updates.
     locked: bool,
+    /// Highest version seen in *recovered* notices. Current TEEs cannot
+    /// migrate app state across restarts, so the app instance itself is
+    /// not persisted — but version monotonicity must survive the restart
+    /// or a replayed old release would be re-accepted.
+    recovered_version: u64,
 }
 
 impl EnclaveFramework {
-    /// Initializes a framework. `enclave` is `None` for trust domain 0.
-    pub fn new(
+    /// Opens a framework over the configured storage, recovering any
+    /// persisted log and signed history. `enclave` is `None` for trust
+    /// domain 0. With [`StorageConfig::Ephemeral`] this is infallible in
+    /// practice and equivalent to the pre-durability constructor.
+    pub fn open(
         config: FrameworkConfig,
         enclave: Option<Enclave>,
         checkpoint_key: SigningKey,
         app_host: Box<dyn AppHost>,
-    ) -> Self {
-        let log = ShardedLog::new(config.log_shards.max(1) as usize);
-        Self {
+    ) -> Result<Self, StoreError> {
+        let shards = config.log_shards.max(1) as usize;
+        let store = open_store(&config.storage, shards)?;
+        Self::open_with_store(config, enclave, checkpoint_key, app_host, store)
+    }
+
+    /// [`Self::open`] with an explicit store — the injection point for
+    /// restart tests that share one [`distrust_log::store::MemStore`]
+    /// across framework lifetimes.
+    ///
+    /// Recovery rebuilds the Merkle shards from persisted leaves, then
+    /// replays the meta log: the genesis checkpoint, every epoch's signed
+    /// checkpoint + shard snapshot, and every update notice are *reused*,
+    /// not re-signed. Boot refuses to proceed when the signed history
+    /// outruns the recovered log ([`StoreError::LostSignedHistory`] — a
+    /// fsync hole or deleted segment) or diverges from it (`Corrupt`) —
+    /// serving in either state would manufacture equivocation evidence
+    /// against our own key.
+    pub fn open_with_store(
+        config: FrameworkConfig,
+        enclave: Option<Enclave>,
+        checkpoint_key: SigningKey,
+        app_host: Box<dyn AppHost>,
+        store: Arc<dyn LogStore>,
+    ) -> Result<Self, StoreError> {
+        let shards = config.log_shards.max(1) as usize;
+        let (log, meta) = ShardedLog::with_store(shards, store)?;
+        let mut genesis = None;
+        let mut notices: Vec<UpdateNotice> = Vec::new();
+        let mut epoch_checkpoints: Vec<SignedCheckpoint> = Vec::new();
+        let mut epoch_snapshots: Vec<ShardSnapshot> = Vec::new();
+        let mut logical_time = 0u64;
+        for record in &meta {
+            match record.kind {
+                META_GENESIS => {
+                    let cp = SignedCheckpoint::from_wire(&record.payload)
+                        .map_err(|_| StoreError::Corrupt("meta genesis record"))?;
+                    logical_time = logical_time.max(cp.body.logical_time);
+                    genesis = Some(cp);
+                }
+                META_EPOCH => {
+                    let mut input = record.payload.as_slice();
+                    let cp = SignedCheckpoint::decode(&mut input)
+                        .map_err(|_| StoreError::Corrupt("meta epoch checkpoint"))?;
+                    let snapshot = ShardSnapshot::decode(&mut input)
+                        .map_err(|_| StoreError::Corrupt("meta epoch snapshot"))?;
+                    if !input.is_empty() {
+                        return Err(StoreError::Corrupt("meta epoch trailing bytes"));
+                    }
+                    if snapshot.shard_count() != shards {
+                        return Err(StoreError::ShardCountMismatch {
+                            store: snapshot.shard_count(),
+                            configured: shards,
+                        });
+                    }
+                    logical_time = logical_time.max(cp.body.logical_time);
+                    epoch_checkpoints.push(cp);
+                    epoch_snapshots.push(snapshot);
+                }
+                META_NOTICE => {
+                    let notice = UpdateNotice::from_wire(&record.payload)
+                        .map_err(|_| StoreError::Corrupt("meta notice record"))?;
+                    logical_time = logical_time.max(notice.logical_time);
+                    notices.push(notice);
+                }
+                _ => return Err(StoreError::Corrupt("unknown meta record kind")),
+            }
+        }
+        // Boot guards: the recovered log must carry every size the signed
+        // history committed to, and match it bit for bit at the head.
+        let snapshot = log.snapshot();
+        if let Some(last) = epoch_checkpoints.last() {
+            if last.body.size > snapshot.total() {
+                return Err(StoreError::LostSignedHistory {
+                    signed: last.body.size,
+                    recovered: snapshot.total(),
+                });
+            }
+            if last.body.size == snapshot.total() && last.body.head != snapshot.commitment() {
+                return Err(StoreError::Corrupt(
+                    "recovered log diverges from signed head",
+                ));
+            }
+        }
+        let locked = notices.iter().any(|n| n.manifest.locks_updates);
+        let recovered_version = notices
+            .iter()
+            .map(|n| n.manifest.version)
+            .max()
+            .unwrap_or(0);
+        Ok(Self {
             config,
             enclave,
             checkpoint_key,
             log,
-            notices: Vec::new(),
-            epoch_checkpoints: Vec::new(),
-            epoch_snapshots: Vec::new(),
-            audit_cache: AuditCache::default(),
+            notices,
+            epoch_checkpoints,
+            epoch_snapshots,
+            audit_cache: AuditCache {
+                genesis,
+                ..AuditCache::default()
+            },
             app: None,
             app_host,
-            logical_time: 0,
-            locked: false,
-        }
+            logical_time,
+            locked,
+            recovered_version,
+        })
     }
 
     /// True once a final release has locked this deployment.
     pub fn is_locked(&self) -> bool {
         self.locked
+    }
+
+    /// Highest version this domain has accepted — from the running app or
+    /// from recovered update notices (the instance itself does not
+    /// survive a restart; the version floor must).
+    pub fn current_version(&self) -> u64 {
+        self.app
+            .as_ref()
+            .map(|a| a.manifest.version)
+            .unwrap_or(0)
+            .max(self.recovered_version)
     }
 
     /// Whether this domain has secure hardware.
@@ -206,7 +335,10 @@ impl EnclaveFramework {
                 got: release.manifest.app_name.clone(),
             });
         }
-        let current = self.app.as_ref().map(|a| a.manifest.version).unwrap_or(0);
+        // The floor is the max of the running version and the recovered
+        // one: the app instance does not survive a restart, but version
+        // monotonicity must, or a replayed old release would re-activate.
+        let current = self.current_version();
         if release.manifest.version <= current {
             return Err(ReleaseError::StaleVersion {
                 current,
@@ -223,22 +355,29 @@ impl EnclaveFramework {
         let log_index = self
             .log
             .append(shard, &release.manifest.log_leaf())
-            .ok_or(ReleaseError::LogAppend)?;
+            .map_err(|e| ReleaseError::LogAppend(e.to_string()))?;
         // 2. Record the notice — visible to clients before the new code
         //    serves any request (we hold the domain lock throughout).
         self.logical_time += 1;
-        self.notices.push(UpdateNotice {
+        let notice = UpdateNotice {
             manifest: release.manifest.clone(),
             log_index,
             logical_time: self.logical_time,
-        });
+        };
+        self.notices.push(notice.clone());
         // Sign this epoch's checkpoint once, here — every BatchAudit until
         // the next update is served from it without touching the key. The
         // checkpoint signs the shard-head commitment (= the single tree's
-        // root on 1-shard logs) over the epoch's shard snapshot.
+        // root on 1-shard logs) over the epoch's shard snapshot. The log
+        // is fsynced FIRST: a signed head must never outrun durable
+        // history, or a crash between signing and syncing would turn this
+        // honest domain's restart into equivocation evidence.
+        self.log
+            .sync()
+            .map_err(|e| ReleaseError::LogAppend(e.to_string()))?;
         self.logical_time += 1;
         let snapshot = self.log.snapshot();
-        self.epoch_checkpoints.push(SignedCheckpoint::sign(
+        let checkpoint = SignedCheckpoint::sign(
             CheckpointBody {
                 log_id: self.config.log_id,
                 size: snapshot.total(),
@@ -246,7 +385,18 @@ impl EnclaveFramework {
                 logical_time: self.logical_time,
             },
             &self.checkpoint_key,
-        ));
+        );
+        // Persist the signed artifacts (notice first — an epoch record
+        // implies its notice): a restart reuses these instead of minting
+        // fresh signatures for the same sizes.
+        let mut epoch_wire = Vec::new();
+        checkpoint.encode(&mut epoch_wire);
+        snapshot.encode(&mut epoch_wire);
+        self.log
+            .append_meta(META_NOTICE, &notice.to_wire())
+            .and_then(|()| self.log.append_meta(META_EPOCH, &epoch_wire))
+            .map_err(|e| ReleaseError::Persist(e.to_string()))?;
+        self.epoch_checkpoints.push(checkpoint);
         self.epoch_snapshots.push(snapshot);
         self.audit_cache.bundles.clear();
         self.audit_cache.shard_bundles.clear();
@@ -264,10 +414,13 @@ impl EnclaveFramework {
 
     /// Signs a checkpoint of the current log (the shard-head commitment;
     /// on a 1-shard log, byte-identical to the legacy single-tree form).
-    pub fn checkpoint(&mut self) -> SignedCheckpoint {
+    /// Syncs the store first — sign-before-durable would let a crash
+    /// fabricate equivocation evidence against this domain's own key.
+    pub fn checkpoint(&mut self) -> Result<SignedCheckpoint, StoreError> {
+        self.log.sync()?;
         self.logical_time += 1;
         let snapshot = self.log.snapshot();
-        SignedCheckpoint::sign(
+        Ok(SignedCheckpoint::sign(
             CheckpointBody {
                 log_id: self.config.log_id,
                 size: snapshot.total(),
@@ -275,7 +428,7 @@ impl EnclaveFramework {
                 logical_time: self.logical_time,
             },
             &self.checkpoint_key,
-        )
+        ))
     }
 
     /// `(hits, misses)` of the shared audit-bundle cache — how many
@@ -314,6 +467,11 @@ impl EnclaveFramework {
             },
             &self.checkpoint_key,
         );
+        // Best-effort persistence: a restart that loses this record just
+        // signs another size-0 checkpoint over the same (empty) head —
+        // identical body except logical_time, which cannot read as
+        // equivocation. Updates, by contrast, persist-or-fail.
+        let _ = self.log.append_meta(META_GENESIS, &signed.to_wire());
         self.audit_cache.genesis = Some(signed.clone());
         signed
     }
@@ -502,7 +660,10 @@ impl EnclaveFramework {
                 },
                 Err(e) => Response::UpdateRejected(e.to_string()),
             },
-            Request::GetCheckpoint => Response::Checkpoint(self.checkpoint()),
+            Request::GetCheckpoint => match self.checkpoint() {
+                Ok(cp) => Response::Checkpoint(cp),
+                Err(e) => Response::Error(format!("checkpoint unavailable: {e}")),
+            },
             Request::GetConsistency { old_size } => {
                 // Top-level consistency proofs exist only for the 1-shard
                 // (single-tree) layout; a sharded commitment is not
@@ -640,7 +801,7 @@ mod tests {
 
     fn fresh_framework() -> EnclaveFramework {
         let developer = dev();
-        EnclaveFramework::new(
+        EnclaveFramework::open(
             FrameworkConfig {
                 domain_index: 0,
                 app_name: "counter".into(),
@@ -648,11 +809,13 @@ mod tests {
                 log_id: [7; 32],
                 limits: Limits::default(),
                 log_shards: 1,
+                storage: StorageConfig::Ephemeral,
             },
             None,
             SigningKey::derive(b"framework tests", b"checkpoint"),
             Box::new(NoImports),
         )
+        .unwrap()
     }
 
     fn release(version: u64) -> SignedRelease {
@@ -769,13 +932,13 @@ mod tests {
     fn checkpoints_sign_current_log() {
         let mut fw = fresh_framework();
         fw.apply_update(&release(1)).unwrap();
-        let cp = fw.checkpoint();
+        let cp = fw.checkpoint().unwrap();
         assert_eq!(cp.body.size, 1);
         assert_eq!(cp.body.head, fw.status().log_head);
         let key = SigningKey::derive(b"framework tests", b"checkpoint").verifying_key();
         assert!(cp.verify(&key));
         // Logical time advances.
-        let cp2 = fw.checkpoint();
+        let cp2 = fw.checkpoint().unwrap();
         assert!(cp2.body.logical_time > cp.body.logical_time);
     }
 

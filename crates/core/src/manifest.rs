@@ -127,11 +127,16 @@ pub enum ReleaseError {
     /// A prior release locked the deployment (§3.3): updates are
     /// permanently disabled.
     DeploymentLocked,
-    /// The append-only log refused the routed shard — an internal
-    /// inconsistency between shard routing and shard count. Surfaced as a
-    /// rejection rather than a panic so one bad update cannot take the
-    /// serving path down.
-    LogAppend,
+    /// The append-only log (or its durable store) refused the append —
+    /// shard routing inconsistency, storage I/O failure, or a fsync that
+    /// could not complete. Surfaced as a rejection rather than a panic so
+    /// one bad update cannot take the serving path down; nothing was
+    /// activated.
+    LogAppend(String),
+    /// The update was logged and activated, but persisting its signed
+    /// artifacts (epoch checkpoint, notice) failed — the domain should be
+    /// restarted before serving further updates.
+    Persist(String),
 }
 
 impl core::fmt::Display for ReleaseError {
@@ -150,8 +155,14 @@ impl core::fmt::Display for ReleaseError {
             Self::DeploymentLocked => {
                 write!(f, "deployment is locked: updates permanently disabled")
             }
-            Self::LogAppend => {
-                write!(f, "internal error: release log refused the routed shard")
+            Self::LogAppend(e) => {
+                write!(f, "release log refused the append: {e}")
+            }
+            Self::Persist(e) => {
+                write!(
+                    f,
+                    "release activated but signed artifacts not persisted: {e}"
+                )
             }
         }
     }

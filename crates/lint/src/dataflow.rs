@@ -45,6 +45,16 @@ fn source_call(name: &str) -> Option<&'static str> {
         "decode" => Some("wire-decoded value via `decode`"),
         "from_wire" => Some("wire-decoded value via `from_wire`"),
         "read_frame" => Some("wire frame via `read_frame`"),
+        // Segment-codec entry points: a disk image is attacker-shaped
+        // until its CRCs check out, and even then lengths/offsets it
+        // announces must be bounds-checked before they size anything.
+        "decode_segment_header" => Some("segment header via `decode_segment_header`"),
+        "decode_record" => Some("segment record via `decode_record`"),
+        "decode_leaf_payload" => Some("leaf payload via `decode_leaf_payload`"),
+        "decode_checkpoint_payload" => Some("checkpoint payload via `decode_checkpoint_payload`"),
+        "decode_trailer" => Some("sealed-trailer offset via `decode_trailer`"),
+        "scan_segment" => Some("scanned segment via `scan_segment`"),
+        "scan_meta" => Some("scanned meta log via `scan_meta`"),
         _ => None,
     }
 }

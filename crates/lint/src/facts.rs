@@ -25,7 +25,7 @@ use std::fmt;
 const LOCK_METHODS: [&str; 4] = ["lock", "lock_healthy", "read", "write"];
 
 /// Methods that pass the receiver through unchanged for naming purposes.
-const TRANSPARENT: [&str; 12] = [
+const TRANSPARENT: [&str; 14] = [
     "get",
     "get_mut",
     "iter",
@@ -38,6 +38,8 @@ const TRANSPARENT: [&str; 12] = [
     "borrow_mut",
     "expect",
     "unwrap",
+    "ok_or",
+    "ok_or_else",
 ];
 
 /// Alias suffixes produced by `Arc` clones named for the thread that owns
@@ -406,6 +408,16 @@ mod unit {
         let f = facts("fn a() { self.shards.get(i).expect(\"x\").lock(); conns_accept.lock(); }");
         assert_eq!(f[0].acquires[0].lock.name, "shards");
         assert_eq!(f[0].acquires[1].lock.name, "conns");
+    }
+
+    #[test]
+    fn receiver_names_skip_fallible_adapters() {
+        let f = facts(
+            "fn a() -> Result<(), E> { self.shards.get(i).ok_or(E::Gone)?.lock(); \
+             self.meta.as_ref().ok_or_else(|| E::Gone)?.lock(); Ok(()) }",
+        );
+        assert_eq!(f[0].acquires[0].lock.name, "shards");
+        assert_eq!(f[0].acquires[1].lock.name, "meta");
     }
 
     #[test]

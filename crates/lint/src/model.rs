@@ -2,14 +2,17 @@
 //! graph, lock summaries, and may-block summaries derived from them.
 //!
 //! Calls are resolved by simple name *within the defining crate* (the
-//! lexer has no type information). Three names are deliberately opaque:
+//! lexer has no type information). A few names are deliberately opaque:
 //! `drop`, because an explicit `drop(guard)` would otherwise union every
 //! `Drop` impl in the crate; `shutdown`, because `TcpStream::shutdown` on
 //! a served socket would otherwise union every server's teardown method
 //! (which joins accept threads — teardown runs in owner contexts, never
-//! on a serving path); and anything ending in `_timeout`, because timed
-//! receives are the sanctioned bounded alternative to the blocking calls
-//! these passes hunt.
+//! on a serving path); `open`, because `File::open`/`OpenOptions::open`
+//! would otherwise union every `open` constructor in a crate (which run
+//! before any serving thread exists and whose lock summaries would
+//! fabricate cycle edges at every file open); and anything ending in
+//! `_timeout`, because timed receives are the sanctioned bounded
+//! alternative to the blocking calls these passes hunt.
 
 use crate::facts::{blocking_call, FnFacts, LockId};
 use std::collections::{BTreeMap, BTreeSet};
@@ -47,7 +50,7 @@ impl Model {
 
     /// Callee candidates for `name` as called from `caller_crate`.
     pub fn resolve(&self, caller_crate: &str, name: &str) -> &[usize] {
-        if name == "drop" || name == "shutdown" || name.ends_with("_timeout") {
+        if name == "drop" || name == "shutdown" || name == "open" || name.ends_with("_timeout") {
             return &[];
         }
         self.by_name
@@ -165,5 +168,18 @@ mod unit {
         let m = model("fn a() { drop(g); } fn drop() { std::thread::sleep(d); }");
         let a = m.fns.iter().position(|f| f.name == "a").unwrap();
         assert!(m.may_block(a).is_none());
+    }
+
+    #[test]
+    fn open_is_opaque() {
+        // `File::open` must not union the crate's own `open` constructor,
+        // whose lock summary would fabricate edges at every file open.
+        let m = model(
+            "fn writer() { let f = File::open(p); } \
+             fn open() { alpha.lock(); std::thread::sleep(d); }",
+        );
+        let w = m.fns.iter().position(|f| f.name == "writer").unwrap();
+        assert!(m.locks_of(w).is_empty());
+        assert!(m.may_block(w).is_none());
     }
 }

@@ -5,10 +5,10 @@
 //! Scope is repo-aware: all of `wire` and `tee`, the `core` server files
 //! (`server.rs`, `framework.rs`, `protocol.rs`), and the decode-path
 //! functions of `log`. Unchecked indexing is only checked in decode-path
-//! functions (`decode*`, `from_wire*`, `peek_*`, `take`, `read_frame`,
-//! `feed`) — the byte-parsing layer where an attacker controls the
-//! offsets; elsewhere indexing over self-owned state is the lock passes'
-//! problem, not this one's.
+//! functions (`decode*`, `from_wire*`, `peek_*`, `scan_*`, `take`,
+//! `read_frame`, `feed`) — the byte-parsing layer where an attacker (or a
+//! corrupted disk image) controls the offsets; elsewhere indexing over
+//! self-owned state is the lock passes' problem, not this one's.
 
 use crate::lexer::Tok;
 use crate::report::{Finding, Report};
@@ -66,6 +66,7 @@ pub fn decode_fn(name: &str) -> bool {
     name.starts_with("decode")
         || name.starts_with("from_wire")
         || name.starts_with("peek_")
+        || name.starts_with("scan_")
         || matches!(name, "take" | "read_frame" | "feed")
 }
 
@@ -178,6 +179,16 @@ mod unit {
     fn indexing_flagged_only_on_decode_paths() {
         let src = "fn decode(b: &[u8]) { let x = b[0]; } fn serve(b: &[u8]) { let x = b[0]; }";
         let report = run_on("crates/wire/src/codec.rs", src);
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0].message.contains("indexing"));
+    }
+
+    #[test]
+    fn segment_scanners_are_decode_paths() {
+        // `scan_*` walks raw disk images; indexing there is as hostile as
+        // in wire decoders.
+        let src = "fn scan_segment(b: &[u8]) { let x = b[4]; }";
+        let report = run_on("crates/log/src/store/segment.rs", src);
         assert_eq!(report.findings.len(), 1);
         assert!(report.findings[0].message.contains("indexing"));
     }

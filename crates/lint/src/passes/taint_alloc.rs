@@ -83,4 +83,15 @@ mod unit {
         assert!(report.findings[0].message.contains("announced length"));
         assert!(report.findings[0].message.contains("`Vec::with_capacity`"));
     }
+
+    #[test]
+    fn segment_codec_results_root_taint() {
+        // A count read out of a segment checkpoint record must not size an
+        // allocation without a bound check.
+        let src = "fn rebuild(bytes: &[u8]) { let (size, _) = decode_checkpoint_payload(bytes); \
+                   let v: Vec<u64> = Vec::with_capacity(size); }";
+        let report = run_on("crates/log/src/store/durable.rs", src);
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0].message.contains("checkpoint payload"));
+    }
 }

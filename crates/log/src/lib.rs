@@ -22,7 +22,11 @@
 //! [`shard`] scales the write path: a [`shard::ShardedLog`] keeps `N`
 //! independently locked Merkle shards under one top-level shard-head
 //! commitment — byte-compatible with the single-tree format at one shard,
-//! parallel append throughput beyond it.
+//! parallel append throughput beyond it. [`store`] puts durability under
+//! all of it: a [`store::LogStore`] trait with an in-memory default and a
+//! segment-file implementation ([`store::DurableStore`]) whose write-ahead
+//! discipline and torn-tail recovery let a restarted domain resume the
+//! identical commitment instead of silently re-signing fresh history.
 
 pub mod auditor;
 pub mod batch;
@@ -30,10 +34,15 @@ pub mod checkpoint;
 pub mod hashchain;
 pub mod merkle;
 pub mod shard;
+pub mod store;
 
 pub use auditor::{digests_match, AuditOutcome, Auditor, Misbehavior};
 pub use batch::{BundleStep, CheckpointBundle, ProofBundle, VerifiedPrefixCache};
 pub use checkpoint::{log_id, CheckpointBody, EquivocationProof, SignedCheckpoint};
 pub use hashchain::HashChain;
-pub use merkle::{ConsistencyProof, InclusionProof, MerkleLog};
+pub use merkle::{CompactRoot, ConsistencyProof, InclusionProof, MerkleLog};
 pub use shard::{ShardBundle, ShardEpoch, ShardProofBundle, ShardSnapshot, ShardedLog};
+pub use store::{
+    AppendAck, DurableOptions, DurableStore, LogStore, MemStore, MetaRecord, NullStore, Recovered,
+    RecoveredShard, StorageConfig, StoreError,
+};

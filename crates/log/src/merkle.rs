@@ -152,6 +152,34 @@ impl MerkleLog {
         self.leaves.get(index).map(|v| v.as_slice())
     }
 
+    /// The leaves from `index` on — `None` past the end, the empty slice
+    /// exactly at it. Borrowing the suffix keeps serving paths index-free:
+    /// callers iterate a slice instead of asserting per-leaf range checks.
+    pub fn leaves_from(&self, index: usize) -> Option<&[Vec<u8>]> {
+        self.leaves.get(index..)
+    }
+
+    /// The right-edge subtree roots: the binary decomposition of the
+    /// current size into complete aligned subtrees, highest first, read
+    /// straight from the level cache. This O(log n) vector determines
+    /// [`MerkleLog::root`] (fold with [`CompactRoot`]) and is what a
+    /// durable store persists per checkpoint so a cold start can rebuild
+    /// the head without replaying the whole shard.
+    pub fn right_edge(&self) -> Vec<Digest> {
+        let n = self.len();
+        let mut edge = Vec::new();
+        let mut start = 0usize;
+        for k in (0..usize::BITS).rev() {
+            if n & (1usize << k) != 0 {
+                if let Some(h) = self.levels.get(k as usize).and_then(|l| l.get(start >> k)) {
+                    edge.push(*h);
+                }
+                start += 1usize << k;
+            }
+        }
+        edge
+    }
+
     /// The current tree root.
     pub fn root(&self) -> Digest {
         self.root_of_prefix(self.len())
@@ -361,6 +389,75 @@ impl ConsistencyProof {
             sn >>= 1;
         }
         fr == *old_root && sr == *new_root && sn == 0
+    }
+}
+
+/// A constant-size accumulator for the root of a growing RFC 6962 tree:
+/// the "peaks" of the binary decomposition of the leaf count, highest
+/// first (exactly [`MerkleLog::right_edge`]). Seed it from a persisted
+/// checkpoint, push the leaf hashes appended since, and fold the peaks
+/// right-to-left for the current root — O(log n) state, no leaf storage.
+/// This is the cold-start fast path: rebuild a shard head from a sealed
+/// segment's checkpoint plus only the unsealed tail.
+#[derive(Clone, Debug, Default)]
+pub struct CompactRoot {
+    /// `(height, subtree root)` peaks, heights strictly decreasing.
+    peaks: Vec<(u32, Digest)>,
+}
+
+impl CompactRoot {
+    /// An empty accumulator (size 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seeds the accumulator at `size` leaves from a persisted right
+    /// edge. `None` when the edge length does not match the size's binary
+    /// decomposition — a corrupt or mismatched checkpoint.
+    pub fn from_right_edge(size: u64, edge: &[Digest]) -> Option<Self> {
+        if edge.len() != size.count_ones() as usize {
+            return None;
+        }
+        let mut peaks = Vec::with_capacity(edge.len());
+        let mut heights = (0..u64::BITS).rev().filter(|k| size & (1u64 << k) != 0);
+        for root in edge {
+            peaks.push((heights.next()?, *root));
+        }
+        Some(Self { peaks })
+    }
+
+    /// Number of leaves accumulated.
+    pub fn size(&self) -> u64 {
+        self.peaks.iter().map(|&(h, _)| 1u64 << h).sum()
+    }
+
+    /// Appends one leaf by its RFC 6962 leaf hash, merging completed
+    /// subtrees (amortised O(1) hashes).
+    pub fn push_leaf_hash(&mut self, leaf: Digest) {
+        self.peaks.push((0, leaf));
+        while let [.., (a, left), (b, right)] = self.peaks[..] {
+            if a != b {
+                break;
+            }
+            let parent = node_hash(&left, &right);
+            self.peaks.truncate(self.peaks.len() - 2);
+            self.peaks.push((a + 1, parent));
+        }
+    }
+
+    /// Appends one leaf by content.
+    pub fn push_leaf(&mut self, data: &[u8]) {
+        self.push_leaf_hash(leaf_hash(data));
+    }
+
+    /// The current tree root (the empty-tree root at size 0), equal to
+    /// [`MerkleLog::root`] over the same leaves.
+    pub fn root(&self) -> Digest {
+        let mut peaks = self.peaks.iter().rev();
+        let Some(&(_, first)) = peaks.next() else {
+            return empty_root();
+        };
+        peaks.fold(first, |acc, &(_, peak)| node_hash(&peak, &acc))
     }
 }
 
@@ -583,6 +680,71 @@ mod tests {
         assert!(log.prove_inclusion(0, 5).is_none());
         assert!(log.prove_consistency(0, 4).is_none());
         assert!(log.prove_consistency(3, 5).is_none());
+    }
+
+    #[test]
+    fn right_edge_matches_binary_decomposition() {
+        for n in [0usize, 1, 2, 3, 4, 5, 6, 7, 8, 13, 31, 32, 33, 70] {
+            let log = build(n);
+            let edge = log.right_edge();
+            assert_eq!(edge.len(), n.count_ones() as usize, "size {n}");
+            // Each peak is the root of its aligned complete subtree.
+            let mut start = 0usize;
+            for (peak, k) in edge
+                .iter()
+                .zip((0..usize::BITS).rev().filter(|k| n & (1 << k) != 0))
+            {
+                assert_eq!(*peak, log.range_root(start, 1 << k), "size {n} height {k}");
+                start += 1 << k;
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_from_borrows_the_suffix() {
+        let log = build(5);
+        assert_eq!(log.leaves_from(0).unwrap().len(), 5);
+        assert_eq!(
+            log.leaves_from(3).unwrap(),
+            &[b"leaf-3".to_vec(), b"leaf-4".to_vec()][..]
+        );
+        assert_eq!(log.leaves_from(5).unwrap(), &[] as &[Vec<u8>]);
+        assert!(log.leaves_from(6).is_none());
+    }
+
+    #[test]
+    fn compact_root_tracks_merkle_root() {
+        let mut log = MerkleLog::new();
+        let mut acc = CompactRoot::new();
+        assert_eq!(acc.root(), empty_root());
+        for i in 0..70usize {
+            let leaf = format!("leaf-{i}");
+            log.append(leaf.as_bytes());
+            acc.push_leaf(leaf.as_bytes());
+            assert_eq!(acc.root(), log.root(), "size {}", i + 1);
+            assert_eq!(acc.size(), log.len() as u64);
+        }
+    }
+
+    #[test]
+    fn compact_root_seeds_from_right_edge() {
+        for n in [1usize, 2, 3, 6, 13, 32, 57] {
+            let log = build(n);
+            let mut acc = CompactRoot::from_right_edge(n as u64, &log.right_edge()).unwrap();
+            assert_eq!(acc.root(), log.root(), "seeded at {n}");
+            // Growing the seeded accumulator tracks the grown log.
+            let mut log = log;
+            for i in n..n + 9 {
+                let leaf = format!("leaf-{i}");
+                log.append(leaf.as_bytes());
+                acc.push_leaf(leaf.as_bytes());
+                assert_eq!(acc.root(), log.root(), "grown to {}", i + 1);
+            }
+        }
+        // A mismatched edge is rejected, not mis-folded.
+        let log = build(6);
+        assert!(CompactRoot::from_right_edge(7, &log.right_edge()).is_none());
+        assert!(CompactRoot::from_right_edge(6, &log.right_edge()[1..]).is_none());
     }
 
     proptest! {

@@ -39,13 +39,15 @@
 use crate::batch::BundleStep;
 use crate::checkpoint::SignedCheckpoint;
 use crate::merkle::{
-    prove_inclusion_over_hashes, root_over_hashes, ConsistencyProof, InclusionProof, MerkleLog,
+    prove_inclusion_over_hashes, root_over_hashes, CompactRoot, ConsistencyProof, InclusionProof,
+    MerkleLog,
 };
+use crate::store::{open_store, LogStore, MetaRecord, NullStore, StorageConfig, StoreError};
 use distrust_crypto::sha256::Digest;
 use distrust_wire::codec::{decode_seq, encode_seq, Decode, DecodeError, Encode};
 use distrust_wire::sync::HealthyMutex;
 use std::collections::HashMap;
-use std::sync::MutexGuard;
+use std::sync::{Arc, MutexGuard};
 
 /// Domain-separated hash of one shard's `(size, head)` — the leaf of the
 /// top-level commitment tree for multi-shard logs. The `0x02` prefix can
@@ -287,17 +289,91 @@ impl Decode for ShardBundle {
 /// the 1-shard compatibility invariant.
 pub struct ShardedLog {
     shards: Vec<HealthyMutex<MerkleLog>>,
+    store: Arc<dyn LogStore>,
 }
 
 impl ShardedLog {
-    /// Creates a log with `shards` empty shards (at least 1).
+    /// Creates an ephemeral log with `shards` empty shards (at least 1) —
+    /// today's in-memory behavior, the default for tests.
     pub fn new(shards: usize) -> Self {
         assert!(shards >= 1, "a sharded log needs at least one shard");
         Self {
             shards: (0..shards)
                 .map(|_| HealthyMutex::new(MerkleLog::new()))
                 .collect(),
+            store: Arc::new(NullStore),
         }
+    }
+
+    /// Opens a log over the configured storage, recovering any persisted
+    /// history. Returns the log plus the recovered framework meta records
+    /// (signed checkpoints etc. — opaque to this layer).
+    pub fn open(
+        shards: usize,
+        storage: &StorageConfig,
+    ) -> Result<(Self, Vec<MetaRecord>), StoreError> {
+        Self::with_store(shards, open_store(storage, shards)?)
+    }
+
+    /// Opens a log over an explicit store (injection point for tests that
+    /// simulate restarts with a shared [`crate::store::MemStore`]).
+    ///
+    /// Runs the store's full recovery: every persisted leaf is replayed
+    /// into the in-memory trees, and every recovered segment checkpoint is
+    /// cross-checked against the replayed tree — a checkpoint that does
+    /// not reproduce its own subtree roots means the store lied, and the
+    /// open fails rather than serve a divergent history.
+    pub fn with_store(
+        shards: usize,
+        store: Arc<dyn LogStore>,
+    ) -> Result<(Self, Vec<MetaRecord>), StoreError> {
+        assert!(shards >= 1, "a sharded log needs at least one shard");
+        let recovered = store.recover()?;
+        if recovered.shards.len() > shards {
+            return Err(StoreError::ShardCountMismatch {
+                store: recovered.shards.len(),
+                configured: shards,
+            });
+        }
+        let mut trees = Vec::with_capacity(shards);
+        for shard in &recovered.shards {
+            let mut tree = MerkleLog::new();
+            for leaf in &shard.leaves {
+                tree.append(leaf);
+            }
+            if let Some((size, edge)) = &shard.checkpoint {
+                let seeded = CompactRoot::from_right_edge(*size, edge)
+                    .ok_or(StoreError::Corrupt("recovered checkpoint edge shape"))?;
+                if *size > tree.len() as u64 || seeded.root() != tree.root_of_prefix(*size as usize)
+                {
+                    return Err(StoreError::Corrupt("recovered checkpoint root mismatch"));
+                }
+            }
+            trees.push(HealthyMutex::new(tree));
+        }
+        while trees.len() < shards {
+            trees.push(HealthyMutex::new(MerkleLog::new()));
+        }
+        Ok((
+            Self {
+                shards: trees,
+                store,
+            },
+            recovered.meta,
+        ))
+    }
+
+    /// Forces all pending appends to durable storage. Checkpoint signing
+    /// calls this first: a signed head must never outrun durable history,
+    /// or an honest crash would look like equivocation.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        self.store.sync()
+    }
+
+    /// Appends a record to the framework meta log (signed checkpoints and
+    /// notices — opaque bytes to this layer), durably.
+    pub fn append_meta(&self, kind: u8, payload: &[u8]) -> Result<(), StoreError> {
+        self.store.append_meta(kind, payload)
     }
 
     /// Number of shards (fixed for the log's lifetime — resharding would
@@ -317,15 +393,34 @@ impl ShardedLog {
 
     /// Appends a leaf to one shard, returning its index *within that
     /// shard*. Appends to different shards run in parallel.
-    pub fn append(&self, shard: u32, data: &[u8]) -> Option<u64> {
-        Some(self.shards.get(shard as usize)?.lock_healthy().append(data) as u64)
+    ///
+    /// Write-ahead order: the leaf reaches the store *before* the
+    /// in-memory tree under the shard lock, so no acknowledged entry can
+    /// be lost to a crash that the store survived. When the store signals
+    /// a full segment, the shard's right-edge subtree roots are sealed in
+    /// as a checkpoint (the O(segments) cold-start seed) and the segment
+    /// rotates.
+    pub fn append(&self, shard: u32, data: &[u8]) -> Result<u64, StoreError> {
+        let mut guard = self
+            .shards
+            .get(shard as usize)
+            .ok_or(StoreError::NoSuchShard(shard))?
+            .lock_healthy();
+        let index = guard.len() as u64;
+        let ack = self.store.append(shard, index, data)?;
+        guard.append(data);
+        if ack.wants_checkpoint {
+            self.store
+                .checkpoint(shard, guard.len() as u64, &guard.right_edge())?;
+        }
+        Ok(index)
     }
 
     /// Routes by key, then appends; returns `(shard, index_in_shard)`.
-    pub fn append_routed(&self, key: &[u8], data: &[u8]) -> (u32, u64) {
+    pub fn append_routed(&self, key: &[u8], data: &[u8]) -> Result<(u32, u64), StoreError> {
         let shard = self.shard_for(key);
-        let index = self.append(shard, data).expect("routed shard exists");
-        (shard, index)
+        let index = self.append(shard, data)?;
+        Ok((shard, index))
     }
 
     /// Leaves in one shard.
@@ -397,18 +492,13 @@ impl ShardedLog {
             .map(|l| l.to_vec())
     }
 
-    /// Leaves `[from, len)` of one shard.
+    /// Leaves `[from, len)` of one shard. Served index-free via the
+    /// tree's suffix borrow — out-of-range `from` is `None`, never a
+    /// panic in the serving path.
     pub fn entries_from(&self, shard: u32, from: u64) -> Option<Vec<Vec<u8>>> {
         let guard = self.shards.get(shard as usize)?.lock_healthy();
-        let from = from as usize;
-        if from > guard.len() {
-            return None;
-        }
-        Some(
-            (from..guard.len())
-                .map(|i| guard.leaf(i).expect("in range").to_vec())
-                .collect(),
-        )
+        let suffix = guard.leaves_from(usize::try_from(from).ok()?)?;
+        Some(suffix.to_vec())
     }
 
     /// All leaves from global offset `from`, shards concatenated in shard
@@ -417,18 +507,17 @@ impl ShardedLog {
     /// protocol documents. Only the leaves at or past `from` are copied —
     /// an incremental poll near the head costs O(returned), not O(log).
     pub fn all_entries_from(&self, from: u64) -> Option<Vec<Vec<u8>>> {
-        let mut skip = from as usize;
+        let mut skip = usize::try_from(from).ok()?;
         let mut all = Vec::new();
         for shard in &self.shards {
             let guard = shard.lock_healthy();
-            if skip >= guard.len() {
-                skip -= guard.len();
-                continue;
+            match guard.leaves_from(skip) {
+                Some(suffix) => {
+                    all.extend(suffix.iter().cloned());
+                    skip = 0;
+                }
+                None => skip -= guard.len(),
             }
-            for i in skip..guard.len() {
-                all.push(guard.leaf(i).expect("in range").to_vec());
-            }
-            skip = 0;
         }
         if skip > 0 {
             return None; // `from` beyond the total length
@@ -492,7 +581,8 @@ mod tests {
         let log = ShardedLog::new(shards);
         for s in 0..shards as u32 {
             for i in 0..leaves_per_shard {
-                log.append(s, format!("shard-{s}-leaf-{i}").as_bytes());
+                log.append(s, format!("shard-{s}-leaf-{i}").as_bytes())
+                    .unwrap();
             }
         }
         log
@@ -507,7 +597,7 @@ mod tests {
         assert_eq!(sharded.commitment(), plain.root());
         for i in 0..9 {
             let leaf = format!("leaf-{i}");
-            sharded.append(0, leaf.as_bytes());
+            sharded.append(0, leaf.as_bytes()).unwrap();
             plain.append(leaf.as_bytes());
             assert_eq!(sharded.commitment(), plain.root(), "size {}", i + 1);
             assert_eq!(sharded.total_len(), plain.len() as u64);
@@ -618,7 +708,7 @@ mod tests {
     fn commitment_changes_with_any_shard() {
         let log = filled(4, 2);
         let before = log.commitment();
-        log.append(3, b"new");
+        log.append(3, b"new").unwrap();
         assert_ne!(log.commitment(), before);
     }
 
@@ -637,9 +727,9 @@ mod tests {
     #[test]
     fn entries_concatenate_in_shard_order() {
         let log = ShardedLog::new(2);
-        log.append(0, b"a0");
-        log.append(1, b"b0");
-        log.append(0, b"a1");
+        log.append(0, b"a0").unwrap();
+        log.append(1, b"b0").unwrap();
+        log.append(0, b"a1").unwrap();
         assert_eq!(
             log.all_entries_from(0).unwrap(),
             vec![b"a0".to_vec(), b"a1".to_vec(), b"b0".to_vec()]
@@ -653,12 +743,12 @@ mod tests {
     fn shard_runs_expand_to_valid_proofs() {
         let log = ShardedLog::new(3);
         // Epoch A.
-        log.append(0, b"a0");
-        log.append(1, b"b0");
+        log.append(0, b"a0").unwrap();
+        log.append(1, b"b0").unwrap();
         let epoch_a = log.snapshot();
         // Epoch B: shards 0 and 2 grow, shard 1 is untouched.
-        log.append(0, b"a1");
-        log.append(2, b"c0");
+        log.append(0, b"a1").unwrap();
+        log.append(2, b"c0").unwrap();
         let epoch_b = log.snapshot();
 
         let bundle = log
@@ -682,13 +772,13 @@ mod tests {
         let log = ShardedLog::new(2);
         for s in 0..2u32 {
             for i in 0..32 {
-                log.append(s, format!("{s}-{i}").as_bytes());
+                log.append(s, format!("{s}-{i}").as_bytes()).unwrap();
             }
         }
         let mut snaps = Vec::new();
         for i in 32..40 {
             for s in 0..2u32 {
-                log.append(s, format!("{s}-{i}").as_bytes());
+                log.append(s, format!("{s}-{i}").as_bytes()).unwrap();
             }
             snaps.push(log.snapshot());
         }
@@ -747,7 +837,8 @@ mod tests {
             let log = std::sync::Arc::clone(&concurrent);
             handles.push(std::thread::spawn(move || {
                 for i in 0..per {
-                    log.append(s, format!("shard-{s}-leaf-{i}").as_bytes());
+                    log.append(s, format!("shard-{s}-leaf-{i}").as_bytes())
+                        .unwrap();
                 }
             }));
         }

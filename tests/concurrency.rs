@@ -23,6 +23,7 @@ fn event_loop_sustains_500_concurrent_batch_auditors() {
     use distrust::crypto::schnorr::SigningKey;
     use distrust::log::auditor::Auditor;
     use distrust::log::checkpoint::log_id;
+    use distrust::log::StorageConfig;
     use distrust::sandbox::guests::counter_module;
     use distrust::sandbox::Limits;
     use distrust::wire::transport::{TcpTransport, Transport};
@@ -30,7 +31,7 @@ fn event_loop_sustains_500_concurrent_batch_auditors() {
 
     let dev = SigningKey::derive(b"batch audit load", b"developer");
     let checkpoint_key = SigningKey::derive(b"batch audit load", b"checkpoint");
-    let mut fw = EnclaveFramework::new(
+    let mut fw = EnclaveFramework::open(
         FrameworkConfig {
             domain_index: 0,
             app_name: "audited".into(),
@@ -38,11 +39,13 @@ fn event_loop_sustains_500_concurrent_batch_auditors() {
             log_id: log_id(b"batch-load", 0),
             limits: Limits::default(),
             log_shards: 1,
+            storage: StorageConfig::Ephemeral,
         },
         None,
         checkpoint_key,
         Box::new(NoImports),
-    );
+    )
+    .unwrap();
     let release = SignedRelease::create("audited", 1, "", &counter_module(1), &dev);
     let expected_status = fw.apply_update(&release).expect("v1 installs");
     // DirectHost serves through EventLoopRpcServer (raw-frame mode).

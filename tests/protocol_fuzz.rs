@@ -8,6 +8,7 @@ use distrust::core::protocol::{Request, Response};
 use distrust::core::SignedRelease;
 use distrust::crypto::drbg::HmacDrbg;
 use distrust::crypto::schnorr::SigningKey;
+use distrust::log::StorageConfig;
 use distrust::sandbox::guests::counter_module;
 use distrust::sandbox::{FuncBuilder, Instr, Limits, Module, ModuleBuilder};
 use distrust::tee::host::EnclaveService;
@@ -17,19 +18,23 @@ use proptest::prelude::*;
 
 fn service() -> FrameworkService {
     let dev = SigningKey::derive(b"protocol fuzz", b"dev");
-    FrameworkService::new(EnclaveFramework::new(
-        FrameworkConfig {
-            domain_index: 0,
-            app_name: "fuzzed".into(),
-            developer_key: dev.verifying_key(),
-            log_id: [1; 32],
-            limits: Limits::default(),
-            log_shards: 1,
-        },
-        None,
-        SigningKey::derive(b"protocol fuzz", b"cp"),
-        Box::new(NoImports),
-    ))
+    FrameworkService::new(
+        EnclaveFramework::open(
+            FrameworkConfig {
+                domain_index: 0,
+                app_name: "fuzzed".into(),
+                developer_key: dev.verifying_key(),
+                log_id: [1; 32],
+                limits: Limits::default(),
+                log_shards: 1,
+                storage: StorageConfig::Ephemeral,
+            },
+            None,
+            SigningKey::derive(b"protocol fuzz", b"cp"),
+            Box::new(NoImports),
+        )
+        .unwrap(),
+    )
 }
 
 /// A service with three installed releases, so batched audit responses
@@ -48,19 +53,23 @@ fn service_with_history() -> FrameworkService {
 /// answered with the sharded bundle shape (`Response::ShardAuditBundle`).
 fn sharded_service_with_history() -> FrameworkService {
     let dev = SigningKey::derive(b"protocol fuzz", b"dev");
-    let mut svc = FrameworkService::new(EnclaveFramework::new(
-        FrameworkConfig {
-            domain_index: 0,
-            app_name: "fuzzed".into(),
-            developer_key: dev.verifying_key(),
-            log_id: [2; 32],
-            limits: Limits::default(),
-            log_shards: 4,
-        },
-        None,
-        SigningKey::derive(b"protocol fuzz", b"cp-sharded"),
-        Box::new(NoImports),
-    ));
+    let mut svc = FrameworkService::new(
+        EnclaveFramework::open(
+            FrameworkConfig {
+                domain_index: 0,
+                app_name: "fuzzed".into(),
+                developer_key: dev.verifying_key(),
+                log_id: [2; 32],
+                limits: Limits::default(),
+                log_shards: 4,
+                storage: StorageConfig::Ephemeral,
+            },
+            None,
+            SigningKey::derive(b"protocol fuzz", b"cp-sharded"),
+            Box::new(NoImports),
+        )
+        .unwrap(),
+    );
     for v in 1..=3u64 {
         let release = SignedRelease::create("fuzzed", v, "", &counter_module(v), &dev);
         svc.framework_mut().apply_update(&release).expect("applies");
@@ -78,19 +87,23 @@ fn attested_service() -> FrameworkService {
     let device = vendor.provision_device(&mut rng);
     let enclave = device.launch([3; 32]);
     let checkpoint_key = enclave.derive_signing_key(b"checkpoint");
-    FrameworkService::new(EnclaveFramework::new(
-        FrameworkConfig {
-            domain_index: 1,
-            app_name: "fuzzed".into(),
-            developer_key: dev.verifying_key(),
-            log_id: [3; 32],
-            limits: Limits::default(),
-            log_shards: 1,
-        },
-        Some(enclave),
-        checkpoint_key,
-        Box::new(NoImports),
-    ))
+    FrameworkService::new(
+        EnclaveFramework::open(
+            FrameworkConfig {
+                domain_index: 1,
+                app_name: "fuzzed".into(),
+                developer_key: dev.verifying_key(),
+                log_id: [3; 32],
+                limits: Limits::default(),
+                log_shards: 1,
+                storage: StorageConfig::Ephemeral,
+            },
+            Some(enclave),
+            checkpoint_key,
+            Box::new(NoImports),
+        )
+        .unwrap(),
+    )
 }
 
 /// An ABI-speaking echo app: its `handle` export copies the inbox to the

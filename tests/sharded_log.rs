@@ -16,6 +16,7 @@ use distrust::crypto::schnorr::SigningKey;
 use distrust::log::auditor::Auditor;
 use distrust::log::batch::{CheckpointBundle, ProofBundle};
 use distrust::log::checkpoint::{log_id, CheckpointBody, SignedCheckpoint};
+use distrust::log::StorageConfig;
 use distrust::log::{MerkleLog, ShardedLog};
 use distrust::sandbox::{FuncBuilder, Limits, Module, ModuleBuilder};
 use distrust::wire::Encode;
@@ -67,7 +68,7 @@ proptest! {
         let lid = log_id(b"compat", 0);
         for i in 0..leaf_count {
             let leaf = format!("digest-{i}");
-            sharded.append(0, leaf.as_bytes());
+            sharded.append(0, leaf.as_bytes()).unwrap();
             plain.append(leaf.as_bytes());
             // Checkpoint bodies (the signed bytes!) are identical.
             let snap = sharded.snapshot();
@@ -112,7 +113,7 @@ proptest! {
             // Both logs receive the identical append (they mirror one
             // deployment's history).
             let leaf = format!("digest-{i}");
-            sharded.append(0, leaf.as_bytes());
+            sharded.append(0, leaf.as_bytes()).unwrap();
             plain.append(leaf.as_bytes());
             let time = (i + 1) as u64;
             // The epoch checkpoint is signed over whichever representation
@@ -291,7 +292,7 @@ fn shard_unaware_prefix_relinks_through_batched_audit() {
     let dev = SigningKey::derive(b"relink", b"dev");
     let cp_key = SigningKey::derive(b"relink", b"cp");
     let cp_vk = cp_key.verifying_key();
-    let mut fw = EnclaveFramework::new(
+    let mut fw = EnclaveFramework::open(
         FrameworkConfig {
             domain_index: 0,
             app_name: "adder".into(),
@@ -299,17 +300,19 @@ fn shard_unaware_prefix_relinks_through_batched_audit() {
             log_id: log_id(b"relink", 0),
             limits: Limits::default(),
             log_shards: 4,
+            storage: StorageConfig::Ephemeral,
         },
         None,
         cp_key,
         Box::new(Host),
-    );
+    )
+    .unwrap();
     let v1 = distrust::core::SignedRelease::create("adder", 1, "", &adder_module(100), &dev);
     fw.apply_update(&v1).expect("v1 applies");
 
     // Legacy-path observation: top-level checkpoint only, no shard info.
     let mut auditor = Auditor::new(vec![cp_vk]);
-    let cp = fw.checkpoint();
+    let cp = fw.checkpoint().unwrap();
     assert!(auditor.observe(0, cp, None).is_consistent());
     assert!(
         auditor.prefix_cache(0).unwrap().shard_prefixes().is_none(),
