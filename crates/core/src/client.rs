@@ -11,6 +11,8 @@ use crate::protocol::{
 };
 use distrust_crypto::schnorr::VerifyingKey;
 use distrust_crypto::sha256::Digest;
+use distrust_gossip::envelope::{GossipEnvelope, GossipHead};
+use distrust_gossip::evidence::{EvidenceBundle, EvidencePool};
 use distrust_log::auditor::{AuditOutcome, Auditor, Misbehavior};
 use distrust_tee::vendor::{VendorKind, VendorRoots};
 use distrust_wire::codec::{Decode, Encode};
@@ -224,7 +226,16 @@ pub struct DeploymentClient {
     /// probe round-trip; reset to `true` whenever a fresh connection is
     /// opened (the server may have been upgraded).
     batch_capable: Vec<bool>,
+    /// Per-domain: did the server answer [`Request::Gossip`] with an
+    /// envelope? Same probe-once/reset-on-reconnect discipline as
+    /// `batch_capable`.
+    gossip_capable: Vec<bool>,
     auditor: Auditor,
+    /// Transferable misbehavior evidence this client holds — produced by
+    /// its own auditor or verified after arriving through gossip. Once a
+    /// domain is convicted here, every subsequent audit reports it as
+    /// failed: evidence does not expire with the round that found it.
+    evidence: EvidencePool,
     rng: Box<dyn RngCore + Send>,
     stats: AuditStats,
 }
@@ -244,7 +255,9 @@ impl DeploymentClient {
             descriptor,
             connections: (0..n).map(|_| None).collect(),
             batch_capable: vec![true; n],
+            gossip_capable: vec![true; n],
             auditor,
+            evidence: EvidencePool::new(),
             rng,
             stats: AuditStats::default(),
         }
@@ -283,8 +296,9 @@ impl DeploymentClient {
             let transport = TcpTransport::connect(info.addr)?;
             self.connections[idx] = Some(PipelinedClient::new(transport));
             // A fresh connection may be talking to an upgraded server:
-            // re-probe the batched audit once.
+            // re-probe the batched audit and gossip once.
             self.batch_capable[idx] = true;
+            self.gossip_capable[idx] = true;
         }
         Ok(self.connections[idx].as_mut().expect("just connected"))
     }
@@ -482,10 +496,103 @@ impl DeploymentClient {
         let mut found = Vec::new();
         for (domain, cp) in payload {
             if let AuditOutcome::Misbehavior(m) = self.auditor.ingest_gossip(*domain, cp.clone()) {
+                if let Some(bundle) = EvidenceBundle::from_misbehavior(&m) {
+                    self.evidence.insert(bundle);
+                }
                 found.push(*m);
             }
         }
         found
+    }
+
+    /// The gossip envelope this client would hand a peer (or piggyback on
+    /// an audit): its latest verified checkpoint heads plus all
+    /// transferable evidence it holds.
+    pub fn gossip_envelope(&self) -> GossipEnvelope {
+        GossipEnvelope {
+            heads: self
+                .auditor
+                .gossip_payload()
+                .into_iter()
+                .map(|(domain, checkpoint)| GossipHead { domain, checkpoint })
+                .collect(),
+            evidence: self.evidence.items().to_vec(),
+        }
+    }
+
+    /// Merges a peer's (or a domain bulletin board's) envelope: heads are
+    /// checked for conflicts against everything this client has verified,
+    /// and evidence is verified against the pinned checkpoint keys.
+    /// Returns every *newly discovered* piece of misbehavior.
+    pub fn ingest_envelope(&mut self, envelope: &GossipEnvelope) -> Vec<Misbehavior> {
+        let mut found = Vec::new();
+        for head in &envelope.heads {
+            if let AuditOutcome::Misbehavior(m) = self
+                .auditor
+                .ingest_gossip(head.domain, head.checkpoint.clone())
+            {
+                if let Some(bundle) = EvidenceBundle::from_misbehavior(&m) {
+                    self.evidence.insert(bundle);
+                }
+                found.push(*m);
+            }
+        }
+        for bundle in &envelope.evidence {
+            if self.ingest_evidence(bundle) {
+                found.push(Misbehavior::Equivocation {
+                    domain: bundle.domain,
+                    proof: bundle.proof.clone(),
+                });
+            }
+        }
+        found
+    }
+
+    /// Verifies one transferable evidence bundle against the pinned
+    /// checkpoint key of the accused domain and, if it holds, keeps it.
+    /// Returns `true` when the bundle is valid **and new** — invalid
+    /// bundles (including attempts to frame an honest domain) and
+    /// duplicates are dropped without effect.
+    pub fn ingest_evidence(&mut self, bundle: &EvidenceBundle) -> bool {
+        let Some(info) = self.descriptor.domains.get(bundle.domain as usize) else {
+            return false;
+        };
+        if !bundle.verify(&info.checkpoint_key) {
+            return false;
+        }
+        self.evidence.insert(bundle.clone())
+    }
+
+    /// The transferable evidence this client holds.
+    pub fn evidence(&self) -> &[EvidenceBundle] {
+        self.evidence.items()
+    }
+
+    /// Whether this client holds verified evidence convicting `domain`.
+    pub fn convicted(&self, domain: u32) -> bool {
+        self.evidence.convicts(domain)
+    }
+
+    /// One explicit epidemic exchange with `domain`: send this client's
+    /// envelope, ingest whatever the domain's bulletin board answers.
+    /// Returns newly discovered misbehavior. Old servers answer with an
+    /// error frame; that is remembered (per connection) and reported as
+    /// an empty discovery, since gossip is best-effort by design.
+    pub fn gossip_with_domain(&mut self, domain: u32) -> Result<Vec<Misbehavior>, ClientError> {
+        if !self.gossip_capable[domain as usize] {
+            return Ok(Vec::new());
+        }
+        let request = Request::Gossip {
+            envelope: self.gossip_envelope(),
+        };
+        match self.exchange(domain, &request)? {
+            Response::Gossip { envelope } => Ok(self.ingest_envelope(&envelope)),
+            Response::Error(_) => {
+                self.gossip_capable[domain as usize] = false;
+                Ok(Vec::new())
+            }
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
     }
 
     /// Performs a full audit round across all domains.
@@ -521,8 +628,18 @@ impl DeploymentClient {
         // Phase 1: pipeline one BatchAudit frame to every domain before
         // reading anything back. Domains that already proved they do not
         // speak it are not re-probed (no wasted round-trip); the flag
-        // resets when a fresh connection is opened.
+        // resets when a fresh connection is opened. A gossip exchange
+        // rides on the same connection right behind the audit frame —
+        // encoded once, servers answer strictly in request order, so the
+        // bundle is always the first frame back and the envelope the
+        // second. The piggyback is what makes "someone is watching"
+        // ambient: every routine audit also compares notes.
         let mut inflight: Vec<Option<(u64, [u8; 32])>> = Vec::with_capacity(n as usize);
+        let mut gossip_inflight = vec![false; n as usize];
+        let gossip_wire = Request::Gossip {
+            envelope: self.gossip_envelope(),
+        }
+        .to_wire();
         for d in 0..n {
             if !self.batch_capable[d as usize] {
                 inflight.push(None);
@@ -531,6 +648,8 @@ impl DeploymentClient {
             let mut nonce = [0u8; 32];
             self.rng.fill_bytes(&mut nonce);
             let verified_size = self.auditor.latest(d).map(|cp| cp.body.size).unwrap_or(0);
+            let gossip_capable = self.gossip_capable[d as usize];
+            let mut gossip_sent = false;
             let sent = match self.connection(d) {
                 Ok(conn) => {
                     let id = conn.next_request_id();
@@ -540,7 +659,10 @@ impl DeploymentClient {
                         verified_size,
                     };
                     match conn.send(&request.to_wire()) {
-                        Ok(()) => Some((id, nonce)),
+                        Ok(()) => {
+                            gossip_sent = gossip_capable && conn.send(&gossip_wire).is_ok();
+                            Some((id, nonce))
+                        }
                         Err(_) => None,
                     }
                 }
@@ -550,44 +672,66 @@ impl DeploymentClient {
                 // Broken connection: the legacy path below reconnects.
                 self.connections[d as usize] = None;
             }
+            gossip_inflight[d as usize] = gossip_sent;
             inflight.push(sent);
         }
 
         // Phase 2: collect responses (and fall back per domain if needed).
         for d in 0..n {
             let audit = match inflight[d as usize] {
-                Some((id, nonce)) => match self.collect_batch_audit(d, id) {
-                    BatchAuditAnswer::Legacy(bundle) => {
-                        self.stats.batched_domains += 1;
-                        self.process_audit_bundle(
-                            d,
-                            nonce,
-                            *bundle,
-                            &expected_measurement,
-                            &mut misbehavior,
-                        )
+                Some((id, nonce)) => {
+                    let answer = self.collect_batch_audit(d, id);
+                    // The envelope is the next in-order frame on this
+                    // connection (even when an old server answered the
+                    // audit with an error); it must be drained *before*
+                    // any legacy fallback issues new requests, or their
+                    // answers would desynchronise.
+                    if gossip_inflight[d as usize] {
+                        self.collect_gossip_answer(d, &mut misbehavior);
                     }
-                    BatchAuditAnswer::Sharded(bundle) => {
-                        self.stats.batched_domains += 1;
-                        self.process_shard_audit_bundle(
-                            d,
-                            nonce,
-                            *bundle,
-                            &expected_measurement,
-                            &mut misbehavior,
-                        )
+                    match answer {
+                        BatchAuditAnswer::Legacy(bundle) => {
+                            self.stats.batched_domains += 1;
+                            self.process_audit_bundle(
+                                d,
+                                nonce,
+                                *bundle,
+                                &expected_measurement,
+                                &mut misbehavior,
+                            )
+                        }
+                        BatchAuditAnswer::Sharded(bundle) => {
+                            self.stats.batched_domains += 1;
+                            self.process_shard_audit_bundle(
+                                d,
+                                nonce,
+                                *bundle,
+                                &expected_measurement,
+                                &mut misbehavior,
+                            )
+                        }
+                        BatchAuditAnswer::Fallback => {
+                            self.stats.fallback_domains += 1;
+                            self.audit_domain_legacy(d, &expected_measurement, &mut misbehavior)
+                        }
                     }
-                    BatchAuditAnswer::Fallback => {
-                        self.stats.fallback_domains += 1;
-                        self.audit_domain_legacy(d, &expected_measurement, &mut misbehavior)
-                    }
-                },
+                }
                 None => {
                     self.stats.fallback_domains += 1;
                     self.audit_domain_legacy(d, &expected_measurement, &mut misbehavior)
                 }
             };
             domains.push(audit);
+        }
+
+        // Evidence never expires with the round that found it: a domain
+        // convicted by transferable proof — whether discovered locally or
+        // relayed through the mesh — fails every audit from then on.
+        for audit in &mut domains {
+            if audit.failure.is_none() && self.evidence.convicts(audit.index) {
+                audit.failure =
+                    Some("transferable equivocation evidence held against this domain".to_string());
+            }
         }
 
         // Phase 3: cross-domain digest comparison.
@@ -651,6 +795,33 @@ impl DeploymentClient {
                 // server. Stop probing it every round.
                 self.batch_capable[domain as usize] = false;
                 BatchAuditAnswer::Fallback
+            }
+        }
+    }
+
+    /// Drains and ingests the gossip envelope riding behind a pipelined
+    /// `BatchAudit` on `domain`'s connection. A dead connection means the
+    /// frame is gone with it (gossip is best-effort; nothing to do); an
+    /// old server's error frame marks the domain not gossip-capable so
+    /// later audits skip the piggyback until a reconnect re-probes.
+    fn collect_gossip_answer(&mut self, domain: u32, misbehavior: &mut Vec<Misbehavior>) {
+        let idx = domain as usize;
+        if self.connections[idx].is_none() {
+            return;
+        }
+        match self.recv_raw(domain) {
+            Ok(Response::Gossip { envelope }) => {
+                misbehavior.extend(self.ingest_envelope(&envelope));
+            }
+            Ok(Response::Error(_)) => {
+                self.gossip_capable[idx] = false;
+            }
+            Ok(_) | Err(_) => {
+                // recv_raw resets the connection on transport errors; an
+                // unexpected variant means a server this client cannot
+                // reason about — stop gossiping with it on this
+                // connection either way.
+                self.gossip_capable[idx] = false;
             }
         }
     }

@@ -26,6 +26,8 @@ use crate::protocol::{
 };
 use distrust_crypto::schnorr::{SigningKey, VerifyingKey};
 use distrust_crypto::sha256::Digest;
+use distrust_gossip::envelope::{GossipEnvelope, GossipHead};
+use distrust_gossip::evidence::EvidenceBundle;
 use distrust_log::batch::{CheckpointBundle, ProofBundle};
 use distrust_log::checkpoint::{CheckpointBody, SignedCheckpoint};
 use distrust_log::shard::{ShardBundle, ShardEpoch, ShardSnapshot, ShardedLog};
@@ -121,6 +123,56 @@ struct AuditCache {
     misses: u64,
 }
 
+/// Most relayed peer heads the gossip board retains.
+const MAX_BOARD_HEADS: usize = 64;
+/// Most relayed evidence bundles the gossip board retains.
+const MAX_BOARD_EVIDENCE: usize = 64;
+
+/// The domain's gossip bulletin board: peer checkpoints and evidence that
+/// clients left behind for other clients to pick up.
+///
+/// Everything here is stored **unverified** — the framework holds no
+/// other domain's checkpoint key, so it cannot tell a real peer head from
+/// a fabricated one. That is fine: the board is a rendezvous, not an
+/// authority. Every client verifies relayed heads and evidence against
+/// its own pinned keys on ingest, so the worst a poisoned board costs is
+/// wasted bytes. Bounds are hard caps with oldest-first eviction for
+/// heads and insert-refusal for evidence, so a flooder cannot grow the
+/// domain's memory.
+#[derive(Default)]
+struct GossipBoard {
+    /// Relayed peer heads, oldest first, deduplicated exactly.
+    heads: Vec<GossipHead>,
+    /// Relayed evidence bundles, deduplicated by content hash.
+    evidence: Vec<EvidenceBundle>,
+    evidence_seen: std::collections::HashSet<Digest>,
+}
+
+impl GossipBoard {
+    /// Merges a client's envelope into the board. `own_domain` filters
+    /// heads claiming to come from this domain itself — clients get those
+    /// first-hand, and relaying them would only launder forgeries.
+    fn ingest(&mut self, envelope: GossipEnvelope, own_domain: u32) {
+        for head in envelope.heads {
+            if head.domain == own_domain || self.heads.contains(&head) {
+                continue;
+            }
+            if self.heads.len() >= MAX_BOARD_HEADS {
+                self.heads.remove(0);
+            }
+            self.heads.push(head);
+        }
+        for bundle in envelope.evidence {
+            if self.evidence.len() >= MAX_BOARD_EVIDENCE {
+                break;
+            }
+            if self.evidence_seen.insert(bundle.dedup_key()) {
+                self.evidence.push(bundle);
+            }
+        }
+    }
+}
+
 /// One trust domain's framework state.
 pub struct EnclaveFramework {
     config: FrameworkConfig,
@@ -157,6 +209,10 @@ pub struct EnclaveFramework {
     /// not persisted — but version monotonicity must survive the restart
     /// or a replayed old release would be re-accepted.
     recovered_version: u64,
+    /// Bulletin board of peer gossip this domain relays between clients.
+    /// Deliberately not persisted: gossip is epidemic state, rebuilt by
+    /// the next exchange, and a crash wiping it costs only freshness.
+    gossip: GossipBoard,
 }
 
 impl EnclaveFramework {
@@ -276,6 +332,7 @@ impl EnclaveFramework {
             logical_time,
             locked,
             recovered_version,
+            gossip: GossipBoard::default(),
         })
     }
 
@@ -757,6 +814,35 @@ impl EnclaveFramework {
                     }))
                 }
             }
+            Request::Gossip { envelope } => {
+                let own_domain = self.config.domain_index;
+                self.gossip.ingest(envelope, own_domain);
+                // Reply with our own signed head first (reusing the cached
+                // epoch/genesis signature — gossip must not mint fresh
+                // signatures, or every exchange would move the log head),
+                // then everything clients have left on the board.
+                let own = self
+                    .epoch_checkpoints
+                    .last()
+                    .cloned()
+                    .unwrap_or_else(|| self.genesis_checkpoint());
+                let mut heads = Vec::with_capacity(1 + self.gossip.heads.len());
+                heads.push(GossipHead {
+                    domain: own_domain,
+                    checkpoint: own,
+                });
+                heads.extend(self.gossip.heads.iter().cloned());
+                Response::Gossip {
+                    envelope: GossipEnvelope {
+                        heads,
+                        evidence: self.gossip.evidence.clone(),
+                    },
+                }
+            }
+            // Domains never cosign their own heads — a quorum of one
+            // interested party is not a quorum. Only witness relays
+            // ([`crate::witness`]) answer with `Some`.
+            Request::WitnessHead => Response::WitnessHead { cosigned: None },
         }
     }
 }

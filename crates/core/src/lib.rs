@@ -41,6 +41,7 @@ pub mod manifest;
 pub mod protocol;
 pub mod server;
 pub mod session;
+pub mod witness;
 
 pub use abi::{app_call, AppCallError, AppHost, NoImports};
 pub use client::{AuditReport, ClientError, DeploymentClient, DeploymentDescriptor, DomainInfo};
@@ -51,4 +52,6 @@ pub use protocol::{DomainStatus, Request, Response, UpdateNotice};
 pub use server::DirectHost;
 pub use session::{
     DomainOutcome, FanoutCall, FanoutPayloads, FanoutReport, QuorumPolicy, Session, TrustPolicy,
+    WitnessedTrust,
 };
+pub use witness::WitnessRelay;

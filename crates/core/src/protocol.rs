@@ -6,6 +6,8 @@
 //! on both ends).
 
 use crate::manifest::{ReleaseManifest, SignedRelease};
+use distrust_gossip::envelope::GossipEnvelope;
+use distrust_gossip::witness::CosignedHeads;
 use distrust_log::batch::CheckpointBundle;
 use distrust_log::checkpoint::SignedCheckpoint;
 use distrust_log::merkle::ConsistencyProof;
@@ -91,6 +93,20 @@ pub enum Request {
         /// First in-shard index to return.
         from: u64,
     },
+    /// Epidemic checkpoint exchange: the sender's latest signed heads and
+    /// any transferable misbehavior evidence it holds. Answered with
+    /// [`Response::Gossip`] carrying the receiver's view, so every
+    /// exchange compares notes in both directions. Old servers answer
+    /// with an error; gossip is best-effort, so senders just move on.
+    Gossip {
+        /// What the sender knows.
+        envelope: GossipEnvelope,
+    },
+    /// Ask a witness relay for the latest threshold-cosigned head set —
+    /// one response covers all `n` domains for thin clients. Domains
+    /// themselves answer `cosigned: None` (they do not cosign their own
+    /// heads); only witness relays serve `Some`.
+    WitnessHead,
 }
 
 impl Encode for Request {
@@ -138,6 +154,11 @@ impl Encode for Request {
                 shard.encode(out);
                 from.encode(out);
             }
+            Request::Gossip { envelope } => {
+                10u8.encode(out);
+                envelope.encode(out);
+            }
+            Request::WitnessHead => 11u8.encode(out),
         }
     }
 }
@@ -188,6 +209,10 @@ impl Decode for Request {
                 shard: Decode::decode(input)?,
                 from: Decode::decode(input)?,
             },
+            10 => Request::Gossip {
+                envelope: Decode::decode(input)?,
+            },
+            11 => Request::WitnessHead,
             other => return Err(DecodeError::InvalidTag(other)),
         })
     }
@@ -379,6 +404,21 @@ pub enum Response {
     /// per-shard proof runs (answers [`Request::BatchAudit`] on domains
     /// whose log has more than one shard).
     ShardAuditBundle(Box<ShardAuditBundle>),
+    /// The receiver's side of a gossip exchange (answers
+    /// [`Request::Gossip`]): its latest signed heads plus any evidence it
+    /// holds. Contents are claims — the receiving party verifies every
+    /// head and evidence bundle against its own pinned keys.
+    Gossip {
+        /// What the responder knows.
+        envelope: GossipEnvelope,
+    },
+    /// The latest threshold-cosigned head set a witness relay holds, or
+    /// `None` when no quorum has formed yet (answers
+    /// [`Request::WitnessHead`]).
+    WitnessHead {
+        /// The aggregated quorum cosignature over all domains' heads.
+        cosigned: Option<CosignedHeads>,
+    },
 }
 
 impl Encode for Response {
@@ -443,6 +483,14 @@ impl Encode for Response {
                 13u8.encode(out);
                 b.encode(out);
             }
+            Response::Gossip { envelope } => {
+                14u8.encode(out);
+                envelope.encode(out);
+            }
+            Response::WitnessHead { cosigned } => {
+                15u8.encode(out);
+                cosigned.encode(out);
+            }
         }
     }
 }
@@ -493,6 +541,12 @@ impl Decode for Response {
             11 => Response::Error(Decode::decode(input)?),
             12 => Response::AuditBundle(Box::new(Decode::decode(input)?)),
             13 => Response::ShardAuditBundle(Box::new(Decode::decode(input)?)),
+            14 => Response::Gossip {
+                envelope: Decode::decode(input)?,
+            },
+            15 => Response::WitnessHead {
+                cosigned: Decode::decode(input)?,
+            },
             other => return Err(DecodeError::InvalidTag(other)),
         })
     }
@@ -717,5 +771,121 @@ mod tests {
         assert!(Request::from_wire(&[99]).is_err());
         assert!(Response::from_wire(&[99]).is_err());
         assert!(Request::from_wire(&[]).is_err());
+    }
+
+    fn sample_gossip_envelope() -> GossipEnvelope {
+        use distrust_gossip::envelope::GossipHead;
+        use distrust_gossip::evidence::EvidenceBundle;
+        use distrust_log::checkpoint::{CheckpointBody, EquivocationProof, SignedCheckpoint};
+        let sk = SigningKey::derive(b"proto", b"gossip");
+        let cp = |size: u64, fill: u8| {
+            SignedCheckpoint::sign(
+                CheckpointBody {
+                    log_id: [4; 32],
+                    size,
+                    head: [fill; 32],
+                    logical_time: size,
+                },
+                &sk,
+            )
+        };
+        GossipEnvelope {
+            heads: vec![GossipHead {
+                domain: 1,
+                checkpoint: cp(6, 0x11),
+            }],
+            evidence: vec![EvidenceBundle {
+                domain: 2,
+                proof: EquivocationProof {
+                    a: cp(3, 0x22),
+                    b: cp(3, 0x33),
+                },
+            }],
+        }
+    }
+
+    fn sample_cosigned_heads() -> distrust_gossip::witness::CosignedHeads {
+        use distrust_crypto::drbg::HmacDrbg;
+        use distrust_crypto::threshold::{generate, partial_sign};
+        use distrust_gossip::witness::cosign_signing_bytes;
+        use distrust_log::checkpoint::CheckpointBody;
+        let tk = generate(1, 1, &mut HmacDrbg::new(b"proto", b"witness")).unwrap();
+        let heads = vec![CheckpointBody {
+            log_id: [5; 32],
+            size: 7,
+            head: [6; 32],
+            logical_time: 7,
+        }];
+        let partial = partial_sign(&tk.shares[0], &cosign_signing_bytes(&heads));
+        distrust_gossip::witness::CosignedHeads {
+            heads,
+            signature: partial.value,
+        }
+    }
+
+    #[test]
+    fn gossip_and_witness_head_round_trip() {
+        let requests = vec![
+            Request::Gossip {
+                envelope: sample_gossip_envelope(),
+            },
+            Request::Gossip {
+                envelope: GossipEnvelope::empty(),
+            },
+            Request::WitnessHead,
+        ];
+        for req in requests {
+            assert_eq!(Request::from_wire(&req.to_wire()), Ok(req));
+        }
+        let responses = vec![
+            Response::Gossip {
+                envelope: sample_gossip_envelope(),
+            },
+            Response::WitnessHead {
+                cosigned: Some(sample_cosigned_heads()),
+            },
+            Response::WitnessHead { cosigned: None },
+        ];
+        for resp in responses {
+            assert_eq!(Response::from_wire(&resp.to_wire()), Ok(resp));
+        }
+    }
+
+    #[test]
+    fn gossip_truncation_rejected_at_every_cut() {
+        let req_wire = Request::Gossip {
+            envelope: sample_gossip_envelope(),
+        }
+        .to_wire();
+        for cut in 0..req_wire.len() {
+            assert!(
+                Request::from_wire(&req_wire[..cut]).is_err(),
+                "request truncation at {cut} must not decode"
+            );
+        }
+        let resp_wire = Response::Gossip {
+            envelope: sample_gossip_envelope(),
+        }
+        .to_wire();
+        for cut in 0..resp_wire.len() {
+            assert!(
+                Response::from_wire(&resp_wire[..cut]).is_err(),
+                "response truncation at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn witness_head_truncation_rejected_at_every_cut() {
+        let wire = Response::WitnessHead {
+            cosigned: Some(sample_cosigned_heads()),
+        }
+        .to_wire();
+        for cut in 0..wire.len() {
+            assert!(
+                Response::from_wire(&wire[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
     }
 }

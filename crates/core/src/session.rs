@@ -24,7 +24,10 @@
 
 use crate::client::{AuditReport, ClientError, DeploymentClient};
 use crate::protocol::{Request, Response};
+use distrust_crypto::bls;
 use distrust_crypto::sha256::Digest;
+use distrust_gossip::evidence::EvidenceBundle;
+use distrust_gossip::witness::CosignedHeads;
 use distrust_wire::codec::Encode;
 use std::time::{Duration, Instant};
 
@@ -44,6 +47,26 @@ pub enum QuorumPolicy {
     /// or application error) — a race across replicas where arrival order
     /// is the preference. Responses still in flight are abandoned.
     First(usize),
+}
+
+/// Witness-quorum trust: accept one threshold-cosigned head vector in
+/// place of the full batched audit.
+///
+/// A thin client under this policy verifies exactly **one** aggregated
+/// BLS signature over the per-domain checkpoint heads — the work the
+/// witness quorum already did on its behalf — instead of auditing all
+/// `n` domains itself. The trust assumption shifts accordingly: the
+/// client trusts that at least `t` of the witnesses honestly verified
+/// each domain's checkpoint transition.
+#[derive(Clone, Copy, Debug)]
+pub struct WitnessedTrust {
+    /// The witness quorum's group public key (from
+    /// `FeldmanCommitments::public_key`). One signature under this key
+    /// vouches for the whole head vector.
+    pub quorum_pk: bls::PublicKey,
+    /// The threshold `t` the quorum was generated with — recorded for
+    /// reporting; the aggregated signature verifies (or not) regardless.
+    pub t: usize,
 }
 
 /// What a session demands before it lets application traffic through.
@@ -69,6 +92,10 @@ pub struct TrustPolicy {
     /// client from published source (§3.3's "the developer open-sources
     /// her code"). Domains reporting any other digest are refused.
     pub pinned_app_digest: Option<Digest>,
+    /// Accept a threshold-cosigned head vector
+    /// ([`Session::install_cosigned_head`]) in place of the batched
+    /// audit. `None` (the default) keeps the audit-based gate.
+    pub witnessed: Option<WitnessedTrust>,
 }
 
 impl Default for TrustPolicy {
@@ -85,6 +112,7 @@ impl TrustPolicy {
             max_staleness: u64::MAX,
             require_attested: false,
             pinned_app_digest: None,
+            witnessed: None,
         }
     }
 
@@ -106,6 +134,19 @@ impl TrustPolicy {
             max_staleness: u64::MAX,
             require_attested: false,
             pinned_app_digest: None,
+            witnessed: None,
+        }
+    }
+
+    /// Witness-quorum gating: trust one aggregated cosignature from a
+    /// `t`-of-`n` witness quorum instead of auditing every domain. The
+    /// session refuses application traffic until a cosigned head is
+    /// installed ([`Session::install_cosigned_head`]) or a full audit
+    /// passes as a fallback.
+    pub fn witnessed(quorum_pk: bls::PublicKey, t: usize) -> Self {
+        Self {
+            witnessed: Some(WitnessedTrust { quorum_pk, t }),
+            ..Self::audited()
         }
     }
 
@@ -338,6 +379,18 @@ pub struct Session<'c> {
     /// re-audits (and keeps refusing) until one passes.
     gate_failed: bool,
     rounds_since_audit: u64,
+    /// Per-domain refusal from out-of-band misbehavior evidence
+    /// ([`Session::ingest_evidence`]). Unlike `refusals`, which every
+    /// audit recomputes, a poisoned entry survives re-audits: a
+    /// cryptographic conviction does not expire because a later audit
+    /// round looked clean.
+    poisoned: Vec<Option<String>>,
+    /// The accepted cosigned head vector, when the policy is witnessed.
+    cosigned: Option<CosignedHeads>,
+    /// How many aggregated-cosignature verifications this session has
+    /// performed — observable so tests (and cost accounting) can assert
+    /// the witnessed fast path did exactly one.
+    cosign_verifications: u64,
 }
 
 impl<'c> Session<'c> {
@@ -353,6 +406,9 @@ impl<'c> Session<'c> {
             audited: false,
             gate_failed: false,
             rounds_since_audit: 0,
+            poisoned: vec![None; n],
+            cosigned: None,
+            cosign_verifications: 0,
         }
     }
 
@@ -375,9 +431,22 @@ impl<'c> Session<'c> {
     pub fn trusted_domains(&self) -> Vec<u32> {
         self.refusals
             .iter()
+            .zip(&self.poisoned)
             .enumerate()
-            .filter_map(|(d, r)| r.is_none().then_some(d as u32))
+            .filter_map(|(d, (r, p))| (r.is_none() && p.is_none()).then_some(d as u32))
             .collect()
+    }
+
+    /// How many aggregated-cosignature verifications the session has
+    /// performed. A witnessed thin client's first application call costs
+    /// exactly one.
+    pub fn cosign_verifications(&self) -> u64 {
+        self.cosign_verifications
+    }
+
+    /// The cosigned head vector the session currently trusts, if any.
+    pub fn cosigned_head(&self) -> Option<&CosignedHeads> {
+        self.cosigned.as_ref()
     }
 
     /// Escape hatch to the underlying (un-gated) client — audits, gossip,
@@ -476,20 +545,89 @@ impl<'c> Session<'c> {
     /// auditing (or re-auditing) if the policy demands it. After a failed
     /// gate, every round re-audits: the session keeps refusing — and
     /// keeps checking — until an audit passes.
+    ///
+    /// Under a witnessed policy an installed cosigned head
+    /// ([`Session::install_cosigned_head`]) satisfies the gate without
+    /// any audit traffic — that installation already marked the session
+    /// audited, so the freshness check below passes until the head goes
+    /// stale. A stale (or never-installed) witnessed session falls back
+    /// to the full batched audit rather than refusing outright.
     fn ensure_trust(&mut self) -> Result<(), ClientError> {
         if !self.policy.audit_before_use {
             return Ok(());
         }
         if !self.audited || self.gate_failed || self.rounds_since_audit > self.policy.max_staleness
         {
+            // Whatever cosigned head the session held no longer carries
+            // the gate; a fresh one can be installed after the audit.
+            self.cosigned = None;
             self.run_audit()?;
         }
         Ok(())
     }
 
-    /// Why `domain` is currently refused, if it is.
+    /// Why `domain` is currently refused, if it is. Evidence poisoning
+    /// is checked first: a convicted domain stays refused no matter what
+    /// the latest audit (or an installed cosigned head) says about it.
     fn refusal(&self, domain: u32) -> Option<&String> {
-        self.refusals.get(domain as usize).and_then(|r| r.as_ref())
+        self.poisoned
+            .get(domain as usize)
+            .and_then(|p| p.as_ref())
+            .or_else(|| self.refusals.get(domain as usize).and_then(|r| r.as_ref()))
+    }
+
+    /// Installs a witness-cosigned head vector as this session's trust
+    /// basis, verifying **one** aggregated BLS signature in place of the
+    /// full batched audit.
+    ///
+    /// Requires a [`TrustPolicy::witnessed`] policy; checks that the
+    /// vector covers exactly this deployment's domains and that the
+    /// aggregated signature verifies under the quorum public key. On
+    /// success every domain the vector covers is trusted — except
+    /// domains already poisoned by transferable misbehavior evidence,
+    /// which stay refused.
+    pub fn install_cosigned_head(&mut self, cosigned: &CosignedHeads) -> Result<(), ClientError> {
+        let Some(witnessed) = self.policy.witnessed else {
+            return Err(ClientError::Unexpected(
+                "install_cosigned_head requires a witnessed trust policy".into(),
+            ));
+        };
+        let n = self.domain_count();
+        if cosigned.heads.len() != n {
+            return Err(ClientError::AuditFailed(format!(
+                "cosigned head vector covers {} domains; deployment has {n}",
+                cosigned.heads.len()
+            )));
+        }
+        self.cosign_verifications += 1;
+        if !cosigned.verify(&witnessed.quorum_pk) {
+            self.gate_failed = true;
+            return Err(ClientError::AuditFailed(
+                "cosigned head vector failed aggregated signature verification".into(),
+            ));
+        }
+        self.cosigned = Some(cosigned.clone());
+        self.refusals = vec![None; n];
+        self.audited = true;
+        self.gate_failed = false;
+        self.rounds_since_audit = 0;
+        Ok(())
+    }
+
+    /// Ingests a transferable misbehavior bundle delivered out of band
+    /// (gossip from a peer, a witness's evidence pool, a relay). If the
+    /// proof verifies against the deployment's pinned checkpoint key for
+    /// the accused domain, that domain is refused for the rest of the
+    /// session — effective immediately, even between two fan-outs of an
+    /// already-audited session. Returns whether the evidence verified.
+    pub fn ingest_evidence(&mut self, bundle: &EvidenceBundle) -> bool {
+        if !self.client.ingest_evidence(bundle) {
+            return false;
+        }
+        if let Some(slot) = self.poisoned.get_mut(bundle.domain as usize) {
+            *slot = Some("transferable equivocation evidence held against this domain".to_string());
+        }
+        true
     }
 
     /// Trust-gated single-domain application call. Prefer

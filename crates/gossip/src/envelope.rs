@@ -1,0 +1,185 @@
+//! The epidemic checkpoint-exchange format.
+//!
+//! A [`GossipEnvelope`] is what two parties swap when they "compare
+//! notes": the sender's latest signed checkpoint head per domain, plus
+//! any transferable misbehavior evidence it holds. Envelopes ride on the
+//! `BatchAudit` round-trip (piggyback), on the dedicated `Gossip`
+//! request/response pair, and between auditors in the simulated mesh —
+//! one format for all three paths, so evidence learned anywhere is
+//! forwardable everywhere.
+//!
+//! Envelope contents are *claims*, not facts: heads carry domain
+//! signatures and evidence carries conflicting signatures, and every
+//! receiver verifies both against its own pinned keys before acting.
+//! A hostile peer can therefore waste bytes but cannot inject state.
+
+use crate::evidence::EvidenceBundle;
+use distrust_log::checkpoint::SignedCheckpoint;
+use distrust_wire::codec::{decode_seq, encode_seq, Decode, DecodeError, Encode};
+use distrust_wire::wire_struct;
+
+/// Most checkpoint heads a single envelope may carry. Deployments are
+/// single-digit; the cap bounds decode-time allocation against peers
+/// that claim absurd domain counts.
+pub const MAX_ENVELOPE_HEADS: usize = 1024;
+
+/// Most evidence bundles a single envelope may carry — mirrors
+/// [`crate::evidence::MAX_EVIDENCE_POOL`]: no honest pool can exceed it,
+/// so anything larger is malformed by construction.
+pub const MAX_ENVELOPE_EVIDENCE: usize = crate::evidence::MAX_EVIDENCE_POOL;
+
+/// One domain's latest signed checkpoint, as relayed by a peer.
+///
+/// The domain index travels alongside the checkpoint because receivers
+/// key their pinned verifying keys by index; the signature inside the
+/// checkpoint is what actually binds the claim to the domain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GossipHead {
+    /// Index of the domain the checkpoint claims to come from.
+    pub domain: u32,
+    /// The domain-signed checkpoint.
+    pub checkpoint: SignedCheckpoint,
+}
+
+wire_struct!(GossipHead {
+    domain: u32,
+    checkpoint: SignedCheckpoint,
+});
+
+/// Everything one party tells another in a single gossip exchange.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct GossipEnvelope {
+    /// The sender's latest verified checkpoint per domain (any order,
+    /// lagging or partial views are fine — receivers merge).
+    pub heads: Vec<GossipHead>,
+    /// Transferable misbehavior evidence the sender holds.
+    pub evidence: Vec<EvidenceBundle>,
+}
+
+impl Encode for GossipEnvelope {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_seq(&self.heads, out);
+        encode_seq(&self.evidence, out);
+    }
+}
+
+impl Decode for GossipEnvelope {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let heads: Vec<GossipHead> = decode_seq(input)?;
+        if heads.len() > MAX_ENVELOPE_HEADS {
+            return Err(DecodeError::Invalid("gossip envelope head count"));
+        }
+        let evidence: Vec<EvidenceBundle> = decode_seq(input)?;
+        if evidence.len() > MAX_ENVELOPE_EVIDENCE {
+            return Err(DecodeError::Invalid("gossip envelope evidence count"));
+        }
+        Ok(Self { heads, evidence })
+    }
+}
+
+impl GossipEnvelope {
+    /// An envelope with nothing to say (still a valid exchange — the
+    /// reply may carry news).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Whether the envelope carries neither heads nor evidence.
+    pub fn is_empty(&self) -> bool {
+        self.heads.is_empty() && self.evidence.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evidence::EvidenceBundle;
+    use distrust_crypto::schnorr::SigningKey;
+    use distrust_log::checkpoint::{log_id, CheckpointBody, EquivocationProof};
+
+    fn sample_checkpoint(sk: &SigningKey, head: u8, size: u64) -> SignedCheckpoint {
+        SignedCheckpoint::sign(
+            CheckpointBody {
+                log_id: log_id(b"envelope-tests", 0),
+                size,
+                head: [head; 32],
+                logical_time: size,
+            },
+            sk,
+        )
+    }
+
+    fn sample_envelope() -> GossipEnvelope {
+        let sk = SigningKey::derive(b"envelope", b"domain");
+        GossipEnvelope {
+            heads: vec![
+                GossipHead {
+                    domain: 0,
+                    checkpoint: sample_checkpoint(&sk, 0x11, 3),
+                },
+                GossipHead {
+                    domain: 2,
+                    checkpoint: sample_checkpoint(&sk, 0x22, 9),
+                },
+            ],
+            evidence: vec![EvidenceBundle {
+                domain: 1,
+                proof: EquivocationProof {
+                    a: sample_checkpoint(&sk, 0x33, 5),
+                    b: sample_checkpoint(&sk, 0x44, 5),
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let env = sample_envelope();
+        let wire = env.to_wire();
+        assert_eq!(GossipEnvelope::from_wire(&wire).unwrap(), env);
+        let empty = GossipEnvelope::empty();
+        assert!(empty.is_empty());
+        assert_eq!(GossipEnvelope::from_wire(&empty.to_wire()).unwrap(), empty);
+    }
+
+    #[test]
+    fn envelope_truncation_rejected_at_every_cut() {
+        let wire = sample_envelope().to_wire();
+        for cut in 0..wire.len() {
+            assert!(
+                GossipEnvelope::from_wire(&wire[..cut]).is_err(),
+                "prefix of {cut} bytes must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn envelope_trailing_bytes_rejected() {
+        let mut wire = sample_envelope().to_wire();
+        wire.push(0);
+        assert!(matches!(
+            GossipEnvelope::from_wire(&wire),
+            Err(DecodeError::TrailingBytes(_))
+        ));
+    }
+
+    #[test]
+    fn envelope_length_bomb_rejected() {
+        // A claimed head count far beyond what the payload could hold
+        // must fail without allocating.
+        let mut wire = Vec::new();
+        (u32::MAX).encode(&mut wire);
+        assert!(GossipEnvelope::from_wire(&wire).is_err());
+        // A structurally valid but over-cap evidence count is refused by
+        // the envelope's own cap even if each entry decodes.
+        let bundle = sample_envelope().evidence.remove(0);
+        let over = GossipEnvelope {
+            heads: Vec::new(),
+            evidence: vec![bundle; MAX_ENVELOPE_EVIDENCE + 1],
+        };
+        assert!(matches!(
+            GossipEnvelope::from_wire(&over.to_wire()),
+            Err(DecodeError::Invalid("gossip envelope evidence count"))
+        ));
+    }
+}

@@ -47,9 +47,11 @@ impl PanicScope {
             PanicScope::RepoDefault => {
                 if path.starts_with("crates/wire/src/")
                     || path.starts_with("crates/tee/src/")
+                    || path.starts_with("crates/gossip/src/")
                     || path == "crates/core/src/server.rs"
                     || path == "crates/core/src/framework.rs"
                     || path == "crates/core/src/protocol.rs"
+                    || path == "crates/core/src/witness.rs"
                 {
                     Cover::Full
                 } else if path.starts_with("crates/log/src/") {

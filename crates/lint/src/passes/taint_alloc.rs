@@ -30,6 +30,7 @@ impl TaintScope {
                     || path.starts_with("crates/log/src/")
                     || path.starts_with("crates/core/src/")
                     || path.starts_with("crates/tee/src/")
+                    || path.starts_with("crates/gossip/src/")
             }
         }
     }

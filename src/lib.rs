@@ -15,6 +15,8 @@
 //! * [`tee`] — simulated heterogeneous secure hardware.
 //! * [`log`] — hash-chain + Merkle append-only logs, auditing.
 //! * [`core`] — the framework: trust domains, clients, deployments.
+//! * [`gossip`] — checkpoint gossip, transferable evidence, witness
+//!   cosigning.
 //! * [`apps`] — threshold signing, key backup, private analytics.
 //!
 //! ## Quickstart
@@ -45,6 +47,7 @@
 pub use distrust_apps as apps;
 pub use distrust_core as core;
 pub use distrust_crypto as crypto;
+pub use distrust_gossip as gossip;
 pub use distrust_log as log;
 pub use distrust_sandbox as sandbox;
 pub use distrust_tee as tee;

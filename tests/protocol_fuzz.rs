@@ -563,3 +563,225 @@ fn every_request_variant_gets_a_sensible_answer_without_an_app() {
         assert!(check(&response), "unexpected response {response:?}");
     }
 }
+
+// --- Gossip / witness-head wire surface (epidemic checkpoint exchange) ---
+//
+// Every encoding added by the gossip subsystem gets the same treatment as
+// the audit bundles above: truncation at every cut must error, a single
+// flipped bit must never misparse back to the original value, and length
+// bombs must die on the guard instead of allocating.
+
+use distrust::gossip::envelope::{GossipEnvelope, GossipHead};
+use distrust::gossip::evidence::EvidenceBundle;
+use distrust::gossip::witness::{cosign_signing_bytes, CosignedHeads};
+use distrust::log::checkpoint::{log_id, CheckpointBody, EquivocationProof, SignedCheckpoint};
+
+fn gossip_checkpoint(domain: u32, head: u8, size: u64) -> SignedCheckpoint {
+    let sk = SigningKey::derive(b"protocol fuzz", b"gossip domain");
+    SignedCheckpoint::sign(
+        CheckpointBody {
+            log_id: log_id(b"protocol fuzz", domain),
+            size,
+            head: [head; 32],
+            logical_time: size,
+        },
+        &sk,
+    )
+}
+
+fn fuzz_gossip_envelope() -> GossipEnvelope {
+    GossipEnvelope {
+        heads: vec![
+            GossipHead {
+                domain: 0,
+                checkpoint: gossip_checkpoint(0, 0x11, 4),
+            },
+            GossipHead {
+                domain: 1,
+                checkpoint: gossip_checkpoint(1, 0x22, 7),
+            },
+        ],
+        evidence: vec![EvidenceBundle {
+            domain: 2,
+            proof: EquivocationProof {
+                a: gossip_checkpoint(2, 0x33, 5),
+                b: gossip_checkpoint(2, 0x44, 5),
+            },
+        }],
+    }
+}
+
+fn fuzz_cosigned_heads() -> CosignedHeads {
+    let mut rng = HmacDrbg::new(b"protocol fuzz", b"witness quorum");
+    let quorum = distrust::crypto::threshold::generate(1, 1, &mut rng).expect("keygen");
+    let heads = vec![
+        gossip_checkpoint(0, 0x55, 3).body,
+        gossip_checkpoint(1, 0x66, 6).body,
+    ];
+    // With t = 1 a single partial IS the group signature.
+    let partial =
+        distrust::crypto::threshold::partial_sign(&quorum.shares[0], &cosign_signing_bytes(&heads));
+    CosignedHeads {
+        heads,
+        signature: partial.value,
+    }
+}
+
+/// Every frame shape the gossip surface puts on the wire: `Gossip` and
+/// `WitnessHead` requests, `Gossip` and `WitnessHead` (Some and None)
+/// responses. Paired with whether the frame is a request, so the fuzz
+/// cases decode each against the right type.
+fn gossip_surface_frames() -> Vec<(bool, Vec<u8>)> {
+    vec![
+        (
+            true,
+            Request::Gossip {
+                envelope: fuzz_gossip_envelope(),
+            }
+            .to_wire(),
+        ),
+        (true, Request::WitnessHead.to_wire()),
+        (
+            false,
+            Response::Gossip {
+                envelope: fuzz_gossip_envelope(),
+            }
+            .to_wire(),
+        ),
+        (
+            false,
+            Response::WitnessHead {
+                cosigned: Some(fuzz_cosigned_heads()),
+            }
+            .to_wire(),
+        ),
+        (false, Response::WitnessHead { cosigned: None }.to_wire()),
+    ]
+}
+
+#[test]
+fn gossip_surface_frames_round_trip() {
+    for (is_request, frame) in gossip_surface_frames() {
+        if is_request {
+            let decoded = Request::from_wire(&frame).expect("request decodes");
+            assert_eq!(decoded.to_wire(), frame, "canonical request encoding");
+        } else {
+            let decoded = Response::from_wire(&frame).expect("response decodes");
+            assert_eq!(decoded.to_wire(), frame, "canonical response encoding");
+        }
+    }
+}
+
+#[test]
+fn gossip_surface_truncation_rejected_at_every_cut() {
+    for (is_request, frame) in gossip_surface_frames() {
+        for cut in 0..frame.len() {
+            let prefix = &frame[..cut];
+            let rejected = if is_request {
+                Request::from_wire(prefix).is_err()
+            } else {
+                Response::from_wire(prefix).is_err()
+            };
+            assert!(
+                rejected,
+                "prefix of {cut}/{} bytes must not parse",
+                frame.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn gossip_surface_length_bombs_rejected() {
+    // A Gossip request claiming u32::MAX heads must die on the length
+    // guard without allocating.
+    let mut bomb = vec![10u8];
+    u32::MAX.encode(&mut bomb);
+    assert!(Request::from_wire(&bomb).is_err());
+    // Same for the response side.
+    bomb[0] = 14;
+    assert!(Response::from_wire(&bomb).is_err());
+    // A WitnessHead response claiming u32::MAX cosigned heads likewise.
+    let mut bomb = vec![15u8, 1u8];
+    u32::MAX.encode(&mut bomb);
+    assert!(Response::from_wire(&bomb).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Flipping any single bit of any gossip-surface frame either fails
+    /// to decode or decodes to a *different* value — canonical encodings
+    /// mean a tampered frame can never impersonate the original.
+    #[test]
+    fn bit_flipped_gossip_frames_never_misparse(
+        frame_seed in any::<u64>(),
+        flip_seed in any::<u64>(),
+    ) {
+        let frames = gossip_surface_frames();
+        let (is_request, frame) = &frames[(frame_seed as usize) % frames.len()];
+        let bit = (flip_seed as usize) % (frame.len() * 8);
+        let mut mutated = frame.clone();
+        mutated[bit / 8] ^= 1 << (bit % 8);
+        if *is_request {
+            let original = Request::from_wire(frame).expect("valid frame decodes");
+            if let Ok(decoded) = Request::from_wire(&mutated) {
+                prop_assert_ne!(decoded, original);
+            }
+        } else {
+            let original = Response::from_wire(frame).expect("valid frame decodes");
+            if let Ok(decoded) = Response::from_wire(&mutated) {
+                prop_assert_ne!(decoded, original);
+            }
+        }
+    }
+
+    /// Trailing garbage after any complete gossip-surface frame is
+    /// rejected, not silently dropped.
+    #[test]
+    fn gossip_frames_with_trailing_bytes_rejected(
+        frame_seed in any::<u64>(),
+        garbage in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let frames = gossip_surface_frames();
+        let (is_request, frame) = &frames[(frame_seed as usize) % frames.len()];
+        let mut extended = frame.clone();
+        extended.extend_from_slice(&garbage);
+        if *is_request {
+            prop_assert!(Request::from_wire(&extended).is_err());
+        } else {
+            prop_assert!(Response::from_wire(&extended).is_err());
+        }
+    }
+
+    /// A live framework answers arbitrary gossip envelopes (including
+    /// ones full of unverifiable heads) with a decodable Gossip response,
+    /// and WitnessHead requests with a decodable answer — never a panic.
+    #[test]
+    fn framework_answers_gossip_and_witness_head(
+        domain in any::<u32>(),
+        head in any::<u8>(),
+        size in any::<u64>(),
+    ) {
+        let mut svc = service();
+        let envelope = GossipEnvelope {
+            heads: vec![GossipHead {
+                domain,
+                checkpoint: gossip_checkpoint(domain, head, size),
+            }],
+            evidence: Vec::new(),
+        };
+        let frame = svc.handle(Request::Gossip { envelope }.to_wire());
+        let gossip_answered = matches!(
+            Response::from_wire(&frame),
+            Ok(Response::Gossip { .. })
+        );
+        prop_assert!(gossip_answered);
+        let frame = svc.handle(Request::WitnessHead.to_wire());
+        let witness_head_answered = matches!(
+            Response::from_wire(&frame),
+            Ok(Response::WitnessHead { cosigned: None })
+        );
+        prop_assert!(witness_head_answered);
+    }
+}
