@@ -1,0 +1,26 @@
+//! Alpha's lock and relay helpers, driven cross-crate from beta: one half
+//! of the seeded lock-order cycle and the tail of the seeded blocking
+//! chain live here.
+
+/// Acquires `ingress`; beta's `backward` calls this with `egress` held.
+pub fn grab_ingress(state: &Shared) {
+    let guard = state.ingress.lock();
+    touch(guard);
+}
+
+/// One direction of the seeded cross-crate cycle: `ingress` held here
+/// while beta's helper takes `egress`.
+pub fn forward(state: &Shared) {
+    let guard = state.ingress.lock();
+    distrust_beta::reactor::grab_egress(state);
+    touch(guard);
+}
+
+/// Reached from beta's `pump` reactor entry point.
+pub fn relay(queue: &Receiver) {
+    drain(queue);
+}
+
+fn drain(queue: &Receiver) {
+    std::thread::sleep(REFILL_PAUSE);
+}

@@ -1,0 +1,34 @@
+//! Beta's decode driver: seeds both cross-crate length-bomb directions
+//! (taint returned from alpha, taint passed into alpha) plus the guarded
+//! twin that must stay silent.
+
+use distrust_alpha::wire::announced_len;
+use distrust_alpha::wire::reserve_bounded;
+use distrust_alpha::wire::reserve_slots;
+use distrust_alpha::wire::MAX_SLOTS;
+
+/// Bomb 1: the announced count comes back from alpha and sizes an
+/// allocation here.
+pub fn ingest(input: &mut &[u8]) -> Vec<u64> {
+    let n = announced_len(input);
+    let out: Vec<u64> = Vec::with_capacity(n);
+    out
+}
+
+/// Bomb 2: the raw count crosses into alpha, which allocates.
+pub fn stash(input: &mut &[u8]) -> Vec<u64> {
+    let n = announced_len(input);
+    reserve_slots(n)
+}
+
+/// Guarded twin: the early return bounds `n`, so both the allocation here
+/// and the capped helper in alpha stay silent.
+pub fn ingest_bounded(input: &mut &[u8]) -> Result<Vec<u64>, WireError> {
+    let n = announced_len(input);
+    if n > MAX_SLOTS {
+        return Err(WireError::TooBig);
+    }
+    let head: Vec<u64> = Vec::with_capacity(n);
+    keep(head);
+    Ok(reserve_bounded(n))
+}

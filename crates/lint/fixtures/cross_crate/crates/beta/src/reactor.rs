@@ -1,0 +1,24 @@
+//! Beta's reactor surface: `pump` is an entry point that reaches alpha's
+//! unbounded sleep (the seeded blocking chain), and `backward` closes the
+//! seeded lock-order cycle against alpha's `forward`.
+
+use distrust_alpha::sync::grab_ingress;
+use distrust_alpha::sync::relay;
+
+pub fn pump(queue: &Receiver) {
+    relay(queue);
+}
+
+/// Acquires `egress`; alpha's `forward` calls this with `ingress` held.
+pub fn grab_egress(state: &Shared) {
+    let guard = state.egress.lock();
+    stow(guard);
+}
+
+/// The inverted direction: `egress` held here while alpha's helper takes
+/// `ingress`.
+pub fn backward(state: &Shared) {
+    let guard = state.egress.lock();
+    grab_ingress(state);
+    stow(guard);
+}

@@ -185,6 +185,24 @@ impl Baseline {
                 .collect(),
         }
     }
+
+    /// Entries of `prior` whose `(pass, file, message)` key no longer
+    /// appears in this baseline — the findings that got fixed between the
+    /// two regenerations. `--write-baseline` lists them so a shrinking
+    /// ratchet is visible in the log, not silent.
+    pub fn dropped_from(&self, prior: &Baseline) -> Vec<Entry> {
+        let kept: std::collections::BTreeSet<(&str, &str, &str)> = self
+            .entries
+            .iter()
+            .map(|e| (e.pass.as_str(), e.file.as_str(), e.message.as_str()))
+            .collect();
+        prior
+            .entries
+            .iter()
+            .filter(|e| !kept.contains(&(e.pass.as_str(), e.file.as_str(), e.message.as_str())))
+            .cloned()
+            .collect()
+    }
 }
 
 /// Minimal JSON value for the baseline file.
@@ -445,5 +463,34 @@ mod unit {
         assert_eq!(boom.count, 1);
         let slow = next.entries.iter().find(|e| e.message == "slow").unwrap();
         assert_eq!(slow.reason, "TODO: add rationale");
+    }
+
+    #[test]
+    fn regenerate_reports_the_entries_it_drops() {
+        let prior = Baseline {
+            entries: vec![
+                Entry {
+                    pass: "panic".into(),
+                    file: "f.rs".into(),
+                    message: "boom".into(),
+                    count: 1,
+                    reason: "legacy".into(),
+                },
+                Entry {
+                    pass: "blocking".into(),
+                    file: "gone.rs".into(),
+                    message: "slow".into(),
+                    count: 2,
+                    reason: "was waiting on a fix".into(),
+                },
+            ],
+        };
+        let mut report = Report::default();
+        report.findings.push(finding("panic", "f.rs", "boom"));
+        report.finish();
+        let next = Baseline::regenerate(&report, &prior);
+        let dropped = next.dropped_from(&prior);
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].file, "gone.rs");
     }
 }

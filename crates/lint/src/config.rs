@@ -3,6 +3,7 @@
 //! custom configs pointed at snippet directories.
 
 use crate::passes::blocking;
+use crate::passes::cap_consistency::CapScope;
 use crate::passes::panic_path::PanicScope;
 use crate::passes::protocol::ProtocolCfg;
 use crate::passes::taint_alloc::TaintScope;
@@ -18,6 +19,8 @@ pub struct Config {
     pub taint_scope: TaintScope,
     /// File scope for the trust-boundary pass.
     pub trust_scope: TrustScope,
+    /// File scope for the cap-consistency pass.
+    pub cap_scope: CapScope,
     /// Function names treated as reactor callback entry points.
     pub reactor_entries: Vec<String>,
     /// Protocol-conformance configuration; `None` skips the pass.
@@ -32,6 +35,7 @@ impl Config {
             panic_scope: PanicScope::RepoDefault,
             taint_scope: TaintScope::RepoDefault,
             trust_scope: TrustScope::RepoDefault,
+            cap_scope: CapScope::RepoDefault,
             reactor_entries: blocking::default_entries(),
             protocol: Some(ProtocolCfg::repo_default()),
         }
@@ -45,6 +49,7 @@ impl Config {
             panic_scope: PanicScope::AllFiles,
             taint_scope: TaintScope::AllFiles,
             trust_scope: TrustScope::AllFiles,
+            cap_scope: CapScope::AllFiles,
             reactor_entries: blocking::default_entries(),
             protocol: None,
         }

@@ -1,5 +1,6 @@
 //! Interprocedural taint dataflow over the lexed token stream and the
-//! intra-crate call graph: the substrate for the `taint-alloc` pass.
+//! workspace-wide call graph: the substrate for the `taint-alloc` and
+//! `cap-consistency` passes.
 //!
 //! The analysis is deliberately lexical and over-approximate, in the same
 //! spirit as the other passes:
@@ -14,20 +15,35 @@
 //!   identifier it mentions, and `.len()` deliberately propagates —
 //!   the length of an attacker-shaped collection is attacker-shaped
 //!   (element-size amplification is exactly the PR 2 length-bomb class).
-//!   Calls that resolve intra-crate use a fixpoint param→return summary,
-//!   so the chain survives through helpers like `decode_seq`.
+//!   Calls resolve through [`crate::resolve::Resolver`] — across crate
+//!   seams, through `use` imports and type qualifiers — with a fixpoint
+//!   param→return summary per callee, and a second fixpoint injects
+//!   argument taint *into* callees context-insensitively: a length
+//!   decoded in `wire` that sizes an allocation inside a `log` helper
+//!   fires inside the helper, with the full multi-crate chain.
+//! * **Bounds** ride along on a four-tier interval lattice ([`Bound`]):
+//!   `Const` (capped by a compile-time constant) `<` `Mem` (an in-memory
+//!   collection's `.len()`) `<` `Input` (a decoded scalar capped by an
+//!   input length) `<` `Top` (unbounded). A dominating top-level
+//!   early-return guard (`if len > CAP { return …; }`) lowers `len`'s
+//!   bound below the guard without clearing its chain. Loop-bound and
+//!   index sinks fire only at `Top` — a guard against the input length
+//!   makes iteration consume input. Allocation sinks fire at `Input`
+//!   too: `with_capacity(len)` multiplies by the element size, so an
+//!   input-length bound does not prevent amplification (the PR 2 bomb
+//!   sat right next to such a guard) — but not at `Mem`: allocating
+//!   `buf.len() + k` duplicates memory the process already committed.
 //! * **Sanitizers** clear a whole expression: a bounds-checked
 //!   `try_into`, an explicit `.min(CONSTANT)` cap, or passage through a
-//!   `verify*` call. Plain `if len > MAX { return }` guards do **not**
-//!   sanitize — the PR 2 bomb sat right next to such a guard; the
-//!   analyzable fix is a structural `.min(CAP)` on the allocation size.
+//!   `verify*` call.
 //!
-//! Known blind spots (documented in LINTS.md): rooted taint entering a
-//! callee through a parameter is not re-attributed to sinks inside the
-//! callee (summaries propagate returns, not calling contexts), and
-//! `match`-arm bindings are not tracked.
+//! Known blind spots (documented in LINTS.md): `match`-arm bindings are
+//! not tracked, guards below the function's top statement level are
+//! ignored, and a callee that arithmetically amplifies an argument
+//! (`n * n`) keeps the argument's bound tier.
 
 use crate::lexer::Tok;
+use crate::resolve::Resolver;
 use crate::scan::{FnDef, SourceFile};
 use std::collections::BTreeMap;
 
@@ -37,6 +53,9 @@ const MAX_CHAIN: usize = 6;
 const MAX_ITERS: usize = 12;
 /// Recursion fuel for evaluating call-argument subexpressions.
 const MAX_FUEL: usize = 8;
+/// Stand-in magnitude for named constants (`MAX_FOO`): the tier is what
+/// matters; the value only orders joins within the `Const` tier.
+const NAMED_CONST: u128 = u128::MAX;
 
 /// Calls whose result is rooted attacker-shaped data, with the root text.
 fn source_call(name: &str) -> Option<&'static str> {
@@ -77,13 +96,52 @@ const KEYWORDS: [&str; 30] = [
     "move", "dyn", "unsafe", "extern", "static", "const", "type",
 ];
 
-/// Taint lattice value: which parameters flow here (bitmask) and, when the
-/// value is attacker-rooted, one deterministic source chain (the
-/// lexicographically least seen, so reports never flap between runs).
+/// Upper-bound tier of a tracked value. `Ord` follows lattice order:
+/// `Const(_) < Mem < Input < Top`, and within `Const` the larger cap
+/// wins a join (the weaker bound is the sound one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Bound {
+    /// Capped by a compile-time constant (numeric literal or `MAX_*`).
+    Const(u128),
+    /// The length of an in-memory collection (`x.len()`): allocating
+    /// that many bytes cannot exceed a constant multiple of memory the
+    /// process has already committed, so it can never amplify.
+    Mem,
+    /// A *decoded scalar* capped by an input length (`if len >
+    /// input.len() { return …; }`): iteration consuming input is fine,
+    /// but sizing a `Vec<T>` with it still multiplies by `size_of::<T>`.
+    Input,
+    /// No workspace-visible bound.
+    Top,
+}
+
+impl Default for Bound {
+    fn default() -> Bound {
+        Bound::Const(0)
+    }
+}
+
+impl Bound {
+    pub fn join(self, other: Bound) -> Bound {
+        self.max(other)
+    }
+
+    /// True when an allocation sized by a value at this tier is safe:
+    /// constant caps and in-memory lengths cannot amplify; `Input` and
+    /// `Top` can.
+    pub fn alloc_safe(self) -> bool {
+        self <= Bound::Mem
+    }
+}
+
+/// Taint lattice value: which parameters flow here (bitmask), the bound
+/// tier, and, when the value is attacker-rooted, one deterministic source
+/// chain (the lexicographically least seen, so reports never flap).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Taint {
     pub params: u64,
     pub chain: Option<Vec<String>>,
+    pub bound: Bound,
 }
 
 impl Taint {
@@ -91,6 +149,15 @@ impl Taint {
         Taint {
             params: 0,
             chain: Some(vec![desc]),
+            bound: Bound::Top,
+        }
+    }
+
+    fn konst(value: u128) -> Taint {
+        Taint {
+            params: 0,
+            chain: None,
+            bound: Bound::Const(value),
         }
     }
 
@@ -98,8 +165,9 @@ impl Taint {
         self.params == 0 && self.chain.is_none()
     }
 
-    fn merge(&mut self, other: &Taint) {
+    pub fn merge(&mut self, other: &Taint) {
         self.params |= other.params;
+        self.bound = self.bound.join(other.bound);
         match (&self.chain, &other.chain) {
             (None, Some(_)) => self.chain = other.chain.clone(),
             (Some(a), Some(b)) if b < a => self.chain = other.chain.clone(),
@@ -128,26 +196,60 @@ pub struct Site {
     pub chain: Vec<String>,
 }
 
+/// A decode-path allocation sink sized by a parameter with no
+/// workspace-visible bound: no caller caps it, no guard dominates it, no
+/// sanitizer clears it. Rendered by the `cap-consistency` pass.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CapGap {
+    pub file: String,
+    pub line: u32,
+    pub fn_name: String,
+    pub sink: String,
+    /// Names of the unbounded non-`self` parameters that size the sink.
+    pub params: Vec<String>,
+}
+
 struct FnInfo {
     name: String,
-    crate_name: String,
     file_idx: usize,
     body: (usize, usize),
     /// Parameter names in order (`self` included when present).
     params: Vec<String>,
     /// (param index, root description) for attacker-rooted parameters.
     seeds: Vec<(usize, String)>,
+    /// The scanned definition, for receiver-type qualifier inference.
+    def: FnDef,
+}
+
+/// One argument observed flowing into a resolved callee's parameter.
+struct ArgRec {
+    callee: usize,
+    param: usize,
+    taint: Taint,
+    hop: String,
+}
+
+/// Per-parameter caller context: the joined taint over every observed
+/// call site, and whether any call site was observed at all (a parameter
+/// nobody calls stays `Top`-bounded).
+struct Incoming {
+    taint: Vec<Vec<Taint>>,
+    seen: Vec<Vec<bool>>,
 }
 
 pub struct Dataflow {
     fns: Vec<FnInfo>,
-    by_name: BTreeMap<(String, String), Vec<usize>>,
+    resolver: Resolver,
     summaries: Vec<Taint>,
     pub sites: Vec<Site>,
+    pub cap_gaps: Vec<CapGap>,
+    /// Fixpoint sweeps across the summary and argument-taint phases.
+    pub fixpoint_iters: usize,
 }
 
 impl Dataflow {
     pub fn build(files: &[SourceFile]) -> Dataflow {
+        let resolver = Resolver::build(files);
         let mut fns = Vec::new();
         for (file_idx, file) in files.iter().enumerate() {
             for def in &file.fns {
@@ -157,23 +259,24 @@ impl Dataflow {
                 fns.push(fn_info(file, file_idx, def));
             }
         }
-        let mut by_name: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
-        for (i, f) in fns.iter().enumerate() {
-            by_name
-                .entry((f.crate_name.clone(), f.name.clone()))
-                .or_default()
-                .push(i);
-        }
+        debug_assert_eq!(fns.len(), resolver.fn_count());
         let mut flow = Dataflow {
             summaries: vec![Taint::default(); fns.len()],
             fns,
-            by_name,
+            resolver,
             sites: Vec::new(),
+            cap_gaps: Vec::new(),
+            fixpoint_iters: 0,
         };
+
+        // Phase 1 — param→return summaries, with no caller context: a
+        // summary must describe the callee for *every* caller, so caller
+        // chains are not allowed to pollute it.
         for _ in 0..MAX_ITERS {
+            flow.fixpoint_iters += 1;
             let mut changed = false;
             for i in 0..flow.fns.len() {
-                let ret = walk_fn(&flow, files, i, None);
+                let ret = walk_fn(&flow, files, i, None, None, None);
                 let mut next = flow.summaries[i].clone();
                 next.merge(&ret);
                 if next != flow.summaries[i] {
@@ -185,25 +288,72 @@ impl Dataflow {
                 break;
             }
         }
+
+        // Phase 2 — context-insensitive argument taint: join, over every
+        // resolved call site, the taint each argument carries into its
+        // parameter slot. Monotone on the same finite lattice.
+        let mut incoming = Incoming {
+            taint: flow
+                .fns
+                .iter()
+                .map(|f| vec![Taint::default(); f.params.len()])
+                .collect(),
+            seen: flow
+                .fns
+                .iter()
+                .map(|f| vec![false; f.params.len()])
+                .collect(),
+        };
+        for _ in 0..MAX_ITERS {
+            flow.fixpoint_iters += 1;
+            let mut recs: Vec<ArgRec> = Vec::new();
+            for i in 0..flow.fns.len() {
+                walk_fn(&flow, files, i, Some(&incoming), None, Some(&mut recs));
+            }
+            let mut changed = false;
+            for rec in recs {
+                if !incoming.seen[rec.callee][rec.param] {
+                    incoming.seen[rec.callee][rec.param] = true;
+                    changed = true;
+                }
+                let mut t = rec.taint;
+                t.params = 0; // caller-frame bits mean nothing in the callee
+                if let Some(chain) = &t.chain {
+                    t.chain = Some(with_hop(chain, rec.hop));
+                }
+                let slot = &mut incoming.taint[rec.callee][rec.param];
+                let mut next = slot.clone();
+                next.merge(&t);
+                if next != *slot {
+                    *slot = next;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Phase 3 — sites and cap gaps, with caller context seeded in.
         let mut sites = Vec::new();
+        let mut gaps = Vec::new();
         for i in 0..flow.fns.len() {
-            walk_fn(&flow, files, i, Some(&mut sites));
+            walk_fn(
+                &flow,
+                files,
+                i,
+                Some(&incoming),
+                Some((&mut sites, &mut gaps)),
+                None,
+            );
         }
         sites.sort();
         sites.dedup();
+        gaps.sort();
+        gaps.dedup();
         flow.sites = sites;
+        flow.cap_gaps = gaps;
         flow
-    }
-
-    /// Callee candidates, intra-crate, with the model's opaque names.
-    fn resolve(&self, caller_crate: &str, name: &str) -> &[usize] {
-        if name == "drop" || name == "shutdown" || name.ends_with("_timeout") {
-            return &[];
-        }
-        self.by_name
-            .get(&(caller_crate.to_string(), name.to_string()))
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
     }
 }
 
@@ -243,11 +393,11 @@ fn fn_info(file: &SourceFile, file_idx: usize, def: &FnDef) -> FnInfo {
     }
     FnInfo {
         name: def.name.clone(),
-        crate_name: file.crate_name.clone(),
         file_idx,
         body: def.body,
         params,
         seeds,
+        def: def.clone(),
     }
 }
 
@@ -272,7 +422,9 @@ fn signature_parens(file: &SourceFile, def: &FnDef) -> Option<(usize, usize)> {
     None
 }
 
-/// Splits `lo..=hi` on commas at paren/bracket depth 0.
+/// Splits `lo..=hi` on commas at paren/bracket/brace depth 0. Braces
+/// count too: a closure argument (`move || { f(a, b) }`) is one
+/// argument, not however many commas its body happens to contain.
 fn split_top_commas(file: &SourceFile, lo: usize, hi: usize) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     if lo > hi {
@@ -282,8 +434,8 @@ fn split_top_commas(file: &SourceFile, lo: usize, hi: usize) -> Vec<(usize, usiz
     let mut start = lo;
     for k in lo..=hi {
         match file.tokens.get(k).map(|t| &t.tok) {
-            Some(Tok::Punct('(')) | Some(Tok::Punct('[')) => depth += 1,
-            Some(Tok::Punct(')')) | Some(Tok::Punct(']')) => depth -= 1,
+            Some(Tok::Punct('(')) | Some(Tok::Punct('[')) | Some(Tok::Punct('{')) => depth += 1,
+            Some(Tok::Punct(')')) | Some(Tok::Punct(']')) | Some(Tok::Punct('}')) => depth -= 1,
             Some(Tok::Punct(',')) if depth == 0 => {
                 if start < k {
                     out.push((start, k - 1));
@@ -321,12 +473,15 @@ fn param_name(file: &SourceFile, lo: usize, hi: usize) -> (String, usize) {
 }
 
 /// Walks one function body: returns the return-value taint and, when
-/// `sites` is provided, records tainted sink reaches.
+/// requested, records tainted sink reaches (`sinks`) or argument flows
+/// into resolved callees (`collect`).
 fn walk_fn(
     flow: &Dataflow,
     files: &[SourceFile],
     fi: usize,
-    mut sites: Option<&mut Vec<Site>>,
+    incoming: Option<&Incoming>,
+    mut sinks: Option<(&mut Vec<Site>, &mut Vec<CapGap>)>,
+    mut collect: Option<&mut Vec<ArgRec>>,
 ) -> Taint {
     let info = &flow.fns[fi];
     let file = &files[info.file_idx];
@@ -341,19 +496,29 @@ fn walk_fn(
 
     let mut env: BTreeMap<String, Taint> = BTreeMap::new();
     for (i, p) in info.params.iter().enumerate() {
-        env.insert(
-            p.clone(),
-            Taint {
-                params: 1u64 << i.min(63),
-                chain: None,
-            },
-        );
+        let mut t = Taint {
+            params: 1u64 << i.min(63),
+            chain: None,
+            bound: Bound::Top,
+        };
+        if let Some(inc) = incoming {
+            if inc.seen[fi][i] {
+                let ctx = &inc.taint[fi][i];
+                t.bound = ctx.bound;
+                t.chain = ctx.chain.clone();
+            }
+        }
+        env.insert(p.clone(), t);
     }
     for (i, desc) in &info.seeds {
         if let Some(t) = env.get_mut(&info.params[*i]) {
-            t.chain = Some(vec![desc.clone()]);
+            t.merge(&Taint::rooted(desc.clone()));
         }
     }
+
+    // Dominating early-return guards, applied once the walk passes the
+    // guard block's closing brace: (apply_at, variable, inferred bound).
+    let mut pending_guards: Vec<(usize, String, Bound)> = Vec::new();
 
     let mut ret = Taint::default();
     let mut last_semi = open;
@@ -363,11 +528,17 @@ fn walk_fn(
             idx = nend + 1;
             continue;
         }
+        while let Some(pos) = pending_guards.iter().position(|(at, _, _)| *at <= idx) {
+            let (_, var, bound) = pending_guards.remove(pos);
+            if let Some(t) = env.get_mut(&var) {
+                t.bound = t.bound.min(bound);
+            }
+        }
         if file.punct_at(idx, ';') && file.depth[idx] == body_depth {
             last_semi = idx;
         }
 
-        // -- structure: bindings, loops, returns ------------------------
+        // -- structure: bindings, guards, loops, returns ----------------
         if let Some(name) = file.ident_at(idx) {
             match name {
                 "let" => {
@@ -384,6 +555,23 @@ fn walk_fn(
                         }
                     }
                 }
+                "if" if file.depth[idx] == body_depth => {
+                    // Top-level early-return guard: `if len > CAP { …
+                    // return …; }` proves `len <= CAP` for the rest of
+                    // the function body.
+                    if let Some(gopen) = (idx + 1..close)
+                        .find(|&k| file.punct_at(k, '{') && file.depth[k] == body_depth + 1)
+                    {
+                        let gclose = file.matching_close(gopen);
+                        let has_return =
+                            (gopen..gclose).any(|k| file.ident_at(k) == Some("return"));
+                        if has_return && idx + 1 < gopen {
+                            for (var, bound) in guard_bounds(file, idx + 1, gopen - 1) {
+                                pending_guards.push((gclose, var, bound));
+                            }
+                        }
+                    }
+                }
                 "for" => {
                     let d = file.depth[idx];
                     let in_kw = (idx + 1..close).find(|&k| file.ident_at(k) == Some("in"));
@@ -394,8 +582,8 @@ fn walk_fn(
                             let t = eval(flow, files, fi, &env, in_kw + 1, body_open - 1, MAX_FUEL);
                             let has_range = (in_kw + 1..body_open - 1)
                                 .any(|k| file.punct_at(k, '.') && file.punct_at(k + 1, '.'));
-                            if has_range {
-                                if let (Some(chain), Some(sites)) = (&t.chain, sites.as_deref_mut())
+                            if has_range && t.bound == Bound::Top {
+                                if let (Some(chain), Some((sites, _))) = (&t.chain, sinks.as_mut())
                                 {
                                     sites.push(Site {
                                         file: file.path.clone(),
@@ -467,9 +655,14 @@ fn walk_fn(
             }
         }
 
+        // -- argument flow into resolved callees ------------------------
+        if let Some(recs) = collect.as_deref_mut() {
+            collect_args(flow, files, fi, &env, idx, recs);
+        }
+
         // -- sinks ------------------------------------------------------
-        if let Some(sites) = sites.as_deref_mut() {
-            check_sink(flow, files, fi, &env, idx, sites);
+        if let Some((sites, gaps)) = sinks.as_mut() {
+            check_sink(flow, files, fi, &env, idx, sites, gaps);
         }
         idx += 1;
     }
@@ -487,6 +680,121 @@ fn walk_fn(
         ));
     }
     ret
+}
+
+/// Bounds proven by an early-return guard condition in `lo..=hi`:
+/// `var > CAP`, `var >= CAP`, `CAP < var`, or `var > expr.len()`. An
+/// `&&`-joined condition proves nothing (either conjunct alone can
+/// trigger the return); `||`-joined disjuncts each prove their bound.
+fn guard_bounds(file: &SourceFile, lo: usize, hi: usize) -> Vec<(String, Bound)> {
+    let mut out = Vec::new();
+    // `a && b { return }` only returns when *both* hold; neither bound is
+    // proven for the fall-through path.
+    if (lo..hi).any(|k| file.punct_at(k, '&') && file.punct_at(k + 1, '&')) {
+        return out;
+    }
+    let mut start = lo;
+    let mut k = lo;
+    while k <= hi + 1 {
+        let is_or = k < hi && file.punct_at(k, '|') && file.punct_at(k + 1, '|');
+        if is_or || k > hi {
+            if start < k {
+                if let Some(pair) = disjunct_bound(file, start, (k - 1).min(hi)) {
+                    out.push(pair);
+                }
+            }
+            if is_or {
+                k += 2;
+                start = k;
+                continue;
+            }
+            break;
+        }
+        k += 1;
+    }
+    out
+}
+
+/// The bound proven by one guard disjunct, if it has the shape
+/// `var > rhs` / `var >= rhs` / `rhs < var` with a constant or
+/// input-length `rhs`.
+fn disjunct_bound(file: &SourceFile, lo: usize, hi: usize) -> Option<(String, Bound)> {
+    // `var > rhs` (or `>=`).
+    for k in lo..=hi {
+        if file.punct_at(k, '>') && !file.punct_at(k + 1, '>') {
+            let rhs_from = if file.punct_at(k + 1, '=') {
+                k + 2
+            } else {
+                k + 1
+            };
+            // The lhs must be a single identifier spanning the disjunct.
+            if k != lo + 1 {
+                return None;
+            }
+            let var = file.ident_at(lo)?.to_string();
+            return rhs_bound(file, rhs_from, hi).map(|b| (var, b));
+        }
+        if file.punct_at(k, '<') && !file.punct_at(k + 1, '<') && !file.punct_at(k + 1, '=') {
+            // `rhs < var`: the rhs of `<` must be the single trailing
+            // identifier.
+            if k != hi - 1 {
+                return None;
+            }
+            let var = file.ident_at(hi)?.to_string();
+            return rhs_bound(file, lo, k - 1).map(|b| (var, b));
+        }
+    }
+    None
+}
+
+/// Classifies a guard comparison's bounding side: a constant expression
+/// yields `Const`, an `.len()` call on anything yields `Input`.
+fn rhs_bound(file: &SourceFile, lo: usize, hi: usize) -> Option<Bound> {
+    if lo > hi {
+        return None;
+    }
+    let has_len_call = (lo..=hi).any(|k| {
+        file.ident_at(k) == Some("len")
+            && k > lo
+            && file.punct_at(k - 1, '.')
+            && file.punct_at(k + 1, '(')
+    });
+    if has_len_call {
+        return Some(Bound::Input);
+    }
+    let mut value: Option<u128> = None;
+    for k in lo..=hi {
+        match file.tokens.get(k).map(|t| &t.tok) {
+            Some(Tok::Number(raw)) => value = Some(value.unwrap_or(0).max(number_value(raw))),
+            Some(Tok::Ident(name)) if screaming_const(name) => {
+                value = Some(NAMED_CONST);
+            }
+            Some(Tok::Ident(_)) => return None, // variable bound: unknown
+            _ => {}
+        }
+    }
+    value.map(Bound::Const)
+}
+
+/// Numeric value of a literal token, tolerant of `_` separators and type
+/// suffixes (`1024usize`); unparseable forms collapse to the sentinel.
+fn number_value(raw: &str) -> u128 {
+    let cleaned: String = raw.chars().filter(|c| *c != '_').collect();
+    let digits: String = if let Some(hex) = cleaned.strip_prefix("0x") {
+        return u128::from_str_radix(hex.trim_end_matches(|c: char| !c.is_ascii_hexdigit()), 16)
+            .unwrap_or(NAMED_CONST);
+    } else {
+        cleaned.chars().take_while(|c| c.is_ascii_digit()).collect()
+    };
+    digits.parse().unwrap_or(NAMED_CONST)
+}
+
+/// `MAX_FOO`-style named constant: all uppercase/underscore/digit with at
+/// least one letter.
+fn screaming_const(name: &str) -> bool {
+    name.chars()
+        .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
+        && name.chars().any(|c| c.is_ascii_alphabetic())
 }
 
 /// First `=` that is a let-binding operator (not `==`, `=>`, `<=`, `!=`)
@@ -515,21 +823,16 @@ fn pattern_binds(file: &SourceFile, lo: usize, hi: usize) -> Vec<String> {
         match file.tokens.get(k).map(|t| &t.tok) {
             Some(Tok::Punct('(')) | Some(Tok::Punct('[')) | Some(Tok::Punct('{')) => depth += 1,
             Some(Tok::Punct(')')) | Some(Tok::Punct(']')) | Some(Tok::Punct('}')) => depth -= 1,
-            Some(Tok::Punct(':')) => {
-                if file.punct_at(k + 1, ':') {
-                    k += 2; // path `::` — skip, next ident is a segment
-                    continue;
-                }
-                if depth == 0 {
-                    break; // type annotation
-                }
-            }
+            Some(Tok::Punct(':')) if depth == 0 => break, // type annotation
+            Some(Tok::Punct(':')) => {}
+            Some(Tok::PathSep) => {} // path segments handled below
             Some(Tok::Ident(name)) => {
                 let lower = name
                     .chars()
                     .next()
                     .is_some_and(|c| c.is_lowercase() || c == '_');
-                let path_seg = k < hi && file.punct_at(k + 1, ':') && file.punct_at(k + 2, ':');
+                let path_seg =
+                    (k < hi && file.path_sep_at(k + 1)) || (k > lo && file.path_sep_at(k - 1));
                 if lower && !path_seg && !KEYWORDS.contains(&name.as_str()) && name != "self" {
                     out.push(name.clone());
                 }
@@ -559,9 +862,7 @@ fn sanitized(file: &SourceFile, lo: usize, hi: usize) -> bool {
                         Some(Tok::Ident(n)) => n
                             .chars()
                             .all(|c| c.is_uppercase() || c == '_' || c.is_ascii_digit()),
-                        Some(Tok::Punct(':')) | Some(Tok::Punct('(')) | Some(Tok::Punct(')')) => {
-                            true
-                        }
+                        Some(Tok::PathSep) | Some(Tok::Punct('(')) | Some(Tok::Punct(')')) => true,
                         _ => false,
                     });
                     if k + 2 < cl && constish {
@@ -613,6 +914,11 @@ fn eval(
     let mut out = Taint::default();
     let mut k = lo;
     while k <= hi {
+        if let Some(Tok::Number(raw)) = file.tokens.get(k).map(|t| &t.tok) {
+            out.merge(&Taint::konst(number_value(raw)));
+            k += 1;
+            continue;
+        }
         let Some(name) = file.ident_at(k) else {
             k += 1;
             continue;
@@ -632,26 +938,26 @@ fn eval(
             if let Some(desc) = source_call(name) {
                 out.merge(&Taint::rooted(format!("{desc} at {}:{line}", file.path)));
             }
-            let callees = flow.resolve(&info.crate_name, name);
+            let qual = flow.resolver.qualifier_at(file, &info.def, k);
+            let callees = flow.resolver.targets(fi, name, &qual);
             if !callees.is_empty() {
                 let close = match_close(file, k + 1, hi + 1).unwrap_or(hi);
                 let args = split_top_commas(file, k + 2, close.saturating_sub(1));
                 let is_method = k > 0 && file.punct_at(k - 1, '.');
-                for &j in callees {
+                for &j in &callees {
                     let s = &flow.summaries[j];
                     if s.is_bottom() {
                         continue;
                     }
                     if let Some(chain) = &s.chain {
-                        let mut t = Taint {
+                        out.merge(&Taint {
                             params: 0,
                             chain: Some(with_hop(
                                 chain,
                                 format!("returned by `{name}` at {}:{line}", file.path),
                             )),
-                        };
-                        t.params = 0;
-                        out.merge(&t);
+                            bound: s.bound,
+                        });
                     }
                     // Param→return flow: evaluate only the flowing args.
                     let callee = &flow.fns[j];
@@ -689,21 +995,121 @@ fn eval(
                 k = close + 1;
                 continue;
             }
-            // Unresolved call (std/cross-crate): fall through and union
-            // the arguments conservatively.
+            // Unresolved call (std/external): fall through and union the
+            // arguments conservatively.
             k += 1;
             continue;
         }
         if let Some(t) = env.get(name) {
-            out.merge(t);
+            if is_len_of(file, k, hi) {
+                // `x.len()` (possibly through fields / zero-arg methods):
+                // the chain survives, but the magnitude is an in-memory
+                // collection length — cap the bound at `Mem`.
+                let mut capped = t.clone();
+                capped.bound = capped.bound.min(Bound::Mem);
+                out.merge(&capped);
+            } else {
+                out.merge(t);
+            }
+        } else if screaming_const(name) {
+            out.merge(&Taint::konst(NAMED_CONST));
         }
         k += 1;
     }
     out
 }
 
+/// True when the identifier at `k` is the base of a postfix chain of
+/// field accesses and zero-arg method calls ending in `.len()` — i.e.
+/// the expression's value is the *length* of an in-memory collection
+/// (`buf.len()`, `self.items.len()`, `rec.as_slice().len()`), not the
+/// collection or a decoded scalar.
+fn is_len_of(file: &SourceFile, k: usize, hi: usize) -> bool {
+    let mut j = k + 1;
+    loop {
+        if j + 1 > hi || !file.punct_at(j, '.') || file.punct_at(j + 1, '.') {
+            return false;
+        }
+        let Some(name) = file.ident_at(j + 1) else {
+            return false;
+        };
+        if name == "len" && file.punct_at(j + 2, '(') && file.punct_at(j + 3, ')') {
+            return true;
+        }
+        if file.punct_at(j + 2, '(') {
+            // A method call: only zero-arg adapters keep the "same
+            // collection" reading; anything with arguments transforms.
+            if file.punct_at(j + 3, ')') {
+                j += 4;
+            } else {
+                return false;
+            }
+        } else {
+            j += 2; // plain field access
+        }
+    }
+}
+
+/// When token `idx` is a resolved call, records the taint each argument
+/// carries into the callee's parameter slots.
+fn collect_args(
+    flow: &Dataflow,
+    files: &[SourceFile],
+    fi: usize,
+    env: &BTreeMap<String, Taint>,
+    idx: usize,
+    recs: &mut Vec<ArgRec>,
+) {
+    let info = &flow.fns[fi];
+    let file = &files[info.file_idx];
+    let Some(name) = file.ident_at(idx) else {
+        return;
+    };
+    if !file.punct_at(idx + 1, '(') || KEYWORDS.contains(&name) {
+        return;
+    }
+    let qual = flow.resolver.qualifier_at(file, &info.def, idx);
+    let callees = flow.resolver.targets(fi, name, &qual);
+    if callees.is_empty() {
+        return;
+    }
+    let Some(cl) = match_close(file, idx + 1, file.tokens.len()) else {
+        return;
+    };
+    let args = split_top_commas(file, idx + 2, cl.saturating_sub(1));
+    let is_method = idx > 0 && file.punct_at(idx - 1, '.');
+    let line = file.line_at(idx);
+    for &j in &callees {
+        let callee = &flow.fns[j];
+        let skip_self = is_method && callee.params.first().map(String::as_str) == Some("self");
+        for p in 0..callee.params.len() {
+            let a = if skip_self {
+                if p == 0 {
+                    continue;
+                }
+                p - 1
+            } else {
+                p
+            };
+            if let Some(&(alo, ahi)) = args.get(a) {
+                let taint = eval(flow, files, fi, env, alo, ahi, MAX_FUEL);
+                recs.push(ArgRec {
+                    callee: j,
+                    param: p,
+                    taint,
+                    hop: format!(
+                        "passed into `{name}` as `{}` at {}:{line}",
+                        callee.params[p], file.path
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// Checks whether token `idx` is an allocation/index sink and records a
-/// site when its size expression carries rooted taint.
+/// site (or, for unbounded decode-path parameters, a cap gap) when its
+/// size expression warrants one.
 fn check_sink(
     flow: &Dataflow,
     files: &[SourceFile],
@@ -711,22 +1117,61 @@ fn check_sink(
     env: &BTreeMap<String, Taint>,
     idx: usize,
     sites: &mut Vec<Site>,
+    gaps: &mut Vec<CapGap>,
 ) {
     let info = &flow.fns[fi];
     let file = &files[info.file_idx];
-    let mut push = |line: u32, sink: &str, lo: usize, hi: usize| {
+    // Allocation sinks fire at `Input` too: a guard against the input
+    // length does not prevent element-size amplification. Index sinks
+    // only fire unbounded.
+    let mut push = |line: u32, sink: &str, alloc: bool, lo: usize, hi: usize| {
         if lo > hi {
             return;
         }
         let t = eval(flow, files, fi, env, lo, hi, MAX_FUEL);
-        if let Some(chain) = t.chain {
+        let fires = if alloc {
+            !t.bound.alloc_safe()
+        } else {
+            t.bound == Bound::Top
+        };
+        if !fires {
+            return;
+        }
+        if let Some(chain) = &t.chain {
             sites.push(Site {
                 file: file.path.clone(),
                 line,
                 fn_name: info.name.clone(),
                 sink: sink.to_string(),
-                chain,
+                chain: chain.clone(),
             });
+        } else if alloc && t.bound == Bound::Top && crate::passes::panic_path::decode_fn(&info.name)
+        {
+            // No attacker chain, but a decode-path allocation sized by a
+            // parameter nothing in the workspace bounds.
+            let self_mask = if info.params.first().map(String::as_str) == Some("self") {
+                1u64
+            } else {
+                0
+            };
+            if t.params & !self_mask != 0 {
+                let params: Vec<String> = info
+                    .params
+                    .iter()
+                    .enumerate()
+                    .filter(|(p, name)| {
+                        *p < 64 && t.params & (1u64 << p) != 0 && name.as_str() != "self"
+                    })
+                    .map(|(_, name)| name.clone())
+                    .collect();
+                gaps.push(CapGap {
+                    file: file.path.clone(),
+                    line,
+                    fn_name: info.name.clone(),
+                    sink: sink.to_string(),
+                    params,
+                });
+            }
         }
     };
 
@@ -735,21 +1180,27 @@ fn check_sink(
         match name {
             "with_capacity" if file.punct_at(idx + 1, '(') => {
                 if let Some(cl) = match_close(file, idx + 1, file.tokens.len()) {
-                    push(line, "`Vec::with_capacity`", idx + 2, cl.saturating_sub(1));
+                    push(
+                        line,
+                        "`Vec::with_capacity`",
+                        true,
+                        idx + 2,
+                        cl.saturating_sub(1),
+                    );
                 }
             }
             "reserve" | "reserve_exact"
                 if idx > 0 && file.punct_at(idx - 1, '.') && file.punct_at(idx + 1, '(') =>
             {
                 if let Some(cl) = match_close(file, idx + 1, file.tokens.len()) {
-                    push(line, "`reserve`", idx + 2, cl.saturating_sub(1));
+                    push(line, "`reserve`", true, idx + 2, cl.saturating_sub(1));
                 }
             }
             "resize" if idx > 0 && file.punct_at(idx - 1, '.') && file.punct_at(idx + 1, '(') => {
                 if let Some(cl) = match_close(file, idx + 1, file.tokens.len()) {
                     let args = split_top_commas(file, idx + 2, cl.saturating_sub(1));
                     if let Some(&(alo, ahi)) = args.first() {
-                        push(line, "`resize` length", alo, ahi);
+                        push(line, "`resize` length", true, alo, ahi);
                     }
                 }
             }
@@ -761,7 +1212,7 @@ fn check_sink(
                             Some(Tok::Punct('(')) | Some(Tok::Punct('[')) => depth += 1,
                             Some(Tok::Punct(')')) | Some(Tok::Punct(']')) => depth -= 1,
                             Some(Tok::Punct(';')) if depth == 0 => {
-                                push(line, "`vec![_; n]` length", k + 1, cl - 1);
+                                push(line, "`vec![_; n]` length", true, k + 1, cl - 1);
                                 break;
                             }
                             _ => {}
@@ -784,7 +1235,7 @@ fn check_sink(
         if indexable {
             if let Some(cl) = bracket_close(file, idx) {
                 if idx + 1 < cl {
-                    push(file.line_at(idx), "slice index", idx + 1, cl - 1);
+                    push(file.line_at(idx), "slice index", false, idx + 1, cl - 1);
                 }
             }
         }
@@ -811,9 +1262,16 @@ fn bracket_close(file: &SourceFile, open: usize) -> Option<usize> {
 mod unit {
     use super::*;
 
+    fn flow_of(sources: &[(&str, &str)]) -> Dataflow {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(p, s)| SourceFile::parse(p.to_string(), s))
+            .collect();
+        Dataflow::build(&files)
+    }
+
     fn sites(path: &str, src: &str) -> Vec<Site> {
-        let file = SourceFile::parse(path.into(), src);
-        Dataflow::build(&[file]).sites
+        flow_of(&[(path, src)]).sites
     }
 
     #[test]
@@ -856,11 +1314,10 @@ mod unit {
              fn decode_seq(input: &mut &[u8]) { let n = read_len(input); \
              let v: Vec<u64> = Vec::with_capacity(n); }",
         );
-        assert_eq!(s.len(), 1);
-        assert!(s[0]
-            .chain
+        assert!(!s.is_empty());
+        assert!(s
             .iter()
-            .any(|h| h.contains("returned by `read_len`")));
+            .any(|x| x.chain.iter().any(|h| h.contains("returned by `read_len`"))));
     }
 
     #[test]
@@ -917,5 +1374,175 @@ mod unit {
         let b = sites("crates/x/src/codec.rs", src);
         assert_eq!(a, b);
         assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn input_length_guard_silences_loop_but_not_alloc() {
+        // The PR 2 shape: `if len > input.len() { return Err }` bounds the
+        // iteration (each step consumes input) but NOT the allocation
+        // (`with_capacity` multiplies by the element size).
+        let src = "fn decode_seq(input: &mut &[u8]) -> Result<(), E> { \
+             let len = decode_len(input); \
+             if len > input.len() { return Err(E::Overflow); } \
+             for _ in 0..len { step(); } \
+             let v: Vec<u64> = Vec::with_capacity(len); Ok(()) }";
+        let s = sites("crates/x/src/codec.rs", src);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].sink, "`Vec::with_capacity`");
+    }
+
+    #[test]
+    fn constant_guard_silences_allocation_too() {
+        let src = "fn decode_seq(input: &mut &[u8]) -> Result<(), E> { \
+             let len = decode_len(input); \
+             if len > MAX_LEN { return Err(E::Overflow); } \
+             for _ in 0..len { step(); } \
+             let v: Vec<u64> = Vec::with_capacity(len); Ok(()) }";
+        assert!(sites("crates/x/src/codec.rs", src).is_empty());
+    }
+
+    #[test]
+    fn conjunction_guards_prove_nothing() {
+        // `len > CAP && mode == Strict { return }` — a lenient mode falls
+        // through with len unbounded.
+        let src = "fn decode_seq(input: &mut &[u8]) -> Result<(), E> { \
+             let len = decode_len(input); \
+             if len > MAX_LEN && strict { return Err(E::Overflow); } \
+             let v: Vec<u64> = Vec::with_capacity(len); Ok(()) }";
+        assert_eq!(sites("crates/x/src/codec.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn guard_applies_only_below_its_block() {
+        // The sink *inside* the early-return block sees the unbounded
+        // value; only the fall-through path is bounded.
+        let src = "fn decode_seq(input: &mut &[u8]) -> Result<(), E> { \
+             let len = decode_len(input); \
+             if len > MAX_LEN { let v: Vec<u64> = Vec::with_capacity(len); return Err(E::Big); } \
+             Ok(()) }";
+        assert_eq!(sites("crates/x/src/codec.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn argument_taint_fires_inside_the_callee() {
+        let s = sites(
+            "crates/x/src/codec.rs",
+            "fn grow(n: usize) { let v: Vec<u8> = Vec::with_capacity(n); } \
+             fn decode_items(input: &mut &[u8]) { let len = decode_len(input); grow(len); }",
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].fn_name, "grow");
+        assert!(s[0]
+            .chain
+            .iter()
+            .any(|h| h.contains("passed into `grow` as `n`")));
+    }
+
+    #[test]
+    fn cross_crate_argument_taint_carries_the_full_chain() {
+        let flow = flow_of(&[
+            (
+                "crates/log/src/table.rs",
+                "pub fn grow_table(n: usize) { let v: Vec<u64> = Vec::with_capacity(n); }",
+            ),
+            (
+                "crates/wire/src/codec.rs",
+                "use distrust_log::table::grow_table;\n\
+                 fn decode_items(input: &mut &[u8]) { let len = decode_len(input); \
+                 grow_table(len); }",
+            ),
+        ]);
+        assert_eq!(flow.sites.len(), 1);
+        let site = &flow.sites[0];
+        assert_eq!(site.file, "crates/log/src/table.rs");
+        assert!(site.chain[0].contains("crates/wire/src/codec.rs"));
+        assert!(site
+            .chain
+            .iter()
+            .any(|h| h.contains("passed into `grow_table`")));
+    }
+
+    #[test]
+    fn capped_callers_bound_the_callee_parameter() {
+        // Every call site caps the argument, so the callee's internal
+        // allocation is provably bounded: no site, no cap gap.
+        let flow = flow_of(&[(
+            "crates/x/src/codec.rs",
+            "fn grow(n: usize) { let v: Vec<u8> = Vec::with_capacity(n); } \
+             fn setup() { grow(16); } fn setup_big() { grow(MAX_BATCH); }",
+        )]);
+        assert!(flow.sites.is_empty());
+        assert!(flow.cap_gaps.is_empty());
+    }
+
+    #[test]
+    fn unbounded_decode_param_is_a_cap_gap() {
+        // A decode-path allocation sized by a parameter with no caller
+        // and no guard: not a taint site (no chain), but a cap gap.
+        let flow = flow_of(&[(
+            "crates/x/src/codec.rs",
+            "pub fn decode_table(input: &mut &[u8], slots: usize) { \
+             let v: Vec<u64> = Vec::with_capacity(slots); }",
+        )]);
+        assert_eq!(flow.cap_gaps.len(), 1);
+        assert_eq!(flow.cap_gaps[0].fn_name, "decode_table");
+        assert_eq!(flow.cap_gaps[0].params, vec!["slots".to_string()]);
+    }
+
+    #[test]
+    fn guarded_decode_param_is_not_a_cap_gap() {
+        let flow = flow_of(&[(
+            "crates/x/src/codec.rs",
+            "pub fn decode_table(input: &mut &[u8], slots: usize) { \
+             if slots > MAX_SLOTS { return; } \
+             let v: Vec<u64> = Vec::with_capacity(slots); }",
+        )]);
+        assert!(flow.cap_gaps.is_empty());
+    }
+
+    #[test]
+    fn bound_lattice_joins_upward() {
+        assert_eq!(Bound::Const(4).join(Bound::Const(1024)), Bound::Const(1024));
+        assert_eq!(Bound::Const(u128::MAX).join(Bound::Mem), Bound::Mem);
+        assert_eq!(Bound::Mem.join(Bound::Input), Bound::Input);
+        assert_eq!(Bound::Input.join(Bound::Top), Bound::Top);
+        assert_eq!(Bound::Top.join(Bound::Const(0)), Bound::Top);
+    }
+
+    #[test]
+    fn collection_length_allocations_are_mem_bounded() {
+        // `with_capacity(leaf.len() + 32)` duplicates memory already
+        // committed — not an amplification, even when `leaf` itself is
+        // attacker-shaped bytes passed across a crate seam.
+        let flow = flow_of(&[
+            (
+                "crates/log/src/store.rs",
+                "pub fn append_record(leaf: &[u8]) { \
+                 let mut buf: Vec<u8> = Vec::with_capacity(leaf.len() + 32); \
+                 buf.extend_from_slice(leaf); }",
+            ),
+            (
+                "crates/wire/src/codec.rs",
+                "use distrust_log::store::append_record;\n\
+                 fn decode_items(input: &mut &[u8]) { let body = decode(input); \
+                 append_record(body); }",
+            ),
+        ]);
+        assert!(flow.sites.is_empty());
+        assert!(flow.cap_gaps.is_empty());
+    }
+
+    #[test]
+    fn closure_arguments_do_not_split_into_phantom_args() {
+        // The commas inside a closure body must not be read as extra
+        // call arguments mapping taint onto later parameters.
+        let s = sites(
+            "crates/x/src/host.rs",
+            "fn serve(service: F, threads: usize) { \
+             let v: Vec<u8> = Vec::with_capacity(threads); } \
+             fn decode_boot(input: &mut &[u8]) { let cfg = decode(input); \
+             serve(move || { handle(cfg, cfg) }, 4); }",
+        );
+        assert!(s.is_empty());
     }
 }

@@ -17,6 +17,7 @@
 //! locks that happen to share a field name stay distinct.
 
 use crate::lexer::Tok;
+use crate::resolve::{Qual, Resolver};
 use crate::scan::{FnDef, SourceFile};
 use std::fmt;
 
@@ -81,6 +82,8 @@ pub struct CallSite {
     pub name: String,
     pub line: u32,
     pub zero_args: bool,
+    /// How the site names its callee (`Type::f`, `recv.f`, `a::b::f`, …).
+    pub qual: Qual,
     pub held: Vec<(LockId, u32)>,
 }
 
@@ -111,8 +114,9 @@ pub fn blocking_call(call: &CallSite) -> Option<&'static str> {
     }
 }
 
-/// Extracts facts for every non-test function in `file`.
-pub fn function_facts(file: &SourceFile) -> Vec<FnFacts> {
+/// Extracts facts for every non-test function in `file`, in the
+/// resolver's canonical order.
+pub fn function_facts(file: &SourceFile, resolver: &Resolver) -> Vec<FnFacts> {
     let stem = file
         .path
         .rsplit('/')
@@ -123,7 +127,7 @@ pub fn function_facts(file: &SourceFile) -> Vec<FnFacts> {
     file.fns
         .iter()
         .filter(|f| !f.in_test)
-        .map(|f| walk_fn(file, f, &stem))
+        .map(|f| walk_fn(file, f, &stem, resolver))
         .collect()
 }
 
@@ -134,7 +138,7 @@ struct Guard {
     end: usize,
 }
 
-fn walk_fn(file: &SourceFile, def: &FnDef, stem: &str) -> FnFacts {
+fn walk_fn(file: &SourceFile, def: &FnDef, stem: &str, resolver: &Resolver) -> FnFacts {
     let (open, close) = def.body;
     // Nested named fns are walked on their own; skip their token ranges.
     let nested: Vec<(usize, usize)> = file
@@ -185,6 +189,7 @@ fn walk_fn(file: &SourceFile, def: &FnDef, stem: &str) -> FnFacts {
                 name: name.to_string(),
                 line: file.line_at(idx),
                 zero_args: file.punct_at(idx + 2, ')'),
+                qual: resolver.qualifier_at(file, def, idx),
                 held,
             });
         }
@@ -362,7 +367,8 @@ mod unit {
 
     fn facts(src: &str) -> Vec<FnFacts> {
         let file = SourceFile::parse("crates/x/src/demo.rs".into(), src);
-        function_facts(&file)
+        let resolver = Resolver::build(std::slice::from_ref(&file));
+        function_facts(&file, &resolver)
     }
 
     #[test]

@@ -26,6 +26,10 @@ pub enum Tok {
     Char,
     /// A lifetime such as `'a` or `'static`.
     Lifetime,
+    /// A path separator `::`, lexed as one token so path-qualified calls
+    /// (`wire::codec::decode_seq`, `Type::method`) can be matched without
+    /// every downstream pass re-implementing `:`-adjacency logic.
+    PathSep,
     /// A single punctuation character.
     Punct(char),
 }
@@ -97,6 +101,10 @@ impl Lexer {
                 self.number(line);
             } else if c == '_' || c.is_alphabetic() {
                 self.ident(line);
+            } else if c == ':' && self.peek(1) == Some(':') {
+                self.bump();
+                self.bump();
+                self.emit(Tok::PathSep, line);
             } else {
                 self.bump();
                 self.emit(Tok::Punct(c), line);
@@ -406,6 +414,23 @@ mod tests {
                 Tok::Lifetime,
                 Tok::Char,
                 Tok::Char
+            ]
+        );
+    }
+
+    #[test]
+    fn path_separators_are_one_token() {
+        let toks = kinds("a::b x: T y");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::PathSep,
+                Tok::Ident("b".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct(':'),
+                Tok::Ident("T".into()),
+                Tok::Ident("y".into()),
             ]
         );
     }

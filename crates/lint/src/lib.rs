@@ -1,7 +1,9 @@
 //! `distrust-lint`: repo-aware static analysis for the distrust workspace.
 //!
-//! Six passes over a hand-rolled token stream (no registry dependencies,
-//! std only):
+//! Seven passes over a hand-rolled token stream (no registry
+//! dependencies, std only), sharing one workspace-wide call graph that
+//! resolves `use` imports and type qualifiers across crate seams (see
+//! [`resolve`]):
 //!
 //! 1. **lock-order** — global lock-order graph over named lock fields;
 //!    flags cycles, double acquisitions, and locks held across blocking
@@ -15,9 +17,13 @@
 //! 5. **taint-alloc** — interprocedural taint dataflow: wire-announced
 //!    lengths and unverified signed-object fields reaching allocation,
 //!    index, and loop-bound sinks (the length-bomb class), with a
-//!    deterministic source→sink chain per finding.
+//!    deterministic source→sink chain per finding — across crate seams,
+//!    with argument taint injected into callees.
 //! 6. **trust-boundary** — unverified signed-object fields flowing into
 //!    state-changing sinks before a verification call dominates them.
+//! 7. **cap-consistency** — `MAX_*`/`*_LEN` constants that bound nothing
+//!    (dead caps) and decode-path allocations sized by parameters no
+//!    caller, guard, or sanitizer bounds (cap gaps).
 //!
 //! Findings are suppressed only by `// lint:allow(<pass>): <reason>` on
 //! the same or preceding line (reason mandatory), or tolerated by a
@@ -33,17 +39,53 @@ pub mod lexer;
 pub mod model;
 pub mod passes;
 pub mod report;
+pub mod resolve;
 pub mod scan;
 
 use config::Config;
+use dataflow::Dataflow;
 use model::Model;
 use report::Report;
 use scan::SourceFile;
 use std::io;
 use std::path::{Path, PathBuf};
 
+/// Analysis-size counters for one run, for CI step summaries and the
+/// wall-time regression gate.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Non-test function definitions across the workspace.
+    pub functions: usize,
+    /// Resolved call edges, and how many of them cross a crate seam.
+    pub call_edges: usize,
+    pub cross_crate_edges: usize,
+    /// Fixpoint sweeps across the model and dataflow engines.
+    pub fixpoint_iters: usize,
+    /// Wall time of the analysis (excluding process startup).
+    pub wall_ms: u128,
+}
+
+impl Stats {
+    pub fn render(&self) -> String {
+        format!(
+            "stats: {} functions, {} call edges ({} cross-crate), {} fixpoint iterations, {} ms",
+            self.functions,
+            self.call_edges,
+            self.cross_crate_edges,
+            self.fixpoint_iters,
+            self.wall_ms
+        )
+    }
+}
+
 /// Runs every pass under `cfg` and returns the finished report.
 pub fn analyze(cfg: &Config) -> io::Result<Report> {
+    analyze_with_stats(cfg).map(|(report, _)| report)
+}
+
+/// As [`analyze`], also returning the run's size counters.
+pub fn analyze_with_stats(cfg: &Config) -> io::Result<(Report, Stats)> {
+    let start = std::time::Instant::now();
     let paths = discover(&cfg.root)?;
     let mut files = Vec::with_capacity(paths.len());
     for path in paths {
@@ -51,20 +93,29 @@ pub fn analyze(cfg: &Config) -> io::Result<Report> {
         files.push(SourceFile::parse(path, &source));
     }
 
-    let model = Model::build(files.iter().flat_map(facts::function_facts).collect());
+    let model = Model::build(&files);
+    let flow = Dataflow::build(&files);
     let mut report = Report::default();
     passes::lock_order::run(&model, &mut report);
     passes::blocking::run(&model, &cfg.reactor_entries, &mut report);
     passes::panic_path::run(&files, cfg.panic_scope, &mut report);
-    passes::taint_alloc::run(&files, cfg.taint_scope, &mut report);
+    passes::taint_alloc::run(&flow, cfg.taint_scope, &mut report);
     passes::trust_boundary::run(&files, cfg.trust_scope, &mut report);
+    passes::cap_consistency::run(&files, &flow, cfg.cap_scope, &mut report);
     if let Some(proto) = &cfg.protocol {
         let fuzz = std::fs::read_to_string(cfg.root.join(&proto.fuzz_file)).ok();
         passes::protocol::run(&files, proto, fuzz.as_deref(), &mut report);
     }
     report.apply_allows(&files);
     report.finish();
-    Ok(report)
+    let stats = Stats {
+        functions: model.fns.len(),
+        call_edges: model.call_edges,
+        cross_crate_edges: model.cross_crate_edges,
+        fixpoint_iters: model.fixpoint_iters + flow.fixpoint_iters,
+        wall_ms: start.elapsed().as_millis(),
+    };
+    Ok((report, stats))
 }
 
 /// Collects the root-relative paths of every source file to scan, sorted

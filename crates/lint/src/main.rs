@@ -19,6 +19,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut deny = false;
     let mut json = false;
+    let mut stats = false;
     let mut root = PathBuf::from(".");
     let mut baseline_path: Option<PathBuf> = None;
     let mut write_baseline: Option<PathBuf> = None;
@@ -51,17 +52,21 @@ fn main() -> ExitCode {
             "--write-baseline" => {
                 write_baseline = Some(PathBuf::from("lint-baseline.json"));
             }
+            "--stats" => stats = true,
             "--help" | "-h" => {
                 println!(
                     "distrust-lint [--deny] [--format text|json] [--root PATH]\n\
-                     \x20             [--baseline PATH] [--write-baseline]\n\
+                     \x20             [--baseline PATH] [--write-baseline] [--stats]\n\
                      Repo-aware static analysis: lock-order, panic-path, \
                      protocol-conformance, reactor-blocking, taint-alloc, \
-                     trust-boundary.\n\
+                     trust-boundary, cap-consistency.\n\
                      --deny exits non-zero when denied findings remain; \
                      --baseline PATH tolerates known findings (the ratchet) \
                      but refuses any growth; --write-baseline regenerates \
-                     lint-baseline.json under --root, preserving reasons."
+                     lint-baseline.json under --root, preserving reasons and \
+                     listing the stale entries it drops; --stats appends one \
+                     line of analysis-size counters (functions, call edges, \
+                     cross-crate edges, fixpoint iterations, wall time)."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -73,8 +78,8 @@ fn main() -> ExitCode {
     }
 
     let cfg = Config::repo_default(root.clone());
-    let mut report = match distrust_lint::analyze(&cfg) {
-        Ok(report) => report,
+    let (mut report, run_stats) = match distrust_lint::analyze_with_stats(&cfg) {
+        Ok(out) => out,
         Err(err) => {
             eprintln!("distrust-lint: {err}");
             return ExitCode::from(2);
@@ -98,12 +103,21 @@ fn main() -> ExitCode {
             eprintln!("distrust-lint: writing {}: {err}", path.display());
             return ExitCode::from(2);
         }
+        let dropped = next.dropped_from(&prior);
         println!(
-            "distrust-lint: wrote {} entr{} to {}",
+            "distrust-lint: wrote {} entr{} to {} ({} stale entr{} dropped)",
             next.entries.len(),
             if next.entries.len() == 1 { "y" } else { "ies" },
-            path.display()
+            path.display(),
+            dropped.len(),
+            if dropped.len() == 1 { "y" } else { "ies" },
         );
+        for e in &dropped {
+            println!(
+                "baseline dropped: {}: [{}] {} (was x{})",
+                e.file, e.pass, e.message, e.count
+            );
+        }
         return ExitCode::SUCCESS;
     }
 
@@ -130,6 +144,10 @@ fn main() -> ExitCode {
 
     if json {
         print!("{}", report.render_json());
+        if stats {
+            // Keep stdout parseable as JSON; counters go to stderr.
+            eprintln!("{}", run_stats.render());
+        }
     } else {
         print!("{}", report.render_text());
         if let Some(diff) = &diff {
@@ -143,6 +161,9 @@ fn main() -> ExitCode {
             for (pass, file, message, left) in &diff.stale {
                 println!("baseline stale: {file}: [{pass}] {message} (x{left}) — fixed? run --write-baseline");
             }
+        }
+        if stats {
+            println!("{}", run_stats.render());
         }
     }
     if deny && report.denied() > 0 {

@@ -1,62 +1,70 @@
-//! Whole-repo model: every function's facts plus the intra-crate call
-//! graph, lock summaries, and may-block summaries derived from them.
+//! Whole-workspace model: every function's facts plus the cross-crate
+//! call graph, lock summaries, and may-block summaries derived from them.
 //!
-//! Calls are resolved by simple name *within the defining crate* (the
-//! lexer has no type information). A few names are deliberately opaque:
-//! `drop`, because an explicit `drop(guard)` would otherwise union every
-//! `Drop` impl in the crate; `shutdown`, because `TcpStream::shutdown` on
-//! a served socket would otherwise union every server's teardown method
-//! (which joins accept threads — teardown runs in owner contexts, never
-//! on a serving path); `open`, because `File::open`/`OpenOptions::open`
-//! would otherwise union every `open` constructor in a crate (which run
-//! before any serving thread exists and whose lock summaries would
-//! fabricate cycle edges at every file open); and anything ending in
-//! `_timeout`, because timed receives are the sanctioned bounded
-//! alternative to the blocking calls these passes hunt.
+//! Calls resolve through [`crate::resolve::Resolver`], which follows
+//! `use` imports and type qualifiers across crate seams. A few names are
+//! deliberately opaque everywhere: `drop`, because an explicit
+//! `drop(guard)` would otherwise union every `Drop` impl in the
+//! workspace; `shutdown`, because `TcpStream::shutdown` on a served
+//! socket would otherwise union every server's teardown method (which
+//! joins accept threads — teardown runs in owner contexts, never on a
+//! serving path); and anything ending in `_timeout`, because timed
+//! receives are the sanctioned bounded alternative to the blocking calls
+//! these passes hunt. `open` is opaque only when the callee type is
+//! unknown: `ShardedLog::open` (or `store.open()` on an inferred
+//! receiver) resolves to the real constructor, while `File::open` and
+//! bare `open(…)` stay inert.
 
-use crate::facts::{blocking_call, FnFacts, LockId};
-use std::collections::{BTreeMap, BTreeSet};
+use crate::facts::{blocking_call, function_facts, FnFacts, LockId};
+use crate::resolve::Resolver;
+use crate::scan::SourceFile;
+use std::collections::BTreeSet;
 
 pub struct Model {
     pub fns: Vec<FnFacts>,
-    /// (crate, fn name) → indices into `fns`.
-    by_name: BTreeMap<(String, String), Vec<usize>>,
-    /// Per function: all locks acquired directly or via intra-crate calls.
+    resolver: Resolver,
+    /// Per function: all locks acquired directly or via resolved calls.
     locks: Vec<BTreeSet<LockId>>,
     /// Per function: a sample description of a reachable blocking call,
     /// if any (`"sleep at crates/wire/src/reactor.rs:345"`).
     may_block: Vec<Option<String>>,
+    /// Resolved call edges, and how many of them cross a crate boundary.
+    pub call_edges: usize,
+    pub cross_crate_edges: usize,
+    /// Fixpoint sweeps performed by the lock and may-block summaries.
+    pub fixpoint_iters: usize,
 }
 
 impl Model {
-    pub fn build(fns: Vec<FnFacts>) -> Model {
-        let mut by_name: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
-        for (i, f) in fns.iter().enumerate() {
-            by_name
-                .entry((f.crate_name.clone(), f.name.clone()))
-                .or_default()
-                .push(i);
-        }
+    pub fn build(files: &[SourceFile]) -> Model {
+        let resolver = Resolver::build(files);
+        let fns: Vec<FnFacts> = files
+            .iter()
+            .flat_map(|f| function_facts(f, &resolver))
+            .collect();
+        debug_assert_eq!(fns.len(), resolver.fn_count());
         let mut model = Model {
             locks: vec![BTreeSet::new(); fns.len()],
             may_block: vec![None; fns.len()],
             fns,
-            by_name,
+            resolver,
+            call_edges: 0,
+            cross_crate_edges: 0,
+            fixpoint_iters: 0,
         };
+        model.count_edges();
         model.compute_locks();
         model.compute_may_block();
         model
     }
 
-    /// Callee candidates for `name` as called from `caller_crate`.
-    pub fn resolve(&self, caller_crate: &str, name: &str) -> &[usize] {
-        if name == "drop" || name == "shutdown" || name == "open" || name.ends_with("_timeout") {
-            return &[];
-        }
-        self.by_name
-            .get(&(caller_crate.to_string(), name.to_string()))
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+    pub fn resolver(&self) -> &Resolver {
+        &self.resolver
+    }
+
+    /// Callee candidates for the `call`-th site of function `caller`.
+    pub fn resolve_call(&self, caller: usize, call: &crate::facts::CallSite) -> Vec<usize> {
+        self.resolver.targets(caller, &call.name, &call.qual)
     }
 
     pub fn locks_of(&self, idx: usize) -> &BTreeSet<LockId> {
@@ -67,20 +75,34 @@ impl Model {
         self.may_block[idx].as_deref()
     }
 
+    fn count_edges(&mut self) {
+        for i in 0..self.fns.len() {
+            for call in &self.fns[i].calls {
+                for j in self.resolver.targets(i, &call.name, &call.qual) {
+                    self.call_edges += 1;
+                    if self.resolver.cross_crate(i, j) {
+                        self.cross_crate_edges += 1;
+                    }
+                }
+            }
+        }
+    }
+
     fn compute_locks(&mut self) {
         for (i, f) in self.fns.iter().enumerate() {
             for a in &f.acquires {
                 self.locks[i].insert(a.lock.clone());
             }
         }
-        // Fixpoint over intra-crate call edges.
+        // Fixpoint over resolved call edges.
         let mut changed = true;
         while changed {
             changed = false;
+            self.fixpoint_iters += 1;
             for i in 0..self.fns.len() {
                 let mut add: Vec<LockId> = Vec::new();
                 for call in &self.fns[i].calls {
-                    for &j in self.resolve(&self.fns[i].crate_name, &call.name) {
+                    for j in self.resolver.targets(i, &call.name, &call.qual) {
                         for l in &self.locks[j] {
                             if !self.locks[i].contains(l) {
                                 add.push(l.clone());
@@ -108,13 +130,14 @@ impl Model {
         let mut changed = true;
         while changed {
             changed = false;
+            self.fixpoint_iters += 1;
             for i in 0..self.fns.len() {
                 if self.may_block[i].is_some() {
                     continue;
                 }
                 let mut found: Option<String> = None;
                 for call in &self.fns[i].calls {
-                    for &j in self.resolve(&self.fns[i].crate_name, &call.name) {
+                    for j in self.resolver.targets(i, &call.name, &call.qual) {
                         if let Some(desc) = &self.may_block[j] {
                             found = Some(format!("{} -> {}", call.name, desc));
                             break;
@@ -136,12 +159,11 @@ impl Model {
 #[cfg(test)]
 mod unit {
     use super::*;
-    use crate::facts::function_facts;
     use crate::scan::SourceFile;
 
     fn model(src: &str) -> Model {
         let file = SourceFile::parse("crates/x/src/demo.rs".into(), src);
-        Model::build(function_facts(&file))
+        Model::build(std::slice::from_ref(&file))
     }
 
     #[test]
@@ -171,15 +193,37 @@ mod unit {
     }
 
     #[test]
-    fn open_is_opaque() {
-        // `File::open` must not union the crate's own `open` constructor,
-        // whose lock summary would fabricate edges at every file open.
+    fn file_open_is_opaque_but_typed_open_resolves() {
+        // `File::open` must not union a crate's `open` constructors; a
+        // workspace type's `open` resolves through the owner table.
         let m = model(
             "fn writer() { let f = File::open(p); } \
-             fn open() { alpha.lock(); std::thread::sleep(d); }",
+             impl ShardedLog { fn open() -> ShardedLog { alpha.lock(); \
+             std::thread::sleep(d); loop {} } } \
+             fn booter() { let l = ShardedLog::open(); }",
         );
         let w = m.fns.iter().position(|f| f.name == "writer").unwrap();
         assert!(m.locks_of(w).is_empty());
         assert!(m.may_block(w).is_none());
+        let b = m.fns.iter().position(|f| f.name == "booter").unwrap();
+        assert_eq!(m.locks_of(b).len(), 1);
+        assert!(m.may_block(b).is_some());
+    }
+
+    #[test]
+    fn cross_crate_edges_are_counted() {
+        let a = SourceFile::parse(
+            "crates/wire/src/codec.rs".into(),
+            "pub fn decode_seq() { alpha.lock(); }",
+        );
+        let b = SourceFile::parse(
+            "crates/log/src/store.rs".into(),
+            "use distrust_wire::codec::decode_seq;\nfn load() { decode_seq(); }",
+        );
+        let m = Model::build(&[a, b]);
+        assert_eq!(m.call_edges, 1);
+        assert_eq!(m.cross_crate_edges, 1);
+        let load = m.fns.iter().position(|f| f.name == "load").unwrap();
+        assert_eq!(m.locks_of(load).len(), 1);
     }
 }

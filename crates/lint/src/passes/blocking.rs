@@ -6,9 +6,10 @@
 //! the per-connection pump/flush/adopt paths, and every `handle`/
 //! `handle_impl` — the service callbacks that `wire::reactor` invokes on
 //! its worker threads (the framework dispatcher runs there via
-//! `DirectHost`). Reachability follows the intra-crate call graph; edges
-//! into `*_timeout` functions are not followed, because timed receives are
-//! the sanctioned bounded alternative.
+//! `DirectHost`). Reachability follows the workspace-wide resolved call
+//! graph, crossing crate seams; edges into `*_timeout` functions are not
+//! followed, because timed receives are the sanctioned bounded
+//! alternative.
 
 use crate::facts::blocking_call;
 use crate::model::Model;
@@ -50,7 +51,7 @@ pub fn run(model: &Model, entries: &[String], report: &mut Report) {
         at += 1;
         let chain = origin[&i].clone();
         for call in &model.fns[i].calls {
-            for &j in model.resolve(&model.fns[i].crate_name, &call.name) {
+            for j in model.resolve_call(i, call) {
                 if let std::collections::btree_map::Entry::Vacant(slot) = origin.entry(j) {
                     slot.insert(format!("{chain} -> {}", model.fns[j].name));
                     queue.push(j);
@@ -77,12 +78,11 @@ pub fn run(model: &Model, entries: &[String], report: &mut Report) {
 #[cfg(test)]
 mod unit {
     use super::*;
-    use crate::facts::function_facts;
     use crate::scan::SourceFile;
 
     fn run_on(src: &str) -> Report {
         let file = SourceFile::parse("crates/x/src/demo.rs".into(), src);
-        let model = Model::build(function_facts(&file));
+        let model = Model::build(std::slice::from_ref(&file));
         let mut report = Report::default();
         run(&model, &default_entries(), &mut report);
         report.finish();

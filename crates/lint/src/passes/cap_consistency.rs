@@ -1,0 +1,398 @@
+//! Pass 7 — cap-consistency: the two directions the bound story can rot.
+//!
+//! * **Dead caps**: a `MAX_*`/`*_LEN` constant that nothing ever uses to
+//!   bound or size a value — no `.min(…)`/`.clamp(…)` argument, no
+//!   comparison (ordering or exact-length equality), no fixed-size
+//!   buffer it sizes, and no other constant derived from it. A cap that
+//!   bounds nothing is
+//!   usually a cap someone *believed* was enforced; the belief is the
+//!   bug. Aliveness is transitive through constant initializers:
+//!   `MAX_BATCH = MAX_FRAME / 64` keeps `MAX_FRAME` alive as long as
+//!   `MAX_BATCH` is.
+//! * **Cap gaps**: a decode-path allocation sink sized by a function
+//!   parameter that no caller caps, no dominating guard bounds, and no
+//!   sanitizer clears — computed by [`crate::dataflow`]'s workspace-wide
+//!   argument-taint fixpoint. These are allocation sites one new caller
+//!   away from being a length bomb; either the function bounds its own
+//!   input or every future caller must remember to.
+//!
+//! Dead-cap detection is name-scoped (constants *defined* in scoped
+//! files) but use-scoped workspace-wide: a cap defined in `wire` and
+//! enforced in `log` is alive. Test code neither defines nor keeps caps
+//! alive — a cap only tests exercise is dead in production.
+
+use crate::dataflow::Dataflow;
+use crate::lexer::Tok;
+use crate::report::{Finding, Report};
+use crate::scan::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub const PASS: &str = "cap-consistency";
+
+/// File scope policy: the decode-surface crates, or everything (fixtures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapScope {
+    RepoDefault,
+    AllFiles,
+}
+
+impl CapScope {
+    pub fn covers(&self, path: &str) -> bool {
+        match self {
+            CapScope::AllFiles => true,
+            CapScope::RepoDefault => {
+                path.starts_with("crates/wire/src/")
+                    || path.starts_with("crates/log/src/")
+                    || path.starts_with("crates/core/src/")
+                    || path.starts_with("crates/gossip/src/")
+            }
+        }
+    }
+}
+
+/// True for constant names this pass treats as bound caps.
+fn cap_name(name: &str) -> bool {
+    name.starts_with("MAX_") || name.ends_with("_LEN")
+}
+
+struct ConstDef {
+    file: String,
+    line: u32,
+    /// Identifiers referenced by the initializer expression.
+    init_refs: BTreeSet<String>,
+}
+
+pub fn run(files: &[SourceFile], flow: &Dataflow, scope: CapScope, report: &mut Report) {
+    // -- cap gaps ---------------------------------------------------------
+    for gap in &flow.cap_gaps {
+        if !scope.covers(&gap.file) {
+            continue;
+        }
+        report.findings.push(Finding::new(
+            PASS,
+            &gap.file,
+            gap.line,
+            format!(
+                "decode-path allocation {} in `{}` is sized by parameter{} `{}` with no \
+                 workspace-visible bound (no caller cap, no dominating guard, no sanitizer)",
+                gap.sink,
+                gap.fn_name,
+                if gap.params.len() == 1 { "" } else { "s" },
+                gap.params.join("`, `")
+            ),
+        ));
+    }
+
+    // -- dead caps --------------------------------------------------------
+    let mut defs: BTreeMap<String, ConstDef> = BTreeMap::new();
+    for file in files {
+        for (name, def) in const_defs(file) {
+            if cap_name(&name) && scope.covers(&file.path) {
+                defs.entry(name).or_insert(def);
+            }
+        }
+    }
+    if defs.is_empty() {
+        return;
+    }
+
+    let mut alive: BTreeSet<String> = BTreeSet::new();
+    for file in files {
+        collect_bounding_uses(file, &defs, &mut alive);
+    }
+    // Transitive aliveness through constant initializers: every constant
+    // (cap-named or not) whose initializer mentions a cap keeps that cap
+    // as alive as itself. Non-cap constants count as alive when they have
+    // any non-test use at all — `FRAME_HEADER = MAX_SHARDS * 2 + 4` used
+    // anywhere means `MAX_SHARDS` still governs real layout.
+    let all_defs: BTreeMap<String, ConstDef> =
+        files
+            .iter()
+            .flat_map(const_defs)
+            .fold(BTreeMap::new(), |mut m, (name, def)| {
+                m.entry(name).or_insert(def);
+                m
+            });
+    let used: BTreeSet<String> = {
+        let mut used = BTreeSet::new();
+        for file in files {
+            collect_plain_uses(file, &all_defs, &mut used);
+        }
+        used
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (name, def) in &all_defs {
+            let carrier_alive = if cap_name(name) {
+                alive.contains(name)
+            } else {
+                used.contains(name)
+            };
+            if !carrier_alive {
+                continue;
+            }
+            for referenced in &def.init_refs {
+                if defs.contains_key(referenced) && alive.insert(referenced.clone()) {
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    for (name, def) in &defs {
+        if !alive.contains(name) {
+            report.findings.push(Finding::new(
+                PASS,
+                &def.file,
+                def.line,
+                format!(
+                    "bound constant `{name}` never bounds anything: no `.min`/`.clamp` use, \
+                     no comparison against it, no buffer it sizes, and no live constant \
+                     derives from it — either enforce it on a decode path or delete it"
+                ),
+            ));
+        }
+    }
+}
+
+/// Top-level `const NAME: … = …;` definitions in non-test code, with the
+/// identifiers their initializers reference.
+fn const_defs(file: &SourceFile) -> Vec<(String, ConstDef)> {
+    let mut out = Vec::new();
+    let mut k = 0;
+    while k + 1 < file.tokens.len() {
+        if file.ident_at(k) == Some("const") && !file.test_mask[k] {
+            // Skip `const fn` and associated `const` generics.
+            if let Some(name) = file.ident_at(k + 1) {
+                if name != "fn" && name.chars().next().is_some_and(|c| c.is_uppercase()) {
+                    let name = name.to_string();
+                    let eq =
+                        (k + 2..(k + 66).min(file.tokens.len())).find(|&i| file.punct_at(i, '='));
+                    if let Some(eq) = eq {
+                        let semi = (eq + 1..file.tokens.len())
+                            .find(|&i| file.punct_at(i, ';'))
+                            .unwrap_or(file.tokens.len());
+                        let mut init_refs = BTreeSet::new();
+                        for i in eq + 1..semi {
+                            if let Some(Tok::Ident(id)) = file.tokens.get(i).map(|t| &t.tok) {
+                                init_refs.insert(id.clone());
+                            }
+                        }
+                        out.push((
+                            name,
+                            ConstDef {
+                                file: file.path.clone(),
+                                line: file.line_at(k),
+                                init_refs,
+                            },
+                        ));
+                        k = semi;
+                        continue;
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Marks caps used in a bounding position in `file`'s non-test code:
+/// inside the arguments of a `.min(…)`/`.clamp(…)` call, adjacent to a
+/// comparison (`<`, `>`, `<=`, `>=`, `==`, `!=` — an exact-length check
+/// is a bound too), or sizing a fixed buffer (`[0u8; CAP]`,
+/// `vec![0; CAP]`, `with_capacity(CAP)`) — a buffer the constant sizes
+/// enforces the bound structurally.
+fn collect_bounding_uses(
+    file: &SourceFile,
+    defs: &BTreeMap<String, ConstDef>,
+    alive: &mut BTreeSet<String>,
+) {
+    for k in 0..file.tokens.len() {
+        if file.test_mask[k] {
+            continue;
+        }
+        // `.min(…)` / `.clamp(…)`: every cap inside the parens is a use.
+        if let Some(name) = file.ident_at(k) {
+            if (name == "min" || name == "clamp")
+                && k > 0
+                && file.punct_at(k - 1, '.')
+                && file.punct_at(k + 1, '(')
+            {
+                let close = file.matching_close(k + 1);
+                for a in k + 2..close {
+                    if let Some(id) = file.ident_at(a) {
+                        if defs.contains_key(id) {
+                            alive.insert(id.to_string());
+                        }
+                    }
+                }
+            }
+        }
+        // Comparison adjacency: `x > CAP`, `CAP >= y`, `len != CAP`,
+        // including the two-token `<=`/`>=`/`==`/`!=` forms the lexer
+        // produces. A `->` return arrow and `=>` match arrow are not
+        // comparisons, and generic brackets never abut a SCREAMING const
+        // in this codebase.
+        let Some(id) = file.ident_at(k) else { continue };
+        if !defs.contains_key(id) {
+            continue;
+        }
+        let before_cmp = k > 0
+            && ((file.punct_at(k - 1, '<') && !(k > 1 && file.punct_at(k - 2, '<')))
+                || (file.punct_at(k - 1, '>') && !(k > 1 && file.punct_at(k - 2, '-')))
+                || (file.punct_at(k - 1, '=')
+                    && k > 1
+                    && (file.punct_at(k - 2, '<')
+                        || file.punct_at(k - 2, '>')
+                        || file.punct_at(k - 2, '=')
+                        || file.punct_at(k - 2, '!'))));
+        let after_cmp = file.punct_at(k + 1, '<')
+            || file.punct_at(k + 1, '>')
+            || (file.punct_at(k + 1, '=') && file.punct_at(k + 2, '='))
+            || (file.punct_at(k + 1, '!') && file.punct_at(k + 2, '='));
+        // Fixed-size buffer: `[0u8; CAP]` / `vec![0; CAP]` repeat counts,
+        // `with_capacity(CAP)` preallocations.
+        let repeat_count = k > 0 && file.punct_at(k - 1, ';') && file.punct_at(k + 1, ']');
+        let prealloc = k > 1
+            && file.punct_at(k - 1, '(')
+            && matches!(
+                file.ident_at(k - 2),
+                Some("with_capacity") | Some("reserve") | Some("resize")
+            );
+        if before_cmp || after_cmp || repeat_count || prealloc {
+            alive.insert(id.to_string());
+        }
+    }
+}
+
+/// Marks constants referenced anywhere outside their own definition in
+/// non-test code (the aliveness carrier for non-cap constants).
+fn collect_plain_uses(
+    file: &SourceFile,
+    defs: &BTreeMap<String, ConstDef>,
+    used: &mut BTreeSet<String>,
+) {
+    for k in 0..file.tokens.len() {
+        if file.test_mask[k] {
+            continue;
+        }
+        let Some(id) = file.ident_at(k) else { continue };
+        if !defs.contains_key(id) {
+            continue;
+        }
+        // A reference, not the `const NAME` definition itself.
+        if k > 0 && file.ident_at(k - 1) == Some("const") {
+            continue;
+        }
+        used.insert(id.to_string());
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn run_on(sources: &[(&str, &str)]) -> Report {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(p, s)| SourceFile::parse(p.to_string(), s))
+            .collect();
+        let flow = Dataflow::build(&files);
+        let mut report = Report::default();
+        run(&files, &flow, CapScope::AllFiles, &mut report);
+        report.finish();
+        report
+    }
+
+    #[test]
+    fn unused_cap_is_dead() {
+        let report = run_on(&[(
+            "crates/x/src/codec.rs",
+            "pub const MAX_ORPHANS: usize = 64; \
+             fn decode_all(input: &mut &[u8]) { let n = decode_len(input); }",
+        )]);
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0].message.contains("`MAX_ORPHANS`"));
+    }
+
+    #[test]
+    fn compared_and_min_capped_caps_are_alive() {
+        let report = run_on(&[(
+            "crates/x/src/codec.rs",
+            "pub const MAX_ITEMS: usize = 64; pub const SEQ_PREALLOC_LEN: usize = 16; \
+             fn check(n: usize) -> bool { n <= MAX_ITEMS } \
+             fn cap(n: usize) -> usize { n.min(SEQ_PREALLOC_LEN) }",
+        )]);
+        assert_eq!(report.findings.len(), 0);
+    }
+
+    #[test]
+    fn caps_kept_alive_through_derived_constants() {
+        let report = run_on(&[(
+            "crates/x/src/codec.rs",
+            "pub const MAX_SHARDS: usize = 16; \
+             pub const MAX_BATCH: usize = MAX_SHARDS * 4; \
+             fn check(n: usize) -> bool { n < MAX_BATCH }",
+        )]);
+        assert_eq!(report.findings.len(), 0);
+    }
+
+    #[test]
+    fn fixed_size_layout_constants_are_alive() {
+        // Exact-length checks, array repeat counts, and preallocations all
+        // enforce a cap structurally — the `TRAILER_LEN`/`SCRATCH_LEN`
+        // pattern in the log store and reactor.
+        let report = run_on(&[(
+            "crates/x/src/layout.rs",
+            "pub const TRAILER_LEN: usize = 20; \
+             pub const SCRATCH_LEN: usize = 16 * 1024; \
+             pub const MAX_TAG_LEN: usize = 4; \
+             fn framed(buf: &[u8]) -> bool { buf.len() != TRAILER_LEN } \
+             fn scratch() -> Vec<u8> { vec![0u8; SCRATCH_LEN] } \
+             fn tag() -> Vec<u8> { Vec::with_capacity(MAX_TAG_LEN) }",
+        )]);
+        assert_eq!(report.findings.len(), 0);
+    }
+
+    #[test]
+    fn test_only_uses_do_not_keep_a_cap_alive() {
+        let report = run_on(&[(
+            "crates/x/src/codec.rs",
+            "pub const MAX_GHOSTS: usize = 8; \
+             #[cfg(test)] mod tests { use super::*; \
+             #[test] fn t() { assert!(3 < MAX_GHOSTS); } }",
+        )]);
+        assert_eq!(report.findings.len(), 1);
+    }
+
+    #[test]
+    fn cross_crate_uses_keep_a_cap_alive() {
+        let report = run_on(&[
+            (
+                "crates/wire/src/codec.rs",
+                "pub const MAX_FRAME_LEN: usize = 65536;",
+            ),
+            (
+                "crates/log/src/store.rs",
+                "use distrust_wire::codec::MAX_FRAME_LEN;\n\
+                 fn admit(n: usize) -> bool { n <= MAX_FRAME_LEN }",
+            ),
+        ]);
+        assert_eq!(report.findings.len(), 0);
+    }
+
+    #[test]
+    fn unbounded_decode_parameter_is_a_cap_gap_finding() {
+        let report = run_on(&[(
+            "crates/x/src/codec.rs",
+            "pub fn decode_table(input: &mut &[u8], slots: usize) { \
+             let v: Vec<u64> = Vec::with_capacity(slots); }",
+        )]);
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0]
+            .message
+            .contains("sized by parameter `slots`"));
+    }
+}

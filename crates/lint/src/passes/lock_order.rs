@@ -1,7 +1,8 @@
 //! Pass 1 — lock-order: builds the global lock-order graph from every
-//! acquisition made while another guard is held (directly, or through an
-//! intra-crate call whose callee acquires locks), flags cycles, double
-//! acquisitions of the same lock, and locks held across blocking calls.
+//! acquisition made while another guard is held (directly, or through a
+//! workspace-resolved call — cross-crate included — whose callee acquires
+//! locks), flags cycles, double acquisitions of the same lock, and locks
+//! held across blocking calls.
 //!
 //! Call-derived self-edges (`shards -> shards` because `ShardedLog::append`
 //! shares its name with `MerkleLog::append`) are suppressed: with
@@ -25,7 +26,7 @@ struct Edge {
 pub fn run(model: &Model, report: &mut Report) {
     let mut edges: BTreeMap<(LockId, LockId), Edge> = BTreeMap::new();
 
-    for f in &model.fns {
+    for (fi, f) in model.fns.iter().enumerate() {
         for acq in &f.acquires {
             for (held, held_line) in &acq.held {
                 if *held == acq.lock {
@@ -71,7 +72,7 @@ pub fn run(model: &Model, report: &mut Report) {
                 }
                 continue;
             }
-            let callees = model.resolve(&f.crate_name, &call.name);
+            let callees = model.resolve_call(fi, call);
             if let Some(desc) = callees.iter().find_map(|&j| model.may_block(j)) {
                 for (held, _) in &call.held {
                     report.findings.push(Finding::new(
@@ -85,7 +86,7 @@ pub fn run(model: &Model, report: &mut Report) {
                     ));
                 }
             }
-            for &j in callees {
+            for &j in &callees {
                 for inner in model.locks_of(j) {
                     for (held, _) in &call.held {
                         if inner != held {
@@ -203,12 +204,11 @@ fn emit_cycle(cycle: &[LockId], edges: &BTreeMap<(LockId, LockId), Edge>, report
 #[cfg(test)]
 mod unit {
     use super::*;
-    use crate::facts::function_facts;
     use crate::scan::SourceFile;
 
     fn run_on(src: &str) -> Report {
         let file = SourceFile::parse("crates/x/src/demo.rs".into(), src);
-        let model = Model::build(function_facts(&file));
+        let model = Model::build(std::slice::from_ref(&file));
         let mut report = Report::default();
         run(&model, &mut report);
         report.finish();

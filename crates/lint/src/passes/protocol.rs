@@ -211,11 +211,8 @@ fn encode_arms(
     let mut out: BTreeMap<String, (u64, u32)> = BTreeMap::new();
     let mut current: Option<String> = None;
     for idx in open..=close {
-        if file.ident_at(idx) == Some(type_name)
-            && file.punct_at(idx + 1, ':')
-            && file.punct_at(idx + 2, ':')
-        {
-            if let Some(v) = file.ident_at(idx + 3) {
+        if file.ident_at(idx) == Some(type_name) && file.path_sep_at(idx + 1) {
+            if let Some(v) = file.ident_at(idx + 2) {
                 current = Some(v.to_string());
             }
         }
@@ -255,11 +252,8 @@ fn decode_arms(
             {
                 break;
             }
-            if file.ident_at(k) == Some(type_name)
-                && file.punct_at(k + 1, ':')
-                && file.punct_at(k + 2, ':')
-            {
-                if let Some(v) = file.ident_at(k + 3) {
+            if file.ident_at(k) == Some(type_name) && file.path_sep_at(k + 1) {
+                if let Some(v) = file.ident_at(k + 2) {
                     let line = file.line_at(idx);
                     if out.insert(tag, (v.to_string(), line)).is_some() {
                         report.findings.push(Finding::new(

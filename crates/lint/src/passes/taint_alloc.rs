@@ -2,15 +2,15 @@
 //! decoded counts, unverified signed-object fields) reaching allocation,
 //! index, and loop-bound sinks — the length-bomb class, caught statically.
 //!
-//! The heavy lifting lives in [`crate::dataflow`]; this pass scopes the
+//! The heavy lifting lives in [`crate::dataflow`], built once per run
+//! and shared with the cap-consistency pass; this pass scopes the
 //! resulting sites to the server+client decode surface (`wire`, `log`,
-//! `core`, `tee`) and renders each as one finding with a deterministic
-//! source→sink chain, in the same spirit as the blocking pass's call
-//! chains.
+//! `core`, `tee`, `gossip`) and renders each as one finding with a
+//! deterministic source→sink chain, in the same spirit as the blocking
+//! pass's call chains.
 
 use crate::dataflow::Dataflow;
 use crate::report::{Finding, Report};
-use crate::scan::SourceFile;
 
 pub const PASS: &str = "taint-alloc";
 
@@ -36,8 +36,7 @@ impl TaintScope {
     }
 }
 
-pub fn run(files: &[SourceFile], scope: TaintScope, report: &mut Report) {
-    let flow = Dataflow::build(files);
+pub fn run(flow: &Dataflow, scope: TaintScope, report: &mut Report) {
     for site in &flow.sites {
         if !scope.covers(&site.file) {
             continue;
@@ -59,11 +58,13 @@ pub fn run(files: &[SourceFile], scope: TaintScope, report: &mut Report) {
 #[cfg(test)]
 mod unit {
     use super::*;
+    use crate::scan::SourceFile;
 
     fn run_on(path: &str, src: &str) -> Report {
         let file = SourceFile::parse(path.into(), src);
+        let flow = Dataflow::build(std::slice::from_ref(&file));
         let mut report = Report::default();
-        run(&[file], TaintScope::RepoDefault, &mut report);
+        run(&flow, TaintScope::RepoDefault, &mut report);
         report.finish();
         report
     }

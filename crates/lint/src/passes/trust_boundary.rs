@@ -257,9 +257,9 @@ fn signed_params(file: &SourceFile, def: &crate::scan::FnDef) -> Vec<(String, St
             Some(Tok::Punct('(')) | Some(Tok::Punct('[')) | Some(Tok::Punct('<')) => depth += 1,
             Some(Tok::Punct(')')) | Some(Tok::Punct(']')) | Some(Tok::Punct('>')) => depth -= 1,
             Some(Tok::Punct(',')) if depth <= 0 => cur_name = None,
-            Some(Tok::Punct(':')) if depth <= 0 && !file.punct_at(k + 1, ':') => {}
+            Some(Tok::Punct(':')) if depth <= 0 => {}
             Some(Tok::Ident(name)) => {
-                if depth <= 0 && file.punct_at(k + 1, ':') && !file.punct_at(k + 2, ':') {
+                if depth <= 0 && file.punct_at(k + 1, ':') {
                     cur_name = Some(name.clone());
                 } else if SIGNED_TYPES.contains(&name.as_str()) {
                     if let Some(p) = &cur_name {

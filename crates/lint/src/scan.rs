@@ -20,6 +20,12 @@ pub struct FnDef {
     pub body: (usize, usize),
     /// True when the function lives inside `#[cfg(test)]` or `mod tests`.
     pub in_test: bool,
+    /// Type the enclosing `impl` block is for, when the fn is a method.
+    pub owner: Option<String>,
+    /// Flow-insensitive local variable types inferred from `let`
+    /// annotations (`let x: Type = …`), constructor calls
+    /// (`let x = Type::new(…)`) and struct literals (`let x = Type { … }`).
+    pub locals: BTreeMap<String, String>,
 }
 
 /// A lexed source file plus everything the passes need to interpret it.
@@ -36,6 +42,11 @@ pub struct SourceFile {
     /// Per-token flag: true inside test-only code.
     pub test_mask: Vec<bool>,
     pub fns: Vec<FnDef>,
+    /// `use` imports: local name (or `as` alias) → full path segments.
+    pub imports: BTreeMap<String, Vec<String>>,
+    /// Struct field types: struct name → field name → type tail ident
+    /// (the first uppercase path segment of the field's declared type).
+    pub structs: BTreeMap<String, BTreeMap<String, String>>,
 }
 
 impl SourceFile {
@@ -53,8 +64,24 @@ impl SourceFile {
             allows,
             test_mask,
             fns: Vec::new(),
+            imports: BTreeMap::new(),
+            structs: BTreeMap::new(),
         };
+        file.imports = parse_imports(&file.tokens);
+        file.structs = parse_structs(&file);
         file.fns = extract_fns(&file);
+        let impls = impl_regions(&file);
+        for def in &mut file.fns {
+            def.owner = impls
+                .iter()
+                .find(|(_, open, close)| def.body.0 > *open && def.body.1 < *close)
+                .map(|(ty, _, _)| ty.clone());
+        }
+        let locals: Vec<BTreeMap<String, String>> =
+            file.fns.iter().map(|def| fn_locals(&file, def)).collect();
+        for (def, l) in file.fns.iter_mut().zip(locals) {
+            def.locals = l;
+        }
         file
     }
 
@@ -67,6 +94,10 @@ impl SourceFile {
 
     pub fn punct_at(&self, idx: usize, c: char) -> bool {
         matches!(self.tokens.get(idx).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+    }
+
+    pub fn path_sep_at(&self, idx: usize) -> bool {
+        matches!(self.tokens.get(idx).map(|t| &t.tok), Some(Tok::PathSep))
     }
 
     pub fn line_at(&self, idx: usize) -> u32 {
@@ -283,6 +314,8 @@ fn extract_fns(file: &SourceFile) -> Vec<FnDef> {
                         line: tokens[i].line,
                         body,
                         in_test: file.test_mask[i],
+                        owner: None,
+                        locals: BTreeMap::new(),
                     });
                     // Continue scanning *inside* the body too: nested fns
                     // are rare but shouldn't be invisible.
@@ -295,6 +328,292 @@ fn extract_fns(file: &SourceFile) -> Vec<FnDef> {
     }
     fns
 }
+
+/// Collects every `use` declaration into `local name → path segments`.
+fn parse_imports(tokens: &[Token]) -> BTreeMap<String, Vec<String>> {
+    let mut out = BTreeMap::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_ident(tokens, i, "use") {
+            let mut j = i + 1;
+            parse_use_tree(tokens, &mut j, &mut Vec::new(), &mut out);
+            i = j.max(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Parses one use-tree at `*j` (segments, `{…}` groups, `as` aliases,
+/// globs), recording leaves into `out`. Stops before `;`, `,` or `}`.
+fn parse_use_tree(
+    tokens: &[Token],
+    j: &mut usize,
+    prefix: &mut Vec<String>,
+    out: &mut BTreeMap<String, Vec<String>>,
+) {
+    let base_len = prefix.len();
+    loop {
+        match tokens.get(*j).map(|t| &t.tok) {
+            Some(Tok::Ident(name)) if name == "as" => {
+                if let Some(Tok::Ident(alias)) = tokens.get(*j + 1).map(|t| &t.tok) {
+                    out.insert(alias.clone(), prefix.clone());
+                    *j += 2;
+                }
+                break;
+            }
+            Some(Tok::Ident(name)) => {
+                prefix.push(name.clone());
+                *j += 1;
+                if matches!(tokens.get(*j).map(|t| &t.tok), Some(Tok::PathSep)) {
+                    *j += 1;
+                    continue;
+                }
+                if is_ident(tokens, *j, "as") {
+                    continue; // handled by the `as` arm next iteration
+                }
+                // Leaf: `use a::b::Name;` binds `Name`; `use a::b::{self}`
+                // binds the enclosing segment `b`.
+                let leaf = prefix.last().cloned().unwrap_or_default();
+                if leaf == "self" {
+                    let parent: Vec<String> = prefix[..prefix.len() - 1].to_vec();
+                    if let Some(key) = parent.last().cloned() {
+                        out.insert(key, parent);
+                    }
+                } else {
+                    out.insert(leaf, prefix.clone());
+                }
+                break;
+            }
+            Some(Tok::Punct('{')) => {
+                *j += 1;
+                loop {
+                    match tokens.get(*j).map(|t| &t.tok) {
+                        Some(Tok::Punct('}')) => {
+                            *j += 1;
+                            break;
+                        }
+                        Some(Tok::Punct(',')) => *j += 1,
+                        None => break,
+                        _ => {
+                            let before = *j;
+                            parse_use_tree(tokens, j, &mut prefix.clone(), out);
+                            if *j == before {
+                                *j += 1; // never stall on unexpected tokens
+                            }
+                        }
+                    }
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    prefix.truncate(base_len);
+}
+
+/// First uppercase-initial ident in `lo..hi` (the outermost type of an
+/// annotation like `Arc<Mutex<T>>` — `Arc`), skipping path prefixes so
+/// `wire::sync::HealthyMutex` yields `HealthyMutex`.
+fn type_head(tokens: &[Token], lo: usize, hi: usize) -> Option<String> {
+    let mut k = lo;
+    while k < hi {
+        if let Some(Tok::Ident(name)) = tokens.get(k).map(|t| &t.tok) {
+            if matches!(tokens.get(k + 1).map(|t| &t.tok), Some(Tok::PathSep)) {
+                k += 2;
+                continue;
+            }
+            if name.chars().next().is_some_and(|c| c.is_uppercase()) {
+                return Some(name.clone());
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Field types of every `struct Name { field: Type, … }` in the file.
+fn parse_structs(file: &SourceFile) -> BTreeMap<String, BTreeMap<String, String>> {
+    let tokens = &file.tokens;
+    let mut out: BTreeMap<String, BTreeMap<String, String>> = BTreeMap::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !is_ident(tokens, i, "struct") {
+            i += 1;
+            continue;
+        }
+        let Some(Tok::Ident(name)) = tokens.get(i + 1).map(|t| &t.tok) else {
+            i += 1;
+            continue;
+        };
+        // Body is the first `{` before any `;` or `(` (tuple/unit structs
+        // have no named fields).
+        let mut j = i + 2;
+        let mut open = None;
+        while j < tokens.len() {
+            match tokens[j].tok {
+                Tok::Punct('{') => {
+                    open = Some(j);
+                    break;
+                }
+                Tok::Punct(';') | Tok::Punct('(') => break,
+                _ => j += 1,
+            }
+        }
+        let Some(open) = open else {
+            i += 2;
+            continue;
+        };
+        let close = close_of(tokens, open);
+        let fields = out.entry(name.clone()).or_default();
+        let mut k = open + 1;
+        while k < close {
+            // A field is `ident :` at the body's brace depth.
+            let is_field = matches!(tokens.get(k).map(|t| &t.tok), Some(Tok::Ident(_)))
+                && is_punct(tokens, k + 1, ':')
+                && file.depth[k] == file.depth[open];
+            if is_field {
+                let field = match &tokens[k].tok {
+                    Tok::Ident(n) => n.clone(),
+                    _ => unreachable!(),
+                };
+                // The type runs to the next comma outside `<>`/`()`/`[]`.
+                let mut depth = 0i64;
+                let mut end = k + 2;
+                while end < close {
+                    match tokens.get(end).map(|t| &t.tok) {
+                        Some(Tok::Punct('<')) | Some(Tok::Punct('(')) | Some(Tok::Punct('[')) => {
+                            depth += 1
+                        }
+                        Some(Tok::Punct('>')) | Some(Tok::Punct(')')) | Some(Tok::Punct(']')) => {
+                            depth -= 1
+                        }
+                        Some(Tok::Punct(',')) if depth <= 0 => break,
+                        _ => {}
+                    }
+                    end += 1;
+                }
+                if let Some(ty) = type_head(tokens, k + 2, end) {
+                    fields.insert(field, ty);
+                }
+                k = end + 1;
+            } else {
+                k += 1;
+            }
+        }
+        i = close + 1;
+    }
+    out.retain(|_, fields| !fields.is_empty());
+    out
+}
+
+/// `(owner type, body open, body close)` for every `impl` block: the type
+/// after `for` when present (`impl Trait for Type`), else the type after
+/// `impl` (skipping generics).
+fn impl_regions(file: &SourceFile) -> Vec<(String, usize, usize)> {
+    let tokens = &file.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !is_ident(tokens, i, "impl") {
+            i += 1;
+            continue;
+        }
+        let Some(open) = find_punct(tokens, i + 1, '{') else {
+            i += 1;
+            continue;
+        };
+        let close = close_of(tokens, open);
+        let for_kw = (i + 1..open).find(|&k| is_ident(tokens, k, "for"));
+        let ty_from = for_kw.map(|k| k + 1).unwrap_or_else(|| {
+            // Skip `impl<…>` generics.
+            if is_punct(tokens, i + 1, '<') {
+                let mut depth = 0i64;
+                let mut k = i + 1;
+                while k < open {
+                    if is_punct(tokens, k, '<') {
+                        depth += 1;
+                    } else if is_punct(tokens, k, '>') {
+                        depth -= 1;
+                        if depth == 0 {
+                            return k + 1;
+                        }
+                    }
+                    k += 1;
+                }
+                open
+            } else {
+                i + 1
+            }
+        });
+        let ty_to = (ty_from..open)
+            .find(|&k| is_ident(tokens, k, "where") || is_punct(tokens, k, '<'))
+            .unwrap_or(open);
+        if let Some(ty) = type_head(tokens, ty_from, ty_to.max(ty_from)) {
+            out.push((ty, open, close));
+        }
+        i = open + 1; // impls aren't nested; fns inside are scanned anyway
+    }
+    out
+}
+
+/// Infers local variable types inside one fn body, flow-insensitively:
+/// `let x: Type = …`, `let x = Type::ctor(…)`, `let x = Type { … }`.
+fn fn_locals(file: &SourceFile, def: &FnDef) -> BTreeMap<String, String> {
+    let tokens = &file.tokens;
+    let (open, close) = def.body;
+    let mut out = BTreeMap::new();
+    let mut k = open + 1;
+    while k < close {
+        if !is_ident(tokens, k, "let") {
+            k += 1;
+            continue;
+        }
+        let mut j = k + 1;
+        if is_ident(tokens, j, "mut") {
+            j += 1;
+        }
+        let Some(Tok::Ident(var)) = tokens.get(j).map(|t| &t.tok) else {
+            k += 1;
+            continue;
+        };
+        let var = var.clone();
+        if var
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_uppercase() || KEYWORD_LIKE.contains(&var.as_str()))
+        {
+            k += 1;
+            continue;
+        }
+        let mut ty = None;
+        if is_punct(tokens, j + 1, ':') {
+            // Annotated: type runs to the `=` (or `;` for uninitialized).
+            let end = (j + 2..close)
+                .find(|&c| is_punct(tokens, c, '=') || is_punct(tokens, c, ';'))
+                .unwrap_or(close);
+            ty = type_head(tokens, j + 2, end);
+        } else if is_punct(tokens, j + 1, '=') {
+            // `let x = Type::ctor(…)` / `let x = Type { … }`.
+            if let Some(Tok::Ident(head)) = tokens.get(j + 2).map(|t| &t.tok) {
+                let upper = head.chars().next().is_some_and(|c| c.is_uppercase());
+                let ctor = matches!(tokens.get(j + 3).map(|t| &t.tok), Some(Tok::PathSep));
+                let literal = is_punct(tokens, j + 3, '{');
+                if upper && (ctor || literal) {
+                    ty = Some(head.clone());
+                }
+            }
+        }
+        if let Some(ty) = ty {
+            out.entry(var).or_insert(ty);
+        }
+        k = j + 1;
+    }
+    out
+}
+
+const KEYWORD_LIKE: [&str; 4] = ["mut", "ref", "box", "move"];
 
 #[cfg(test)]
 mod unit {
@@ -331,5 +650,60 @@ mod unit {
     fn crate_names_resolve() {
         assert_eq!(crate_of("crates/wire/src/rpc.rs"), "wire");
         assert_eq!(crate_of("src/lib.rs"), "root");
+    }
+
+    #[test]
+    fn imports_resolve_groups_aliases_and_self() {
+        let src = "use distrust_wire::codec::{decode_seq, encode_seq as enc};\n\
+                   use distrust_core::checkpoint::{self, Checkpoint};\n\
+                   use std::collections::*;\n";
+        let file = SourceFile::parse("crates/log/src/lib.rs".into(), src);
+        assert_eq!(
+            file.imports["decode_seq"],
+            vec!["distrust_wire", "codec", "decode_seq"]
+        );
+        assert_eq!(
+            file.imports["enc"],
+            vec!["distrust_wire", "codec", "encode_seq"]
+        );
+        assert_eq!(
+            file.imports["checkpoint"],
+            vec!["distrust_core", "checkpoint"]
+        );
+        assert_eq!(
+            file.imports["Checkpoint"],
+            vec!["distrust_core", "checkpoint", "Checkpoint"]
+        );
+        assert!(!file.imports.contains_key("*"));
+    }
+
+    #[test]
+    fn methods_get_owners_and_struct_fields_resolve() {
+        let src = "struct Store { inner: Arc<Mutex<Vec<u8>>>, count: usize }\n\
+                   impl Store {\n fn push_one(&self) {}\n}\n\
+                   impl Drop for Store {\n fn drop(&mut self) {}\n}\n\
+                   fn free() {}\n";
+        let file = SourceFile::parse("crates/log/src/lib.rs".into(), src);
+        let by_name = |n: &str| file.fns.iter().find(|f| f.name == n).unwrap();
+        assert_eq!(by_name("push_one").owner.as_deref(), Some("Store"));
+        assert_eq!(by_name("drop").owner.as_deref(), Some("Store"));
+        assert_eq!(by_name("free").owner, None);
+        assert_eq!(file.structs["Store"]["inner"], "Arc");
+        assert!(!file.structs["Store"].contains_key("count"));
+    }
+
+    #[test]
+    fn locals_infer_from_annotations_ctors_and_literals() {
+        let src = "fn f() {\n let a: DurableStore = make();\n \
+                   let mut b = ShardedLog::open(p);\n \
+                   let c = Config { root: r };\n \
+                   let d = helper();\n let e = 7;\n}\n";
+        let file = SourceFile::parse("crates/log/src/lib.rs".into(), src);
+        let locals = &file.fns[0].locals;
+        assert_eq!(locals["a"], "DurableStore");
+        assert_eq!(locals["b"], "ShardedLog");
+        assert_eq!(locals["c"], "Config");
+        assert!(!locals.contains_key("d"));
+        assert!(!locals.contains_key("e"));
     }
 }

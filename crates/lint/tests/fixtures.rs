@@ -138,6 +138,100 @@ fn trust_boundary_fixture_fires_exactly() {
 }
 
 #[test]
+fn cross_crate_fixture_fires_each_seeded_defect_exactly() {
+    let report = analyze_fixture("cross_crate");
+    let count = |pass: &str| report.findings.iter().filter(|f| f.pass == pass).count();
+    assert_eq!(count("taint-alloc"), 2, "{:?}", report.findings);
+    assert_eq!(count("lock-order"), 1, "{:?}", report.findings);
+    assert_eq!(count("blocking"), 1, "{:?}", report.findings);
+    assert_eq!(count("cap-consistency"), 1, "{:?}", report.findings);
+    assert_eq!(report.findings.len(), 5, "{:?}", report.findings);
+
+    let has = |needle: &str| report.findings.iter().any(|f| f.message.contains(needle));
+    // Bomb 1: taint returned out of alpha sizes an allocation in beta; the
+    // chain names both sides of the seam.
+    assert!(has(
+        "`Vec::with_capacity` in `ingest`: announced length via `decode_len` \
+         at crates/alpha/src/wire.rs"
+    ));
+    assert!(has(
+        "-> returned by `announced_len` at crates/beta/src/ingest.rs"
+    ));
+    // Bomb 2: beta's raw count crosses into alpha, which allocates; the
+    // chain records the injection site in beta.
+    assert!(has("`Vec::with_capacity` in `reserve_slots`"));
+    assert!(has(
+        "passed into `reserve_slots` as `slots` at crates/beta/src/ingest.rs"
+    ));
+    // The guarded twin and its capped helper stay silent.
+    assert!(!has("ingest_bounded"), "{:?}", report.findings);
+    assert!(!has("reserve_bounded"), "{:?}", report.findings);
+    // Cross-crate lock cycle and blocking chain carry both crates.
+    assert!(has(
+        "lock-order cycle: `egress@reactor` -> `ingress@sync` -> `egress@reactor`"
+    ));
+    assert!(has("pump -> relay -> drain"));
+    // The dead cap fires; the live guard cap does not.
+    assert!(has("`MAX_DEAD_SLOTS`"));
+    assert!(!has("`MAX_SLOTS`"), "{:?}", report.findings);
+}
+
+#[test]
+fn cross_crate_report_is_identical_regardless_of_scan_order() {
+    // The canonical function index space is discovery-order-dependent, but
+    // rendered findings must not be: parse the fixture's crates in both
+    // orders and demand byte-identical text and JSON reports.
+    use distrust_lint::dataflow::Dataflow;
+    use distrust_lint::model::Model;
+    use distrust_lint::passes;
+    use distrust_lint::scan::SourceFile;
+
+    let render = |reversed: bool| {
+        let mut paths = [
+            "crates/alpha/src/sync.rs",
+            "crates/alpha/src/wire.rs",
+            "crates/beta/src/ingest.rs",
+            "crates/beta/src/reactor.rs",
+        ];
+        if reversed {
+            paths.reverse();
+        }
+        let root = fixture_root("cross_crate");
+        let files: Vec<SourceFile> = paths
+            .iter()
+            .map(|p| {
+                let src = std::fs::read_to_string(root.join(p)).expect("fixture file");
+                SourceFile::parse(p.to_string(), &src)
+            })
+            .collect();
+        let model = Model::build(&files);
+        let flow = Dataflow::build(&files);
+        let mut report = Report::default();
+        passes::lock_order::run(&model, &mut report);
+        passes::blocking::run(&model, &passes::blocking::default_entries(), &mut report);
+        passes::taint_alloc::run(
+            &flow,
+            distrust_lint::passes::taint_alloc::TaintScope::AllFiles,
+            &mut report,
+        );
+        passes::cap_consistency::run(
+            &files,
+            &flow,
+            distrust_lint::passes::cap_consistency::CapScope::AllFiles,
+            &mut report,
+        );
+        report.apply_allows(&files);
+        report.finish();
+        (report.render_text(), report.render_json())
+    };
+    let (text_fwd, json_fwd) = render(false);
+    let (text_rev, json_rev) = render(true);
+    assert!(text_fwd.contains("finding"), "{text_fwd}");
+    assert_eq!(text_fwd, text_rev);
+    assert_eq!(json_fwd, json_rev);
+}
+
+#[test]
 fn allowlist_suppresses_with_a_reason() {
     let report = analyze_fixture("allowed");
     assert_eq!(report.findings.len(), 1, "{:?}", report.findings);

@@ -235,7 +235,6 @@ pub fn decode_seq<T: Decode>(input: &mut &[u8]) -> Result<Vec<T>, DecodeError> {
         return Err(DecodeError::LengthOverflow(len));
     }
     let mut items = Vec::with_capacity(len.min(SEQ_PREALLOC_LEN));
-    // lint:allow(taint-alloc): loop is capped by the remaining-input guard above; every iteration consumes at least one input byte
     for _ in 0..len {
         items.push(T::decode(input)?);
     }
